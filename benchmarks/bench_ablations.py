@@ -1,0 +1,61 @@
+"""Bench: the ablation experiments beyond the paper's artifacts.
+
+Covers the design choices DESIGN.md §7 calls out: BTB coupling, PHT
+indexing, I-cache associativity, BTB update timing, and return prediction.
+"""
+
+from repro.experiments import (
+    run_ablation_assoc,
+    run_ablation_btb,
+    run_ablation_btbupd,
+    run_ablation_pht,
+    run_ablation_ras,
+)
+
+
+def _run(benchmark, bench_runner, emit, fn, experiment_id):
+    result = benchmark.pedantic(fn, args=(bench_runner,), rounds=1, iterations=1)
+    emit(result)
+    assert result.experiment_id == experiment_id
+    assert result.tables
+
+
+def test_ablation_btb(benchmark, bench_runner, emit):
+    """Decoupled vs coupled BTB designs."""
+    _run(benchmark, bench_runner, emit, run_ablation_btb, "ablation_btb")
+
+
+def test_ablation_pht(benchmark, bench_runner, emit):
+    """gshare vs bimodal vs GAg PHT indexing."""
+    _run(benchmark, bench_runner, emit, run_ablation_pht, "ablation_pht")
+
+
+def test_ablation_assoc(benchmark, bench_runner, emit):
+    """I-cache associativity 1/2/4 under Resume."""
+    _run(benchmark, bench_runner, emit, run_ablation_assoc, "ablation_assoc")
+
+
+def test_ablation_btbupd(benchmark, bench_runner, emit):
+    """Speculative vs resolve-time BTB update."""
+    _run(benchmark, bench_runner, emit, run_ablation_btbupd, "ablation_btbupd")
+
+
+def test_ablation_ras(benchmark, bench_runner, emit):
+    """BTB-predicted returns vs a return address stack."""
+    _run(benchmark, bench_runner, emit, run_ablation_ras, "ablation_ras")
+
+
+def test_ablation_pht_size(benchmark, bench_runner, emit):
+    """gshare PHT capacity sweep (history pinned at 9 bits)."""
+    from repro.experiments import run_ablation_pht_size
+
+    _run(benchmark, bench_runner, emit, run_ablation_pht_size,
+         "ablation_pht_size")
+
+
+def test_ablation_linesize(benchmark, bench_runner, emit):
+    """I-cache line size x fetchahead prefetching."""
+    from repro.experiments import run_ablation_linesize
+
+    _run(benchmark, bench_runner, emit, run_ablation_linesize,
+         "ablation_linesize")

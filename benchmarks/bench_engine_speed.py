@@ -1,0 +1,53 @@
+"""Bench: raw simulator throughput (regression guard, not a paper artifact).
+
+Measures the engine in instructions per second on the gcc workload under
+the cheapest (Oracle) and most work-per-miss (Resume + prefetch) policies,
+plus workload construction and trace generation.  Useful for catching
+performance regressions in the hot loops.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def gcc_program():
+    return build_workload("gcc")
+
+
+@pytest.fixture(scope="module")
+def gcc_trace(gcc_program):
+    return generate_trace(gcc_program, 100_000, seed=3)
+
+
+def test_speed_trace_generation(benchmark, gcc_program):
+    """Trace-generation throughput (100k instructions)."""
+    trace = benchmark(generate_trace, gcc_program, 100_000, 3)
+    assert trace.n_instructions >= 100_000
+
+
+def test_speed_engine_oracle(benchmark, gcc_program, gcc_trace):
+    """Engine throughput, Oracle policy (no wrong-path work)."""
+    result = benchmark(
+        simulate, gcc_program, gcc_trace, SimConfig(policy=FetchPolicy.ORACLE)
+    )
+    assert result.counters.instructions == gcc_trace.n_instructions
+
+
+def test_speed_engine_resume_prefetch(benchmark, gcc_program, gcc_trace):
+    """Engine throughput, Resume + prefetch (heaviest configuration)."""
+    config = replace(SimConfig(policy=FetchPolicy.RESUME), prefetch=True)
+    result = benchmark(simulate, gcc_program, gcc_trace, config)
+    assert result.counters.instructions == gcc_trace.n_instructions
+
+
+def test_speed_workload_build(benchmark):
+    """Synthetic-workload construction cost."""
+    program = benchmark(build_workload, "li")
+    assert program.image.n_instructions > 0

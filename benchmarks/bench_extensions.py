@@ -1,0 +1,67 @@
+"""Bench: the paper's §6 future-work directions, implemented.
+
+* non-blocking I-cache + pipelined miss requests (under Resume at the
+  long latency, where the paper saw Resume lose its edge);
+* next-line prefetch trigger variants and target prefetching (§2.2);
+* profile-driven code layout.
+"""
+
+from repro.experiments import (
+    run_extension_nonblocking,
+    run_extension_prefetch_variants,
+    run_extension_reorder,
+)
+
+
+def _run(benchmark, bench_runner, emit, fn, experiment_id):
+    result = benchmark.pedantic(fn, args=(bench_runner,), rounds=1, iterations=1)
+    emit(result)
+    assert result.experiment_id == experiment_id
+    assert result.tables
+
+
+def test_extension_nonblocking(benchmark, bench_runner, emit):
+    """Fill buffers x pipelined channel, Resume @ 20 cycles."""
+    _run(benchmark, bench_runner, emit,
+         run_extension_nonblocking, "extension_nonblocking")
+
+
+def test_extension_prefetch_variants(benchmark, bench_runner, emit):
+    """tagged/always/on-miss next-line + target prefetching."""
+    _run(benchmark, bench_runner, emit,
+         run_extension_prefetch_variants, "extension_prefetch_variants")
+
+
+def test_extension_reorder(benchmark, bench_runner, emit):
+    """Profile-driven hot-first layout vs shuffled layouts."""
+    _run(benchmark, bench_runner, emit,
+         run_extension_reorder, "extension_reorder")
+
+
+def test_extension_streambuffer(benchmark, bench_runner, emit):
+    """Jouppi stream buffers on a 4K cache (the quoted ~85% result)."""
+    from repro.experiments import run_extension_streambuffer
+
+    _run(benchmark, bench_runner, emit,
+         run_extension_streambuffer, "extension_streambuffer")
+
+
+def test_extension_l2(benchmark, bench_runner, emit):
+    """Second-level cache: both latency regimes from one machine."""
+    from repro.experiments import run_extension_l2
+
+    _run(benchmark, bench_runner, emit, run_extension_l2, "extension_l2")
+
+
+def test_robustness(benchmark, bench_runner, emit):
+    """Headline-claim robustness across five independent trace seeds."""
+    from repro.analysis import run_robustness
+
+    result = benchmark.pedantic(
+        run_robustness,
+        kwargs={"trace_length": bench_runner.trace_length,
+                "warmup": bench_runner.warmup},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert result.experiment_id == "robustness"

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Figure 1.
+
+ISPI component breakdown for all five fetch policies at the baseline architecture (8K cache, 5-cycle penalty, depth 4).
+"""
+
+from repro.experiments import run_figure1
+
+
+def test_figure1(benchmark, bench_runner, emit):
+    """One full regeneration of Figure 1 (5 benchmarks x 5 policies)."""
+    result = benchmark.pedantic(
+        run_figure1, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "figure1"
+    assert result.tables

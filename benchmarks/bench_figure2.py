@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Figure 2.
+
+The same breakdown with the long (20-cycle) miss penalty, where conservative policies catch up.
+"""
+
+from repro.experiments import run_figure2
+
+
+def test_figure2(benchmark, bench_runner, emit):
+    """One full regeneration of Figure 2 (5 benchmarks x 5 policies)."""
+    result = benchmark.pedantic(
+        run_figure2, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "figure2"
+    assert result.tables

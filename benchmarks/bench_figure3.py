@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Figure 3.
+
+Next-line prefetching at the 5-cycle penalty: Oracle / Resume / Pessimistic with and without prefetch.
+"""
+
+from repro.experiments import run_figure3
+
+
+def test_figure3(benchmark, bench_runner, emit):
+    """One full regeneration of Figure 3 (5 benchmarks x 6 configurations)."""
+    result = benchmark.pedantic(
+        run_figure3, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "figure3"
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Figure 4.
+
+Next-line prefetching at the 20-cycle penalty, where aggressive fetch activity can hurt even Oracle.
+"""
+
+from repro.experiments import run_figure4
+
+
+def test_figure4(benchmark, bench_runner, emit):
+    """One full regeneration of Figure 4 (5 benchmarks x 6 configurations)."""
+    result = benchmark.pedantic(
+        run_figure4, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "figure4"
+    assert result.tables

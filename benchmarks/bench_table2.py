@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 2.
+
+Benchmark characteristics of the synthetic suite (instruction counts, dynamic branch percentages) against the paper's reference values.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, bench_runner, emit):
+    """One full regeneration of Table 2 (13 benchmarks)."""
+    result = benchmark.pedantic(
+        run_table2, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table2"
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 3.
+
+8K/32K direct-mapped miss rates plus the branch-architecture ISPI decomposition at speculation depths 1 and 4.
+"""
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, bench_runner, emit):
+    """One full regeneration of Table 3 (13 benchmarks x 4 configurations)."""
+    result = benchmark.pedantic(
+        run_table3, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table3"
+    assert result.tables

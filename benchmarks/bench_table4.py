@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 4.
+
+Miss categorisation under Optimistic vs a shadow Oracle: Both Miss / Spec Pollute / Spec Prefetch / Wrong Path and the traffic ratio.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, bench_runner, emit):
+    """One full regeneration of Table 4 (13 benchmarks, classified run)."""
+    result = benchmark.pedantic(
+        run_table4, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table4"
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 5.
+
+The full benchmark x policy ISPI matrix at speculation depths 1, 2, and 4.
+"""
+
+from repro.experiments import run_table5
+
+
+def test_table5(benchmark, bench_runner, emit):
+    """One full regeneration of Table 5 (13 benchmarks x 3 depths x 5 policies)."""
+    result = benchmark.pedantic(
+        run_table5, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table5"
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 6.
+
+The benchmark x policy ISPI matrix with a 32K I-cache.
+"""
+
+from repro.experiments import run_table6
+
+
+def test_table6(benchmark, bench_runner, emit):
+    """One full regeneration of Table 6 (13 benchmarks x 5 policies)."""
+    result = benchmark.pedantic(
+        run_table6, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table6"
+    assert result.tables

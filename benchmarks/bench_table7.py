@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper's Table 7.
+
+Memory traffic of each prefetching policy relative to Oracle without prefetch.
+"""
+
+from repro.experiments import run_table7
+
+
+def test_table7(benchmark, bench_runner, emit):
+    """One full regeneration of Table 7 (13 benchmarks x 4 configurations)."""
+    result = benchmark.pedantic(
+        run_table7, args=(bench_runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.experiment_id == "table7"
+    assert result.tables

@@ -1,0 +1,62 @@
+"""Exploring the paper's §6 future work: a non-blocking front end.
+
+Run:  python examples/nonblocking_frontend.py [benchmark]
+
+The paper's Figure 2 shows Resume losing its advantage at long miss
+latencies: a single wrong-path fill monopolises the one memory channel
+and the one resume buffer.  The paper closes by asking whether
+"non-blocking I-caches and pipelining miss requests" would fix that.
+This example sweeps both knobs and answers: buffers alone make things
+*worse* (more wrong-path traffic on the same serial channel); buffers
+plus a pipelined channel restore — and extend — Resume's advantage.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro import FetchPolicy, SimConfig, SimulationRunner
+from repro.report import Table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    runner = SimulationRunner(trace_length=100_000)
+    base = replace(
+        SimConfig(policy=FetchPolicy.RESUME), miss_penalty_cycles=20
+    )
+
+    table = Table(
+        headers=["Configuration", "ISPI", "bus", "wrong fills", "mem"],
+        title=f"{benchmark} @ 20-cycle penalty: towards a non-blocking "
+        "front end",
+        float_format="{:.3f}",
+    )
+    configs = [
+        ("Pessimistic (reference)",
+         replace(base, policy=FetchPolicy.PESSIMISTIC)),
+        ("Resume, 1 buffer, serial bus (the paper)", base),
+        ("Resume, 2 buffers, serial bus", replace(base, fill_buffers=2)),
+        ("Resume, 2 buffers, pipelined bus",
+         replace(base, fill_buffers=2, bus_interleave_cycles=2)),
+        ("Resume, 4 buffers, pipelined bus",
+         replace(base, fill_buffers=4, bus_interleave_cycles=2)),
+        ("Resume, 4 buffers, pipelined + prefetch",
+         replace(base, fill_buffers=4, bus_interleave_cycles=2,
+                 prefetch=True)),
+    ]
+    for label, config in configs:
+        result = runner.run(benchmark, config)
+        table.add_row(
+            label,
+            result.total_ispi,
+            result.ispi("bus"),
+            result.counters.wrong_fills,
+            result.counters.memory_accesses,
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

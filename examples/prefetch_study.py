@@ -1,0 +1,66 @@
+"""Prefetch study: when does next-line prefetching stop paying off?
+
+Run:  python examples/prefetch_study.py [benchmark]
+
+Sweeps the I-cache miss penalty and compares Oracle / Resume / Pessimistic
+with and without the paper's "maximal fetchahead, first-time-referenced"
+next-line prefetcher.  Reproduces the §5.3 conclusion: prefetching helps
+at small latencies and turns harmful at large ones, while always costing
+substantial extra memory traffic.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro import FetchPolicy, SimConfig, SimulationRunner
+from repro.report import Table
+
+POLICIES = (FetchPolicy.ORACLE, FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC)
+PENALTIES = (2, 5, 10, 20, 40)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    runner = SimulationRunner(trace_length=100_000)
+
+    table = Table(
+        headers=["Penalty(cyc)"]
+        + [p.label for p in POLICIES]
+        + [f"{p.label}+Pref" for p in POLICIES]
+        + ["TrafficRatio(Res+Pref)"],
+        title=f"Prefetch study on {benchmark} (total penalty ISPI)",
+        float_format="{:.3f}",
+    )
+    for penalty in PENALTIES:
+        base = replace(SimConfig(), miss_penalty_cycles=penalty)
+        plain = {
+            p: runner.run(benchmark, base.with_policy(p)) for p in POLICIES
+        }
+        pref = {
+            p: runner.run(
+                benchmark, replace(base.with_policy(p), prefetch=True)
+            )
+            for p in POLICIES
+        }
+        denominator = plain[FetchPolicy.ORACLE].counters.memory_accesses
+        traffic = (
+            pref[FetchPolicy.RESUME].counters.memory_accesses / denominator
+        )
+        table.add_row(
+            penalty,
+            *(plain[p].total_ispi for p in POLICIES),
+            *(pref[p].total_ispi for p in POLICIES),
+            traffic,
+        )
+    print(table.render())
+    print()
+    print("Reading the table: at small penalties every +Pref column beats")
+    print("its plain column; as the penalty grows the advantage shrinks or")
+    print("reverses (prefetches monopolise the channel right when demand")
+    print("misses need it), while the traffic ratio stays well above 1.")
+
+
+if __name__ == "__main__":
+    main()

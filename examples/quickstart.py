@@ -1,0 +1,43 @@
+"""Quickstart: simulate one benchmark under two fetch policies.
+
+Run:  python examples/quickstart.py [benchmark]
+
+Builds the synthetic 'gcc' workload (or another of the paper's 13
+benchmarks), generates a dynamic trace, and compares the Resume and
+Pessimistic I-cache fetch policies on the paper's baseline front end.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FetchPolicy, SimulationRunner, paper_baseline
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    runner = SimulationRunner(trace_length=100_000)
+    print(f"benchmark: {benchmark}")
+    print(f"trace: {runner.trace_length} instructions "
+          f"({runner.warmup} warmup)\n")
+
+    for policy in (FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC):
+        result = runner.run(benchmark, paper_baseline(policy))
+        print(f"policy = {policy.label}")
+        print(f"  total penalty ISPI : {result.total_ispi:.3f}")
+        print(f"  I-cache miss rate  : {result.miss_rate_percent:.2f}%")
+        print(f"  memory accesses    : {result.counters.memory_accesses}")
+        print("  breakdown:")
+        for component, value in result.ispi_breakdown().items():
+            if value:
+                print(f"    {component:<14} {value:.3f}")
+        print()
+
+    print("Expected (the paper's headline at a 5-cycle miss penalty):")
+    print("Resume beats Pessimistic — it keeps running while wrong-path")
+    print("fills complete in the resume buffer, instead of taxing every")
+    print("right-path miss with a wait for branch resolution.")
+
+
+if __name__ == "__main__":
+    main()

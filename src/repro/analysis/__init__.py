@@ -1,0 +1,24 @@
+"""Statistical analysis of simulation results.
+
+Synthetic workloads are stochastic, so every headline comparison should be
+shown to be a property of the workload *model*, not of one random trace.
+This package provides seed replication (:func:`replicate`), summary
+statistics (:func:`summarize`), and the ``robustness`` experiment that
+re-checks the paper's headline claims across independent seeds.
+"""
+
+from repro.analysis.robustness import (
+    ClaimCheck,
+    Summary,
+    replicate,
+    run_robustness,
+    summarize,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "Summary",
+    "replicate",
+    "run_robustness",
+    "summarize",
+]

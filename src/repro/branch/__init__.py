@@ -1,0 +1,59 @@
+"""Branch-prediction substrate (BTB + PHT + history + RAS).
+
+Implements the paper's branch architecture (§4.1): a decoupled 64-entry
+4-way-associative branch target buffer for targets, a 512-entry gshare
+pattern history table (McFarling XOR of global history and branch address)
+for directions, resolution-delayed PHT/history updates, and speculative
+decode-time BTB updates.  Coupled (Pentium-style) designs and a return
+address stack are provided for ablation experiments.
+"""
+
+from repro.branch.btb import BranchTargetBuffer, BTBEntry
+from repro.branch.counters import CounterTable, SaturatingCounter
+from repro.branch.history import GlobalHistory
+from repro.branch.pht import (
+    BimodalPHT,
+    GAgPHT,
+    GsharePHT,
+    PatternHistoryTable,
+    make_pht,
+)
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.static import StaticPredictor
+from repro.branch.unit import (
+    DECODE_LATENCY_SLOTS,
+    MISFETCH_PENALTY_SLOTS,
+    MISPREDICT_PENALTY_SLOTS,
+    RESOLVE_LATENCY_SLOTS,
+    BranchStats,
+    BranchUnit,
+    FetchOutcome,
+    PenaltyCause,
+    PredictionResult,
+    make_paper_branch_unit,
+)
+
+__all__ = [
+    "BTBEntry",
+    "BimodalPHT",
+    "BranchStats",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "CounterTable",
+    "DECODE_LATENCY_SLOTS",
+    "FetchOutcome",
+    "GAgPHT",
+    "GlobalHistory",
+    "GsharePHT",
+    "MISFETCH_PENALTY_SLOTS",
+    "MISPREDICT_PENALTY_SLOTS",
+    "PatternHistoryTable",
+    "PenaltyCause",
+    "PredictionResult",
+    "RESOLVE_LATENCY_SLOTS",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+    "StaticPredictor",
+    "make_paper_branch_unit",
+    "make_pht",
+]

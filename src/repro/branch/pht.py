@@ -1,0 +1,99 @@
+"""Pattern history tables (direction predictors).
+
+Three indexing schemes from the paper's related-work lineage:
+
+* :class:`BimodalPHT` — indexed by the branch address alone
+  ([Smith 81]-style per-branch counters).
+* :class:`GAgPHT` — indexed by the global history register alone
+  (the "degenerate method" the paper describes).
+* :class:`GsharePHT` — McFarling's scheme: XOR of global history and
+  branch address.  **This is the paper's configuration** (512 entries,
+  2-bit counters).
+
+All PHTs separate *prediction* (index computed from a history snapshot at
+fetch time) from *update* (applied at branch resolution, to the same index
+that was used for the prediction).  The index is therefore returned to the
+caller, which carries it through the unresolved-branch queue.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.branch.counters import CounterTable
+from repro.errors import ConfigError
+from repro.isa import INSTRUCTION_SIZE
+
+
+class PatternHistoryTable(abc.ABC):
+    """Common interface of all direction predictors."""
+
+    def __init__(self, entries: int, counter_bits: int = 2) -> None:
+        self.table = CounterTable(entries, bits=counter_bits)
+        self.index_mask = entries - 1
+
+    @abc.abstractmethod
+    def index(self, pc: int, history: int) -> int:
+        """Table index for branch at *pc* given a history snapshot."""
+
+    def predict(self, pc: int, history: int) -> tuple[bool, int]:
+        """Return ``(taken?, index)``; the index is needed for the update."""
+        idx = self.index(pc, history)
+        return self.table.predict(idx), idx
+
+    def update(self, index: int, taken: bool) -> None:
+        """Resolve-time counter update at the prediction-time index."""
+        self.table.update(index, taken)
+
+    def reset(self) -> None:
+        """Clear all counters to weakly-not-taken."""
+        self.table.reset()
+
+    @property
+    def entries(self) -> int:
+        """Number of counters in the table."""
+        return self.table.entries
+
+
+def _pc_bits(pc: int) -> int:
+    """Branch address with the constant low (alignment) bits stripped."""
+    return pc // INSTRUCTION_SIZE
+
+
+class BimodalPHT(PatternHistoryTable):
+    """Per-branch 2-bit counters, indexed by low PC bits."""
+
+    def index(self, pc: int, history: int) -> int:
+        return _pc_bits(pc) & self.index_mask
+
+
+class GAgPHT(PatternHistoryTable):
+    """Counters indexed purely by global history (two-level, degenerate)."""
+
+    def index(self, pc: int, history: int) -> int:
+        return history & self.index_mask
+
+
+class GsharePHT(PatternHistoryTable):
+    """McFarling gshare: history XOR branch address (the paper's PHT)."""
+
+    def index(self, pc: int, history: int) -> int:
+        return (_pc_bits(pc) ^ history) & self.index_mask
+
+
+_PHT_KINDS = {
+    "bimodal": BimodalPHT,
+    "gag": GAgPHT,
+    "gshare": GsharePHT,
+}
+
+
+def make_pht(kind: str, entries: int, counter_bits: int = 2) -> PatternHistoryTable:
+    """Factory by name: ``bimodal``, ``gag``, or ``gshare``."""
+    try:
+        cls = _PHT_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown PHT kind {kind!r}; expected one of {sorted(_PHT_KINDS)}"
+        ) from None
+    return cls(entries, counter_bits=counter_bits)

@@ -1,0 +1,60 @@
+"""Return address stack.
+
+The paper's machine predicts return targets through the BTB (the most
+recent return target of the site).  A RAS is the standard improvement; we
+provide one as an optional extension (off by default, to match the paper)
+and use it in ablation experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address predictor.
+
+    Overflow overwrites the oldest entry; underflow returns ``None``
+    (predict via BTB / fall back to misfetch), as in real designs.
+    """
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth < 1:
+            raise ConfigError(f"RAS depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record a call's return address."""
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predict the target of a return; None when empty."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        """Top of stack without popping (wrong-path probes)."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Empty the stack and clear statistics."""
+        self._stack.clear()
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,40 @@
+"""Static direction predictors.
+
+Used (a) as baselines in ablation experiments, and (b) by coupled BTB
+designs for conditional branches that miss in the BTB (the Pentium falls
+back to predicting fall-through, i.e. not-taken).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class StaticPredictor:
+    """A stateless direction rule."""
+
+    def __init__(self, rule: str = "not-taken") -> None:
+        if rule not in ("taken", "not-taken", "btfnt"):
+            raise ConfigError(
+                f"unknown static rule {rule!r}; "
+                "expected 'taken', 'not-taken', or 'btfnt'"
+            )
+        self.rule = rule
+
+    def predict(self, pc: int, target: int | None) -> bool:
+        """Predict direction for a branch at *pc* with static *target*.
+
+        ``btfnt`` (backward-taken / forward-not-taken) needs the target;
+        when the target is unknown (BTB miss), it degrades to not-taken,
+        exactly as real front ends must.
+        """
+        if self.rule == "taken":
+            return True
+        if self.rule == "not-taken":
+            return False
+        if target is None:
+            return False
+        return target < pc
+
+    def __repr__(self) -> str:
+        return f"StaticPredictor(rule={self.rule!r})"

@@ -1,0 +1,432 @@
+"""The branch unit: fetch-time prediction and outcome classification.
+
+This module encodes the paper's front-end branch semantics (§4.1):
+
+* a **decoupled** design — a 64-entry 4-way BTB supplies targets of
+  recently taken branches, a 512-entry gshare PHT supplies directions for
+  *all* conditional branches (BTB-resident or not);
+* **misfetch** — the branch's target had to be computed at decode (BTB miss
+  on a transfer that needs to redirect): 2-cycle (8-slot) penalty;
+* **mispredict** — the direction (PHT) or the dynamic target (stale BTB
+  entry for a return/indirect call) was wrong, discovered at resolution:
+  4-cycle (16-slot) penalty;
+* the PHT counters and the global history update **only at resolution**,
+  so predictions made under deep speculation see stale history — the
+  effect Table 3 of the paper quantifies;
+* the BTB updates **speculatively at decode** (predicted-taken branches
+  are inserted), with a non-speculative variant available for ablations.
+
+The unit is purely about branches; all I-cache/bus timing lives in
+:mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.history import GlobalHistory
+from repro.branch.pht import PatternHistoryTable
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.static import StaticPredictor
+from repro.errors import ConfigError, SimulationError
+from repro.isa import InstrKind
+
+#: Issue slots lost to a misfetch (2 cycles x 4-wide issue).
+MISFETCH_PENALTY_SLOTS = 8
+#: Issue slots lost to a mispredict (4 cycles x 4-wide issue).
+MISPREDICT_PENALTY_SLOTS = 16
+#: Slots from a branch's fetch to its decode (2 cycles).
+DECODE_LATENCY_SLOTS = 8
+#: Slots from a conditional branch's fetch to its resolution (4 cycles).
+RESOLVE_LATENCY_SLOTS = 16
+
+
+class FetchOutcome(enum.Enum):
+    """How the fetch of one control transfer went."""
+
+    CORRECT = "correct"
+    MISFETCH = "misfetch"
+    MISPREDICT = "mispredict"
+
+
+class PenaltyCause(enum.Enum):
+    """Which structure is to blame (Table 3's decomposition)."""
+
+    NONE = "none"
+    BTB_MISFETCH = "btb_misfetch"
+    PHT_MISPREDICT = "pht_mispredict"
+    BTB_MISPREDICT = "btb_mispredict"
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionResult:
+    """Everything the engine needs to account for one control transfer.
+
+    Attributes:
+        outcome: CORRECT / MISFETCH / MISPREDICT.
+        cause: blame category for the penalty.
+        penalty_slots: total issue slots lost (0 / 8 / 16).
+        wrong_path_start: first address of wrong-path fetch, or ``None``
+            when nothing wrong is fetched.
+        wrong_path_delay: slots after the branch before wrong-path fetch
+            begins (nonzero only for the misfetch-then-mispredict
+            composite, whose first two cycles fetch squashed correct-path
+            instructions).
+        wrong_path_slots: length of the wrong-path fetch window in slots.
+        pht_index: prediction-time PHT index to update at resolution
+            (conditional branches only).
+        predicted_taken: the direction prediction (conditionals only).
+    """
+
+    outcome: FetchOutcome
+    cause: PenaltyCause
+    penalty_slots: int
+    wrong_path_start: int | None
+    wrong_path_delay: int
+    wrong_path_slots: int
+    pht_index: int | None
+    predicted_taken: bool | None
+
+
+@dataclass(slots=True)
+class BranchStats:
+    """Dynamic event counts for Table 3-style reporting."""
+
+    conditional: int = 0
+    unconditional: int = 0
+    correct: int = 0
+    pht_mispredicts: int = 0
+    btb_misfetches: int = 0
+    btb_mispredicts: int = 0
+    penalty_slots_by_cause: dict[str, int] = field(
+        default_factory=lambda: {
+            PenaltyCause.BTB_MISFETCH.value: 0,
+            PenaltyCause.PHT_MISPREDICT.value: 0,
+            PenaltyCause.BTB_MISPREDICT.value: 0,
+        }
+    )
+
+
+class BranchUnit:
+    """Decoupled (or, for ablation, coupled) BTB + PHT front end."""
+
+    def __init__(
+        self,
+        btb: BranchTargetBuffer,
+        pht: PatternHistoryTable,
+        history: GlobalHistory,
+        coupled: bool = False,
+        speculative_btb_update: bool = True,
+        ras: ReturnAddressStack | None = None,
+        static_fallback: StaticPredictor | None = None,
+        misfetch_penalty_slots: int = MISFETCH_PENALTY_SLOTS,
+        mispredict_penalty_slots: int = MISPREDICT_PENALTY_SLOTS,
+    ) -> None:
+        if misfetch_penalty_slots < 0 or mispredict_penalty_slots < misfetch_penalty_slots:
+            raise ConfigError(
+                "penalties must satisfy 0 <= misfetch <= mispredict, got "
+                f"{misfetch_penalty_slots} / {mispredict_penalty_slots}"
+            )
+        self.btb = btb
+        self.pht = pht
+        self.history = history
+        self.coupled = coupled
+        self.speculative_btb_update = speculative_btb_update
+        self.ras = ras
+        self.static_fallback = static_fallback or StaticPredictor("not-taken")
+        self.misfetch_penalty_slots = misfetch_penalty_slots
+        self.mispredict_penalty_slots = mispredict_penalty_slots
+        self.stats = BranchStats()
+
+    # -- direction prediction ------------------------------------------------
+
+    def _predict_direction(
+        self, pc: int, btb_entry, static_target: int | None
+    ) -> tuple[bool, int | None]:
+        """Return ``(taken?, pht_index or None)`` for a conditional branch."""
+        if self.coupled:
+            if btb_entry is not None:
+                return self.btb.counter_predicts_taken(btb_entry), None
+            return self.static_fallback.predict(pc, static_target), None
+        taken, idx = self.pht.predict(pc, self.history.snapshot())
+        return taken, idx
+
+    # -- the main classification entry point ---------------------------------
+
+    def predict(
+        self,
+        pc: int,
+        kind: InstrKind,
+        static_target: int | None,
+        actual_taken: bool,
+        actual_target: int,
+        fall_through: int,
+    ) -> PredictionResult:
+        """Predict the transfer at *pc* and classify against the truth.
+
+        ``actual_target`` is the actual next PC (trace ground truth);
+        ``static_target`` is the target encoded in the instruction (None
+        for returns / indirect calls).
+        """
+        if kind is InstrKind.COND_BRANCH:
+            return self._predict_conditional(
+                pc, static_target, actual_taken, actual_target, fall_through
+            )
+        if kind in (InstrKind.JUMP, InstrKind.CALL):
+            return self._predict_direct(pc, actual_target, fall_through)
+        if kind is InstrKind.RETURN:
+            return self._predict_return(pc, actual_target, fall_through)
+        if kind is InstrKind.INDIRECT_CALL:
+            return self._predict_indirect(pc, actual_target, fall_through)
+        raise SimulationError(f"non-control kind {kind} reached the branch unit")
+
+    def _result_correct(
+        self, pht_index: int | None, predicted_taken: bool | None
+    ) -> PredictionResult:
+        self.stats.correct += 1
+        return PredictionResult(
+            outcome=FetchOutcome.CORRECT,
+            cause=PenaltyCause.NONE,
+            penalty_slots=0,
+            wrong_path_start=None,
+            wrong_path_delay=0,
+            wrong_path_slots=0,
+            pht_index=pht_index,
+            predicted_taken=predicted_taken,
+        )
+
+    def _charge(self, cause: PenaltyCause, slots: int) -> None:
+        self.stats.penalty_slots_by_cause[cause.value] += slots
+        if cause is PenaltyCause.BTB_MISFETCH:
+            self.stats.btb_misfetches += 1
+        elif cause is PenaltyCause.PHT_MISPREDICT:
+            self.stats.pht_mispredicts += 1
+        elif cause is PenaltyCause.BTB_MISPREDICT:
+            self.stats.btb_mispredicts += 1
+
+    def _predict_conditional(
+        self,
+        pc: int,
+        static_target: int | None,
+        actual_taken: bool,
+        actual_target: int,
+        fall_through: int,
+    ) -> PredictionResult:
+        if static_target is None:
+            raise SimulationError(f"conditional at {pc:#x} lacks a static target")
+        self.stats.conditional += 1
+        entry = self.btb.lookup(pc)
+        predicted_taken, pht_index = self._predict_direction(pc, entry, static_target)
+        if self.speculative_btb_update and predicted_taken:
+            # Decode-time speculative insertion; the decode stage computes
+            # the real static target, so the inserted target is correct.
+            self.btb.insert(pc, static_target)
+        elif actual_taken:
+            # Non-speculative designs (and not-predicted-taken branches)
+            # insert once the branch resolves taken.
+            self.btb.insert(pc, static_target)
+
+        if predicted_taken == actual_taken:
+            if not predicted_taken:
+                return self._result_correct(pht_index, predicted_taken)
+            if entry is not None:
+                # Target came from the BTB: clean hit.
+                return self._result_correct(pht_index, predicted_taken)
+            # Predicted taken but the target had to be computed at decode:
+            # misfetch.  The two pre-decode cycles fetched the fall-through,
+            # which is wrong because the branch is taken.
+            self._charge(PenaltyCause.BTB_MISFETCH, self.misfetch_penalty_slots)
+            return PredictionResult(
+                outcome=FetchOutcome.MISFETCH,
+                cause=PenaltyCause.BTB_MISFETCH,
+                penalty_slots=self.misfetch_penalty_slots,
+                wrong_path_start=fall_through,
+                wrong_path_delay=0,
+                wrong_path_slots=self.misfetch_penalty_slots,
+                pht_index=pht_index,
+                predicted_taken=predicted_taken,
+            )
+        # Direction mispredict (PHT's fault in the decoupled design).
+        self._charge(PenaltyCause.PHT_MISPREDICT, self.mispredict_penalty_slots)
+        if predicted_taken:
+            if entry is not None:
+                # Fetched the taken target immediately; wrong for 4 cycles.
+                wrong_start = entry.target
+                delay = 0
+                window = self.mispredict_penalty_slots
+            else:
+                # Composite: 2 cycles of (squashed) fall-through fetch, then
+                # a decode-time redirect to the (wrong) computed target for
+                # the remaining 2 cycles.
+                wrong_start = static_target
+                delay = self.misfetch_penalty_slots
+                window = self.mispredict_penalty_slots - self.misfetch_penalty_slots
+        else:
+            # Predicted not taken: fall-through fetched for 4 cycles.
+            wrong_start = fall_through
+            delay = 0
+            window = self.mispredict_penalty_slots
+        return PredictionResult(
+            outcome=FetchOutcome.MISPREDICT,
+            cause=PenaltyCause.PHT_MISPREDICT,
+            penalty_slots=self.mispredict_penalty_slots,
+            wrong_path_start=wrong_start,
+            wrong_path_delay=delay,
+            wrong_path_slots=window,
+            pht_index=pht_index,
+            predicted_taken=predicted_taken,
+        )
+
+    def _predict_direct(
+        self, pc: int, actual_target: int, fall_through: int
+    ) -> PredictionResult:
+        self.stats.unconditional += 1
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            self.btb.insert(pc, actual_target)
+            self._charge(PenaltyCause.BTB_MISFETCH, self.misfetch_penalty_slots)
+            return PredictionResult(
+                outcome=FetchOutcome.MISFETCH,
+                cause=PenaltyCause.BTB_MISFETCH,
+                penalty_slots=self.misfetch_penalty_slots,
+                wrong_path_start=fall_through,
+                wrong_path_delay=0,
+                wrong_path_slots=self.misfetch_penalty_slots,
+                pht_index=None,
+                predicted_taken=None,
+            )
+        return self._result_correct(None, None)
+
+    def _predict_dynamic_target(
+        self, pc: int, actual_target: int, fall_through: int, via_ras: bool
+    ) -> PredictionResult:
+        """Shared path for returns and indirect calls (dynamic targets)."""
+        predicted: int | None = None
+        if via_ras and self.ras is not None:
+            predicted = self.ras.pop()
+        if predicted is None:
+            entry = self.btb.lookup(pc)
+            predicted = entry.target if entry is not None else None
+        self.btb.insert(pc, actual_target)
+        if predicted is None:
+            self._charge(PenaltyCause.BTB_MISFETCH, self.misfetch_penalty_slots)
+            return PredictionResult(
+                outcome=FetchOutcome.MISFETCH,
+                cause=PenaltyCause.BTB_MISFETCH,
+                penalty_slots=self.misfetch_penalty_slots,
+                wrong_path_start=fall_through,
+                wrong_path_delay=0,
+                wrong_path_slots=self.misfetch_penalty_slots,
+                pht_index=None,
+                predicted_taken=None,
+            )
+        if predicted == actual_target:
+            return self._result_correct(None, None)
+        self._charge(PenaltyCause.BTB_MISPREDICT, self.mispredict_penalty_slots)
+        return PredictionResult(
+            outcome=FetchOutcome.MISPREDICT,
+            cause=PenaltyCause.BTB_MISPREDICT,
+            penalty_slots=self.mispredict_penalty_slots,
+            wrong_path_start=predicted,
+            wrong_path_delay=0,
+            wrong_path_slots=self.mispredict_penalty_slots,
+            pht_index=None,
+            predicted_taken=None,
+        )
+
+    def _predict_return(
+        self, pc: int, actual_target: int, fall_through: int
+    ) -> PredictionResult:
+        self.stats.unconditional += 1
+        return self._predict_dynamic_target(pc, actual_target, fall_through, True)
+
+    def _predict_indirect(
+        self, pc: int, actual_target: int, fall_through: int
+    ) -> PredictionResult:
+        self.stats.unconditional += 1
+        if self.ras is not None:
+            # Indirect *calls* push their return address.
+            self.ras.push(fall_through)
+        return self._predict_dynamic_target(pc, actual_target, fall_through, False)
+
+    def notify_call(self, return_address: int) -> None:
+        """Tell the RAS (if present) that a direct call was fetched."""
+        if self.ras is not None:
+            self.ras.push(return_address)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, pht_index: int | None, taken: bool, pc: int | None = None) -> None:
+        """Resolve one conditional branch: update counters and history.
+
+        The paper's architecture delays both updates to resolution; the
+        engine calls this when the branch's resolve time is reached.  For
+        coupled designs the direction state lives in the BTB entry, so
+        *pc* locates it; decoupled designs update the PHT at the
+        prediction-time *pht_index*.
+        """
+        if self.coupled:
+            if pc is not None:
+                self.btb.update_counter(pc, taken)
+        elif pht_index is not None:
+            self.pht.update(pht_index, taken)
+        self.history.shift_in(taken)
+
+    # -- wrong-path (speculative, read-only) probes ---------------------------
+
+    def peek_direction(self, pc: int) -> bool:
+        """Direction prediction without touching predictor state."""
+        if self.coupled:
+            entry = self.btb.peek(pc)
+            if entry is not None:
+                return self.btb.counter_predicts_taken(entry)
+            return self.static_fallback.predict(pc, None)
+        idx = self.pht.index(pc, self.history.snapshot())
+        return self.pht.table.predict(idx)
+
+    def peek_target(self, pc: int) -> int | None:
+        """BTB target without touching LRU/statistics."""
+        entry = self.btb.peek(pc)
+        return entry.target if entry is not None else None
+
+    def reset(self) -> None:
+        """Clear all predictor state and statistics."""
+        self.btb.reset()
+        self.pht.reset()
+        self.history.reset()
+        if self.ras is not None:
+            self.ras.reset()
+        self.stats = BranchStats()
+
+
+def make_paper_branch_unit(
+    btb_entries: int = 64,
+    btb_assoc: int = 4,
+    pht_entries: int = 512,
+    history_bits: int | None = None,
+    coupled: bool = False,
+    speculative_btb_update: bool = True,
+    use_ras: bool = False,
+    ras_depth: int = 8,
+) -> BranchUnit:
+    """Build the paper's branch architecture (defaults = §4.1).
+
+    ``history_bits`` defaults to log2(pht_entries), the natural gshare
+    sizing (9 bits for the paper's 512-entry PHT).
+    """
+    from repro.branch.pht import GsharePHT
+
+    if history_bits is None:
+        history_bits = max(1, pht_entries.bit_length() - 1)
+    if pht_entries & (pht_entries - 1):
+        raise ConfigError(f"PHT entries must be a power of two, got {pht_entries}")
+    return BranchUnit(
+        btb=BranchTargetBuffer(entries=btb_entries, assoc=btb_assoc),
+        pht=GsharePHT(pht_entries),
+        history=GlobalHistory(history_bits),
+        coupled=coupled,
+        speculative_btb_update=speculative_btb_update,
+        ras=ReturnAddressStack(ras_depth) if use_ras else None,
+    )

@@ -1,0 +1,25 @@
+"""Instruction-cache substrate.
+
+Blocking tag-store model of the paper's I-caches (8K/32K direct-mapped,
+32-byte lines; associativity available for ablations), with the
+first-reference bits needed by next-line prefetching and the shadow-cache
+miss classifier behind the paper's Table 4.
+"""
+
+from repro.cache.classify import (
+    MissClassCounts,
+    MissClassification,
+    MissClassifier,
+)
+from repro.cache.icache import CacheStats, InstructionCache, LineOrigin
+from repro.cache.l2 import SecondLevelCache
+
+__all__ = [
+    "CacheStats",
+    "InstructionCache",
+    "LineOrigin",
+    "MissClassCounts",
+    "MissClassification",
+    "MissClassifier",
+    "SecondLevelCache",
+]

@@ -1,0 +1,217 @@
+"""Instruction cache model.
+
+The paper simulates blocking, direct-mapped I-caches (8K and 32K) with
+32-byte lines.  We implement a general set-associative cache with LRU so
+associativity can be ablated, with a fast path for the direct-mapped
+configuration the paper uses.
+
+Each resident line carries:
+
+* a **first-reference bit**, set when the line is loaded and cleared on the
+  first subsequent fetch from it — the trigger condition of the paper's
+  "maximal fetchahead and first time referenced" next-line prefetcher;
+* a **provenance** tag recording *why* the line was loaded (right-path
+  demand, wrong-path fill, prefetch), used to account prefetch usefulness
+  and wrong-path pollution.
+
+Timing (when a fill completes, who waits for the bus) is owned by the
+engine; the cache itself is a purely functional tag store.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class LineOrigin(enum.Enum):
+    """Why a resident line was brought into the cache."""
+
+    DEMAND_RIGHT = "demand_right"
+    DEMAND_WRONG = "demand_wrong"
+    PREFETCH = "prefetch"
+
+
+@dataclass(slots=True)
+class _Way:
+    tag: int
+    first_ref: bool
+    origin: LineOrigin
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Access statistics (demand probes only; fills counted separately)."""
+
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    prefetch_hits: int = 0  # demand hits on lines whose origin is PREFETCH
+    wrongpath_hits: int = 0  # demand hits on lines filled from a wrong path
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per probe (0.0 when nothing was probed)."""
+        return self.misses / self.probes if self.probes else 0.0
+
+
+class InstructionCache:
+    """Set-associative I-cache tag store with LRU replacement."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_size: int = 32,
+        assoc: int = 1,
+    ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(f"line size must be a power of two, got {line_size}")
+        if size_bytes <= 0 or size_bytes % line_size:
+            raise ConfigError(
+                f"cache size {size_bytes} not a multiple of line size {line_size}"
+            )
+        n_lines = size_bytes // line_size
+        if assoc < 1 or n_lines % assoc:
+            raise ConfigError(
+                f"{n_lines} lines not divisible into {assoc}-way sets"
+            )
+        n_sets = n_lines // assoc
+        if n_sets & (n_sets - 1):
+            raise ConfigError(f"set count {n_sets} must be a power of two")
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = n_sets
+        self.set_mask = n_sets - 1
+        self._set_shift = n_sets.bit_length() - 1
+        self.stats = CacheStats()
+        if assoc == 1:
+            # Direct-mapped fast path: flat arrays indexed by set.
+            self._tags: list[int] = [-1] * n_sets
+            self._first_ref: list[bool] = [False] * n_sets
+            self._origins: list[LineOrigin | None] = [None] * n_sets
+            self._sets = None
+        else:
+            self._sets: list[list[_Way]] | None = [[] for _ in range(n_sets)]
+            self._tags = []
+            self._first_ref = []
+            self._origins = []
+
+    # -- lookup ---------------------------------------------------------------
+
+    def contains(self, line: int) -> bool:
+        """Tag check only — no statistics, no LRU update."""
+        set_idx = line & self.set_mask
+        tag = line >> self._set_shift
+        if self.assoc == 1:
+            return self._tags[set_idx] == tag
+        return any(way.tag == tag for way in self._sets[set_idx])
+
+    def probe(self, line: int) -> bool:
+        """Demand access: returns hit?, updates statistics and LRU."""
+        self.stats.probes += 1
+        set_idx = line & self.set_mask
+        tag = line >> self._set_shift
+        if self.assoc == 1:
+            if self._tags[set_idx] == tag:
+                self.stats.hits += 1
+                origin = self._origins[set_idx]
+                if origin is LineOrigin.PREFETCH:
+                    self.stats.prefetch_hits += 1
+                elif origin is LineOrigin.DEMAND_WRONG:
+                    self.stats.wrongpath_hits += 1
+                return True
+            self.stats.misses += 1
+            return False
+        ways = self._sets[set_idx]
+        for i, way in enumerate(ways):
+            if way.tag == tag:
+                ways.append(ways.pop(i))
+                self.stats.hits += 1
+                if way.origin is LineOrigin.PREFETCH:
+                    self.stats.prefetch_hits += 1
+                elif way.origin is LineOrigin.DEMAND_WRONG:
+                    self.stats.wrongpath_hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    # -- fill -----------------------------------------------------------------
+
+    def fill(self, line: int, origin: LineOrigin) -> None:
+        """Install *line*; sets the first-reference bit; evicts LRU."""
+        set_idx = line & self.set_mask
+        tag = line >> self._set_shift
+        self.stats.fills += 1
+        if self.assoc == 1:
+            if self._tags[set_idx] != -1 and self._tags[set_idx] != tag:
+                self.stats.evictions += 1
+            self._tags[set_idx] = tag
+            self._first_ref[set_idx] = True
+            self._origins[set_idx] = origin
+            return
+        ways = self._sets[set_idx]
+        for i, way in enumerate(ways):
+            if way.tag == tag:
+                # Refill of a resident line (e.g. racing prefetch): refresh.
+                way.first_ref = True
+                way.origin = origin
+                ways.append(ways.pop(i))
+                return
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+            self.stats.evictions += 1
+        ways.append(_Way(tag=tag, first_ref=True, origin=origin))
+
+    # -- first-reference bit (prefetch trigger) --------------------------------
+
+    def test_and_clear_first_ref(self, line: int) -> bool:
+        """If *line* is resident with its first-ref bit set: clear it and
+        return True (i.e. "this fetch should trigger a next-line prefetch")."""
+        set_idx = line & self.set_mask
+        tag = line >> self._set_shift
+        if self.assoc == 1:
+            if self._tags[set_idx] == tag and self._first_ref[set_idx]:
+                self._first_ref[set_idx] = False
+                return True
+            return False
+        for way in self._sets[set_idx]:
+            if way.tag == tag:
+                if way.first_ref:
+                    way.first_ref = False
+                    return True
+                return False
+        return False
+
+    def reset(self) -> None:
+        """Empty the cache and clear statistics."""
+        if self.assoc == 1:
+            self._tags = [-1] * self.n_sets
+            self._first_ref = [False] * self.n_sets
+            self._origins = [None] * self.n_sets
+        else:
+            self._sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def resident_lines(self) -> set[int]:
+        """The set of currently resident line numbers (diagnostics)."""
+        lines: set[int] = set()
+        if self.assoc == 1:
+            for set_idx, tag in enumerate(self._tags):
+                if tag != -1:
+                    lines.add((tag << self._set_shift) | set_idx)
+            return lines
+        for set_idx, ways in enumerate(self._sets):
+            for way in ways:
+                lines.add((way.tag << self._set_shift) | set_idx)
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"InstructionCache(size={self.size_bytes}, line={self.line_size}, "
+            f"assoc={self.assoc})"
+        )

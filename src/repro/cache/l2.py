@@ -1,0 +1,85 @@
+"""A second-level cache between the I-cache and memory.
+
+The paper evaluates fixed 5-cycle ("on-chip hierarchy of caches") and
+20-cycle ("off-chip") miss penalties and concludes the best fetch policy
+depends on which regime you are in.  A unified second level makes that
+regime *endogenous*: an L1 miss costs the L2 hit time when the line is
+L2-resident and the full memory latency otherwise, so one simulation
+naturally mixes the paper's two regimes.  The ``extension_l2`` experiment
+uses this to show both of the paper's recommendations emerging from a
+single machine.
+
+The L2 is a tag store only (it reuses :class:`InstructionCache`), indexed
+by L1 line number; every L1 fill — demand, wrong-path, or prefetch — goes
+through :meth:`access`, which also allocates into the L2 (so wrong-path
+traffic pollutes the L2 as well, a second-order effect the paper could
+not observe).
+"""
+
+from __future__ import annotations
+
+from repro.cache.icache import InstructionCache, LineOrigin
+from repro.errors import ConfigError
+
+
+class SecondLevelCache:
+    """Unified L2 tag store with fixed hit/miss service times."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_size: int = 32,
+        assoc: int = 4,
+        hit_cycles: int = 5,
+        miss_cycles: int = 20,
+    ) -> None:
+        if hit_cycles < 1:
+            raise ConfigError(f"L2 hit time must be >= 1 cycle, got {hit_cycles}")
+        if miss_cycles < hit_cycles:
+            raise ConfigError(
+                f"memory latency ({miss_cycles}) must be >= the L2 hit "
+                f"time ({hit_cycles})"
+            )
+        self._tags = InstructionCache(size_bytes, line_size=line_size, assoc=assoc)
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """L2 capacity in bytes."""
+        return self._tags.size_bytes
+
+    def access(self, line: int) -> int:
+        """Service one L1 fill request; returns the latency in cycles.
+
+        A miss allocates the line (fetched from memory into both levels).
+        """
+        if self._tags.probe(line):
+            self.hits += 1
+            return self.hit_cycles
+        self._tags.fill(line, LineOrigin.DEMAND_RIGHT)
+        self.misses += 1
+        return self.miss_cycles
+
+    def contains(self, line: int) -> bool:
+        """Tag check without statistics or allocation."""
+        return self._tags.contains(line)
+
+    @property
+    def hit_rate(self) -> float:
+        """L2 hits per L2 access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Clear hit/miss counters (keeps contents; warmup boundary)."""
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SecondLevelCache(size={self.size_bytes}, "
+            f"hit={self.hit_cycles}cyc, miss={self.miss_cycles}cyc)"
+        )

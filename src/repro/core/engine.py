@@ -1,0 +1,573 @@
+"""The speculative front-end fetch engine.
+
+This is the paper's simulator: a cycle-approximate model of a 4-wide fetch
+unit running a correct-path trace through a blocking I-cache, with branch
+redirect windows during which the machine fetches down wrong paths, and
+with one of the five fetch policies deciding what happens to I-cache
+misses encountered there.
+
+Time is measured in *issue slots* (1 cycle = ``issue_width`` slots).  Each
+correct-path instruction consumes one slot; every stall charges its slots
+to exactly one ISPI component (see :mod:`repro.core.results`).  The paper's
+assumptions are kept: perfect pipelining below fetch, no data-cache
+interference, no alignment losses.
+
+The timeline of one control transfer fetched at slot ``t_br``:
+
+====================  =====================================================
+event                 slot
+====================  =====================================================
+decode                ``t_br + decode_latency``   (misfetch redirect point)
+resolution            ``t_br + resolve_latency``  (mispredict redirect)
+wrong-path window     ``[t_br + 1 + delay, t_br + 1 + penalty)``
+correct-path resumes  ``t_br + 1 + penalty`` (later if a wrong-path fill
+                      blocks past the window — Optimistic's wrong_icache)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.branch.unit import BranchUnit, FetchOutcome
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.history import GlobalHistory
+from repro.branch.pht import make_pht
+from repro.branch.ras import ReturnAddressStack
+from repro.cache.classify import MissClassifier
+from repro.cache.icache import InstructionCache, LineOrigin
+from repro.cache.l2 import SecondLevelCache
+from repro.config import FetchPolicy, SimConfig
+from repro.core.results import (
+    EngineCounters,
+    PenaltyAccumulator,
+    SimulationResult,
+)
+from repro.core.wrongpath import iter_wrong_path_lines
+from repro.errors import SimulationError
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.memory.bus import MemoryBus
+from repro.memory.pending import FillOrigin, PendingFillStation
+from repro.memory.prefetcher import NextLinePrefetcher
+from repro.memory.streambuffer import StreamBufferUnit
+from repro.program.program import Program
+from repro.trace.event import Trace
+
+_PLAIN = int(InstrKind.PLAIN)
+_COND = int(InstrKind.COND_BRANCH)
+_CALL = int(InstrKind.CALL)
+
+
+def build_branch_unit(config: SimConfig) -> BranchUnit:
+    """Construct the branch unit described by *config*."""
+    branch = config.branch
+    return BranchUnit(
+        btb=BranchTargetBuffer(entries=branch.btb_entries, assoc=branch.btb_assoc),
+        pht=make_pht(branch.pht_kind, branch.pht_entries),
+        history=GlobalHistory(branch.effective_history_bits),
+        coupled=branch.coupled,
+        speculative_btb_update=branch.speculative_btb_update,
+        ras=ReturnAddressStack(branch.ras_depth) if branch.use_ras else None,
+        misfetch_penalty_slots=config.misfetch_penalty_slots,
+        mispredict_penalty_slots=config.mispredict_penalty_slots,
+    )
+
+
+class FetchEngine:
+    """One simulation instance: program + configuration."""
+
+    def __init__(self, program: Program, config: SimConfig) -> None:
+        self.program = program
+        self.config = config
+        self.policy = config.policy
+        self.unit = build_branch_unit(config)
+        interleave = (
+            None
+            if config.bus_interleave_cycles is None
+            else config.bus_interleave_cycles * config.issue_width
+        )
+        self.bus = MemoryBus(interleave_slots=interleave)
+        self.station = PendingFillStation(capacity=config.fill_buffers)
+        self.l2 = (
+            SecondLevelCache(
+                config.l2_size_bytes,
+                line_size=config.cache.line_size,
+                assoc=config.l2_assoc,
+                hit_cycles=config.l2_hit_cycles,
+                miss_cycles=config.miss_penalty_cycles,
+            )
+            if config.l2_size_bytes is not None and not config.perfect_cache
+            else None
+        )
+        if config.perfect_cache:
+            self.cache: InstructionCache | None = None
+            self.prefetcher: NextLinePrefetcher | None = None
+        else:
+            self.cache = InstructionCache(
+                config.cache.size_bytes,
+                line_size=config.cache.line_size,
+                assoc=config.cache.assoc,
+            )
+            self.prefetcher = (
+                NextLinePrefetcher(
+                    self.cache,
+                    self.bus,
+                    self.station,
+                    self._fill_duration,
+                    variant=config.prefetch_variant,
+                    next_line_enabled=config.prefetch,
+                )
+                if config.prefetch or config.target_prefetch
+                else None
+            )
+        self.streams = (
+            StreamBufferUnit(
+                self.bus,
+                n_buffers=config.stream_buffers,
+                depth=config.stream_buffer_depth,
+                penalty_slots=self._fill_duration,
+            )
+            if config.stream_buffers and not config.perfect_cache
+            else None
+        )
+        self.classifier = (
+            MissClassifier(
+                config.cache.size_bytes,
+                line_size=config.cache.line_size,
+                assoc=config.cache.assoc,
+            )
+            if config.classify and not config.perfect_cache
+            else None
+        )
+        self.penalties = PenaltyAccumulator()
+        self.counters = EngineCounters()
+        # Unresolved conditional branches, in fetch order:
+        # (resolve_at_slot, pht_index, actual_taken, branch_pc).
+        self._unresolved: deque[tuple[int, int | None, bool, int]] = deque()
+        # Cached geometry / latencies.
+        self._line_shift = config.cache.line_size.bit_length() - 1
+        self._per_line = config.cache.line_size // INSTRUCTION_SIZE
+        self._penalty_slots = config.miss_penalty_slots
+        self._decode_slots = config.decode_latency_slots
+        self._resolve_slots = config.resolve_latency_slots
+        self._max_unresolved = config.max_unresolved
+        self._fetchahead = (
+            config.fetchahead_distance
+            if config.prefetch and config.prefetch_variant == "fetchahead"
+            else 0
+        )
+
+    def _fill_duration(self, line: int) -> int:
+        """Service time (slots) for one line fill, touching the L2.
+
+        Without an L2 this is the flat miss penalty; with one, the L2 is
+        probed (and on a miss, allocated), so the duration is the L2 hit
+        time or the memory latency.  Must be called exactly once per
+        issued fill request.
+        """
+        if self.l2 is None:
+            return self._penalty_slots
+        return self.l2.access(line) * self.config.issue_width
+
+    # -- resolution bookkeeping ------------------------------------------------
+
+    def _apply_resolutions(self, now: int) -> None:
+        """Resolve every queued branch whose resolve time has passed."""
+        queue = self._unresolved
+        unit = self.unit
+        while queue and queue[0][0] <= now:
+            _, pht_index, taken, pc = queue.popleft()
+            unit.resolve(pht_index, taken, pc=pc)
+
+    def _depth_gate(self, t: int) -> int:
+        """Stall (branch_full) until an unresolved-branch slot is free."""
+        self._apply_resolutions(t)
+        queue = self._unresolved
+        if len(queue) < self._max_unresolved:
+            return t
+        head = queue[0][0]
+        if head > t:
+            self.penalties.branch_full += head - t
+            t = head
+        self._apply_resolutions(t)
+        return t
+
+    # -- right-path fetch --------------------------------------------------------
+
+    def _fetch_right_line(self, line: int, t: int) -> int:
+        """Probe *line* on the correct path at slot *t*; return the slot at
+        which instructions from it can issue (>= t after any stalls)."""
+        cache = self.cache
+        if cache is None:
+            return t
+        station = self.station
+        station.drain(t, cache)
+        hit = cache.probe(line)
+        self.counters.right_probes += 1
+        if self.classifier is not None:
+            self.classifier.right_path_access(line, hit)
+        if hit:
+            if self.prefetcher is not None:
+                self.prefetcher.on_line_fetch(line, t)
+            if self.streams is not None:
+                # Demand accesses take priority on the channel; streams
+                # refill their FIFOs during hit cycles.
+                self.streams.pump(t)
+            return t
+        self.counters.right_misses += 1
+        penalties = self.penalties
+        inflight_done = station.done_at(line)
+        if inflight_done is not None:
+            # The very line is already in flight (wrong-path fill or
+            # prefetch): wait for it instead of issuing a duplicate
+            # request — the paper's resume-buffer index check.
+            penalties.bus += inflight_done - t
+            t = inflight_done
+            station.drain(t, cache)
+            self.counters.inflight_merges += 1
+            if self.prefetcher is not None:
+                self.prefetcher.on_line_fetch(line, t)
+            return t
+        if self.streams is not None:
+            # Jouppi stream buffers: a head hit supplies the line without
+            # a memory request, waiting only out any remaining flight
+            # time.  No conservative guard applies — the line is already
+            # on chip, so no (possibly wrong-path) memory fetch is risked.
+            available_at = self.streams.probe(line, t)
+            if available_at is not None:
+                penalties.rt_icache += available_at - t
+                t = available_at
+                cache.fill(line, LineOrigin.PREFETCH)
+                if self.classifier is not None:
+                    self.classifier.optimistic_fill()
+                self.streams.pump(t)
+                if self.prefetcher is not None:
+                    self.prefetcher.on_line_fetch(line, t)
+                return t
+        policy = self.policy
+        if policy is FetchPolicy.PESSIMISTIC or policy is FetchPolicy.DECODE:
+            # The conservative tax: the previous instruction (fetched at
+            # t - 1) must decode; Pessimistic additionally waits for every
+            # outstanding branch to resolve.
+            guard = t - 1 + self._decode_slots
+            if policy is FetchPolicy.PESSIMISTIC and self._unresolved:
+                last_resolve = self._unresolved[-1][0]
+                if last_resolve > guard:
+                    guard = last_resolve
+            if guard > t:
+                penalties.force_resolve += guard - t
+                t = guard
+                self._apply_resolutions(t)
+        duration = self._fill_duration(line)
+        start, done = self.bus.request(t, duration)
+        if start > t:
+            penalties.bus += start - t
+            t = start
+        penalties.rt_icache += duration
+        t = done
+        station.drain(t, cache)
+        cache.fill(line, LineOrigin.DEMAND_RIGHT)
+        self.counters.right_fills += 1
+        if self.classifier is not None:
+            self.classifier.optimistic_fill()
+        if self.streams is not None:
+            # A full miss (re)allocates a stream at the next line; the
+            # bus just freed, so the first stream prefetch can start now.
+            self.streams.allocate(line, t)
+            self.streams.pump(t)
+        if self.prefetcher is not None:
+            self.prefetcher.on_demand_fill(line, t)
+            self.prefetcher.on_line_fetch(line, t)
+        return t
+
+    def _issue_run(self, pc: int, n: int, t: int) -> int:
+        """Issue *n* sequential correct-path instructions starting at *pc*."""
+        per_line = self._per_line
+        shift = self._line_shift
+        fetchahead = self._fetchahead
+        while n > 0:
+            line = pc >> shift
+            in_line = per_line - (pc // INSTRUCTION_SIZE) % per_line
+            chunk = in_line if in_line < n else n
+            t = self._fetch_right_line(line, t)
+            if fetchahead and in_line - chunk < fetchahead:
+                # Smith & Hsu trigger: fetch reached within the fetchahead
+                # distance of the line's end.
+                self.prefetcher.on_line_end_near(line, t)
+            t += chunk
+            pc += chunk * INSTRUCTION_SIZE
+            n -= chunk
+        return t
+
+    # -- wrong-path fetch ----------------------------------------------------------
+
+    def _walk_wrong_path(
+        self,
+        start_pc: int | None,
+        window_start: int,
+        window_end: int,
+        outcome: FetchOutcome,
+    ) -> int:
+        """Fetch down the wrong path during a redirect window.
+
+        Returns the slot at which correct-path fetch resumes — the window
+        end, or later when a blocking policy is still waiting on a
+        wrong-path fill (that overshoot is the ``wrong_icache`` component).
+        """
+        if start_pc is None or window_start >= window_end:
+            return window_end
+        cache = self.cache
+        if cache is None:
+            return window_end
+        policy = self.policy
+        if policy is FetchPolicy.OPTIMISTIC:
+            fills, blocking = True, True
+        elif policy is FetchPolicy.RESUME:
+            fills, blocking = True, False
+        elif policy is FetchPolicy.DECODE:
+            # Decode's guard catches misfetches (the redirect arrives with
+            # the decode it was waiting for) but not mispredicts.
+            fills, blocking = outcome is FetchOutcome.MISPREDICT, True
+        else:  # ORACLE, PESSIMISTIC
+            fills, blocking = False, False
+
+        station = self.station
+        counters = self.counters
+        penalties = self.penalties
+        prefetcher = self.prefetcher
+        cur = window_start
+        for line, n in iter_wrong_path_lines(
+            self.program.image,
+            self.unit,
+            start_pc,
+            window_end - window_start,
+            self.config.cache.line_size,
+        ):
+            if cur >= window_end:
+                break
+            station.drain(cur, cache)
+            counters.wrong_probes += 1
+            if cache.contains(line):
+                if prefetcher is not None:
+                    prefetcher.on_line_fetch(line, cur)
+                counters.wrong_instructions += n
+                cur += n
+                continue
+            counters.wrong_misses += 1
+            if self.classifier is not None:
+                self.classifier.wrong_path_miss()
+            inflight_done = station.done_at(line)
+            if inflight_done is not None:
+                # This very line is already in flight (e.g. a prefetch).
+                if blocking and fills:
+                    if inflight_done >= window_end:
+                        penalties.wrong_icache += inflight_done - window_end
+                        return inflight_done
+                    cur = inflight_done
+                    station.drain(cur, cache)
+                    counters.wrong_instructions += n
+                    cur += n
+                    continue
+                if policy is FetchPolicy.RESUME and inflight_done < window_end:
+                    cur = inflight_done
+                    station.drain(cur, cache)
+                    counters.wrong_instructions += n
+                    cur += n
+                    continue
+                break  # redirect (or idle) until the window ends
+            if not fills:
+                break  # conservative policies idle out the window
+            if policy is FetchPolicy.RESUME and station.busy(cur):
+                # The single background-fill buffer is occupied; a second
+                # outstanding background fill cannot be started.
+                break
+            request_at = cur + (self._decode_slots if policy is FetchPolicy.DECODE else 0)
+            _, done = self.bus.request(request_at, self._fill_duration(line))
+            counters.wrong_fills += 1
+            if self.classifier is not None:
+                self.classifier.optimistic_fill()
+            if blocking:
+                cache.fill(line, LineOrigin.DEMAND_WRONG)
+                if done >= window_end:
+                    penalties.wrong_icache += done - window_end
+                    return done
+                cur = done
+                if prefetcher is not None:
+                    prefetcher.on_line_fetch(line, cur)
+                counters.wrong_instructions += n
+                cur += n
+                continue
+            # Resume: never stall past the window.
+            if done <= window_end:
+                cache.fill(line, LineOrigin.DEMAND_WRONG)
+                cur = done
+                if prefetcher is not None:
+                    prefetcher.on_line_fetch(line, cur)
+                counters.wrong_instructions += n
+                cur += n
+                continue
+            station.start(line, done, FillOrigin.WRONG_PATH)
+            break
+        return window_end
+
+    # -- measurement warmup ---------------------------------------------------------
+
+    def _reset_measurement(self) -> None:
+        """Zero all statistics while keeping architectural state.
+
+        Used at the end of the warmup window: the caches, predictors, and
+        the slot clock keep their contents (that is the point of warming
+        up); only the measured counters restart.  This mirrors the paper's
+        effectively-warm measurements (its traces are billions of
+        instructions, so compulsory misses are negligible there).
+        """
+        self.penalties = PenaltyAccumulator()
+        self.counters = EngineCounters()
+        self.unit.stats = type(self.unit.stats)()
+        if self.cache is not None:
+            self.cache.stats = type(self.cache.stats)()
+        if self.prefetcher is not None:
+            self.prefetcher.reset()
+        if self.classifier is not None:
+            self.classifier.counts = type(self.classifier.counts)()
+        if self.streams is not None:
+            self.streams.reset_stats()
+        if self.l2 is not None:
+            self.l2.reset_stats()
+        self.bus.requests = 0
+        self.bus.busy_wait_slots = 0
+
+    # -- the main loop ------------------------------------------------------------
+
+    def run(self, trace: Trace, warmup_instructions: int = 0) -> SimulationResult:
+        """Simulate *trace*; statistics restart after *warmup_instructions*.
+
+        The warmup prefix is simulated in full (it populates the caches and
+        predictors) but excluded from every reported metric.
+        """
+        if trace.program_name != self.program.name:
+            raise SimulationError(
+                f"trace is for {trace.program_name!r}, "
+                f"engine built for {self.program.name!r}"
+            )
+        if warmup_instructions < 0:
+            raise SimulationError(
+                f"negative warmup {warmup_instructions}"
+            )
+        if warmup_instructions >= trace.n_instructions:
+            raise SimulationError(
+                f"warmup {warmup_instructions} consumes the whole trace "
+                f"({trace.n_instructions} instructions)"
+            )
+        image = self.program.image
+        targets = image.targets_list
+        base = image.base
+        counters = self.counters
+        penalties = self.penalties
+        unit = self.unit
+        resolve_slots = self._resolve_slots
+        unresolved = self._unresolved
+        warm_left = warmup_instructions
+        t = 0
+        for record in trace.records:
+            start, length, kind, taken, next_pc = record
+            if warm_left > 0:
+                warm_left -= length
+                if warm_left <= 0:
+                    self._reset_measurement()
+                    counters = self.counters
+                    penalties = self.penalties
+            counters.blocks += 1
+            counters.instructions += length
+            if kind == _COND:
+                if length > 1:
+                    t = self._issue_run(start, length - 1, t)
+                t = self._depth_gate(t)
+                term_addr = start + (length - 1) * INSTRUCTION_SIZE
+                t = self._issue_run(term_addr, 1, t)
+            else:
+                t = self._issue_run(start, length, t)
+                term_addr = start + (length - 1) * INSTRUCTION_SIZE
+            if kind == _PLAIN:
+                continue
+            t_br = t - 1
+            self._apply_resolutions(t_br)
+            ctrl_idx = (term_addr - base) // INSTRUCTION_SIZE
+            raw_target = targets[ctrl_idx]
+            static_target = None if raw_target < 0 else raw_target
+            fall = term_addr + INSTRUCTION_SIZE
+            result = unit.predict(
+                term_addr, InstrKind(kind), static_target, taken, next_pc, fall
+            )
+            if kind == _CALL:
+                unit.notify_call(fall)
+            if kind == _COND:
+                unresolved.append(
+                    (t_br + resolve_slots, result.pht_index, taken, term_addr)
+                )
+                if (
+                    self.config.target_prefetch
+                    and self.prefetcher is not None
+                    and static_target is not None
+                    and result.predicted_taken is not None
+                ):
+                    # Target prefetching: fetch the line of the arm the
+                    # prediction did NOT follow (the predicted arm is
+                    # being fetched anyway).
+                    alt = fall if result.predicted_taken else static_target
+                    self.prefetcher.prefetch_target(
+                        alt >> self._line_shift, t_br + 1
+                    )
+            if result.outcome is FetchOutcome.CORRECT:
+                continue
+            penalties.branch += result.penalty_slots
+            window_start = t_br + 1 + result.wrong_path_delay
+            window_end = t_br + 1 + result.penalty_slots
+            t = self._walk_wrong_path(
+                result.wrong_path_start, window_start, window_end, result.outcome
+            )
+        self._apply_resolutions(t + resolve_slots)
+        return self._build_result(trace)
+
+    def _build_result(self, trace: Trace) -> SimulationResult:
+        counters = self.counters
+        if self.prefetcher is not None:
+            counters.prefetches = self.prefetcher.issued
+            counters.target_prefetches = self.prefetcher.target_issued
+        if self.streams is not None:
+            counters.stream_prefetches = self.streams.prefetches
+            counters.stream_hits = self.streams.head_hits
+        if self.l2 is not None:
+            counters.l2_hits = self.l2.hits
+            counters.l2_misses = self.l2.misses
+        if self.cache is not None:
+            counters.prefetch_hits = self.cache.stats.prefetch_hits
+        classification = None
+        if self.classifier is not None:
+            classification = self.classifier.finalize(
+                self.program.name, counters.instructions
+            )
+        return SimulationResult(
+            program=self.program.name,
+            config=self.config,
+            penalties=self.penalties,
+            counters=counters,
+            branch_stats=self.unit.stats,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            classification=classification,
+            metadata={
+                "trace_instructions": trace.n_instructions,
+                "trace_blocks": trace.n_blocks,
+                "trace_seed": trace.seed,
+            },
+        )
+
+
+def simulate(
+    program: Program,
+    trace: Trace,
+    config: SimConfig,
+    warmup: int = 0,
+) -> SimulationResult:
+    """Build a fresh engine and run *trace* under *config*."""
+    return FetchEngine(program, config).run(trace, warmup_instructions=warmup)

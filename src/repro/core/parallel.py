@@ -1,0 +1,130 @@
+"""Multi-process simulation sweeps.
+
+Experiment sweeps are embarrassingly parallel across benchmarks (each
+(program, trace) pair is independent), and the pure-Python engine is
+CPU-bound, so a process pool gives near-linear speedups for the big
+tables.  Jobs are grouped by benchmark so each worker builds a workload
+and generates its trace once, then replays it through all of that
+benchmark's configurations — the same amortisation the in-process
+:class:`~repro.core.runner.SimulationRunner` gets from its caches.
+
+Determinism is preserved: a parallel sweep returns bit-identical results
+to the serial runner for the same (trace_length, seed, warmup).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.core.results import SimulationResult
+from repro.core.runner import DEFAULT_TRACE_LENGTH, DEFAULT_WARMUP
+from repro.errors import ExperimentError
+
+
+def _run_benchmark_jobs(
+    args: tuple[str, tuple[SimConfig, ...], int, int, int],
+) -> list[SimulationResult]:
+    """Worker: one benchmark, many configurations (runs in a subprocess)."""
+    name, configs, trace_length, warmup, seed = args
+    from repro.program.workloads import build_workload
+    from repro.trace.generator import generate_trace
+
+    # Mirror SimulationRunner exactly: the runner seed perturbs both the
+    # structure and the trace, so serial and parallel sweeps agree.
+    program = build_workload(name, seed=seed)
+    trace = generate_trace(program, trace_length, seed=seed)
+    return [
+        simulate(program, trace, config, warmup=warmup) for config in configs
+    ]
+
+
+class ParallelRunner:
+    """Process-pool counterpart of :class:`SimulationRunner`.
+
+    Presents the same sweep API; results are identical, only wall-clock
+    differs.  Use for full-suite sweeps (Table 5-scale work); for single
+    runs the in-process runner is cheaper.
+    """
+
+    def __init__(
+        self,
+        trace_length: int = DEFAULT_TRACE_LENGTH,
+        seed: int = 1995,
+        warmup: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if trace_length < 1:
+            raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
+        if warmup is None:
+            warmup = min(DEFAULT_WARMUP, trace_length // 4)
+        if not 0 <= warmup < trace_length:
+            raise ExperimentError(
+                f"warmup {warmup} must lie in [0, trace_length={trace_length})"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ExperimentError(f"max_workers must be >= 1: {max_workers}")
+        self.trace_length = trace_length
+        self.seed = seed
+        self.warmup = warmup
+        self.max_workers = max_workers
+
+    def run_jobs(
+        self, jobs: Iterable[tuple[str, SimConfig]]
+    ) -> list[SimulationResult]:
+        """Run ``(benchmark, config)`` jobs; results in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        # Group by benchmark, remembering each job's original position.
+        grouped: dict[str, list[tuple[int, SimConfig]]] = {}
+        for position, (name, config) in enumerate(jobs):
+            grouped.setdefault(name, []).append((position, config))
+        work = [
+            (
+                name,
+                tuple(config for _, config in entries),
+                self.trace_length,
+                self.warmup,
+                self.seed,
+            )
+            for name, entries in grouped.items()
+        ]
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        if self.max_workers == 1 or len(work) == 1:
+            batches = [_run_benchmark_jobs(item) for item in work]
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                batches = list(pool.map(_run_benchmark_jobs, work))
+        for (name, entries), batch in zip(grouped.items(), batches):
+            for (position, _), result in zip(entries, batch):
+                results[position] = result
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise ExperimentError(f"jobs {missing} produced no result")
+        return results  # type: ignore[return-value]
+
+    def run_matrix(
+        self,
+        names: Sequence[str],
+        config: SimConfig,
+        policies: Sequence[FetchPolicy] = ALL_POLICIES,
+    ) -> dict[str, dict[FetchPolicy, SimulationResult]]:
+        """Parallel benchmark x policy matrix (same shape as the serial
+        runner's)."""
+        jobs = [
+            (name, config.with_policy(policy))
+            for name in names
+            for policy in policies
+        ]
+        results = self.run_jobs(jobs)
+        matrix: dict[str, dict[FetchPolicy, SimulationResult]] = {}
+        index = 0
+        for name in names:
+            matrix[name] = {}
+            for policy in policies:
+                matrix[name][policy] = results[index]
+                index += 1
+        return matrix

@@ -1,0 +1,188 @@
+"""Simulation results: ISPI breakdown and event counters.
+
+The paper's primary metric is **ISPI** — instruction issue slots lost per
+correct-path instruction — decomposed into the components of its Figures
+1-4:
+
+* ``branch``       — misfetch/mispredict redirect penalties;
+* ``branch_full``  — stalls because the unresolved-branch limit was hit;
+* ``rt_icache``    — waiting for right-path I-cache fills;
+* ``wrong_icache`` — waiting for wrong-path fills past the redirect point
+  (Optimistic's extra cost);
+* ``bus``          — waiting for the channel because a previously initiated
+  fill or prefetch is still in flight;
+* ``force_resolve``— the conservative policies' wait before they may even
+  start a right-path fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.unit import BranchStats
+from repro.cache.classify import MissClassification
+from repro.cache.icache import CacheStats
+from repro.config import SimConfig
+from repro.errors import SimulationError
+
+#: Penalty components, in the stacking order of the paper's figures
+#: (bottom to top).
+COMPONENTS = (
+    "branch_full",
+    "branch",
+    "rt_icache",
+    "wrong_icache",
+    "bus",
+    "force_resolve",
+)
+
+
+@dataclass(slots=True)
+class PenaltyAccumulator:
+    """Mutable slot counters, one per ISPI component."""
+
+    branch_full: int = 0
+    branch: int = 0
+    rt_icache: int = 0
+    wrong_icache: int = 0
+    bus: int = 0
+    force_resolve: int = 0
+
+    def add(self, component: str, slots: int) -> None:
+        """Charge *slots* to *component* (must be one of COMPONENTS)."""
+        if slots < 0:
+            raise SimulationError(f"negative penalty {slots} for {component}")
+        setattr(self, component, getattr(self, component) + slots)
+
+    def as_dict(self) -> dict[str, int]:
+        """Slot totals keyed by component name."""
+        return {name: getattr(self, name) for name in COMPONENTS}
+
+    @property
+    def total_slots(self) -> int:
+        """Total penalty slots across all components."""
+        return sum(getattr(self, name) for name in COMPONENTS)
+
+
+@dataclass(slots=True)
+class EngineCounters:
+    """Raw event counts from one simulation run."""
+
+    #: Correct-path instructions issued.
+    instructions: int = 0
+    #: Correct-path basic blocks processed.
+    blocks: int = 0
+    #: Right-path line probes / misses.
+    right_probes: int = 0
+    right_misses: int = 0
+    #: Wrong-path line probes / misses (during redirect windows).
+    wrong_probes: int = 0
+    wrong_misses: int = 0
+    #: Demand fills issued from the right / wrong path.
+    right_fills: int = 0
+    wrong_fills: int = 0
+    #: Next-line prefetches issued / demand hits on prefetched lines.
+    prefetches: int = 0
+    prefetch_hits: int = 0
+    #: Target (not-followed-arm) prefetches issued (extension).
+    target_prefetches: int = 0
+    #: Stream-buffer statistics (Jouppi extension): prefetches issued and
+    #: right-path misses served from a buffer head.
+    stream_prefetches: int = 0
+    stream_hits: int = 0
+    #: Second-level cache statistics (L2 extension).
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: Wrong-path instructions fetched inside redirect windows.
+    wrong_instructions: int = 0
+    #: Times a right-path miss found its own line already in flight.
+    inflight_merges: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total line requests sent to the next level."""
+        return (
+            self.right_fills
+            + self.wrong_fills
+            + self.prefetches
+            + self.target_prefetches
+            + self.stream_prefetches
+        )
+
+    @property
+    def right_miss_rate(self) -> float:
+        """Right-path misses per right-path probe."""
+        return self.right_misses / self.right_probes if self.right_probes else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything measured by one engine run."""
+
+    program: str
+    config: SimConfig
+    penalties: PenaltyAccumulator
+    counters: EngineCounters
+    branch_stats: BranchStats
+    cache_stats: CacheStats | None
+    classification: MissClassification | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # -- ISPI ---------------------------------------------------------------
+
+    def ispi(self, component: str) -> float:
+        """Slots lost per correct-path instruction for one component."""
+        n = self.counters.instructions
+        if n == 0:
+            raise SimulationError("no instructions were simulated")
+        return getattr(self.penalties, component) / n
+
+    @property
+    def total_ispi(self) -> float:
+        """Total penalty ISPI (the height of the paper's figure bars)."""
+        n = self.counters.instructions
+        if n == 0:
+            raise SimulationError("no instructions were simulated")
+        return self.penalties.total_slots / n
+
+    def ispi_breakdown(self) -> dict[str, float]:
+        """Per-component ISPI keyed by component name."""
+        return {name: self.ispi(name) for name in COMPONENTS}
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def miss_rate_percent(self) -> float:
+        """Right-path misses per correct-path instruction, in percent."""
+        n = self.counters.instructions
+        return 100.0 * self.counters.right_misses / n if n else 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """Total front-end cycles = (useful + lost slots) / issue width."""
+        slots = self.counters.instructions + self.penalties.total_slots
+        return slots / self.config.issue_width
+
+    def branch_ispi(self, cause: str) -> float:
+        """Branch-penalty ISPI attributed to one cause (Table 3 columns).
+
+        *cause* is one of ``btb_misfetch``, ``pht_mispredict``,
+        ``btb_mispredict``.
+        """
+        n = self.counters.instructions
+        if n == 0:
+            raise SimulationError("no instructions were simulated")
+        try:
+            slots = self.branch_stats.penalty_slots_by_cause[cause]
+        except KeyError:
+            raise SimulationError(f"unknown branch penalty cause {cause!r}") from None
+        return slots / n
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.program:>8} {self.config.policy.label:<6} "
+            f"ISPI={self.total_ispi:.3f} "
+            f"miss={self.miss_rate_percent:.2f}% "
+            f"mem={self.counters.memory_accesses}"
+        )

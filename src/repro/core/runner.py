@@ -1,0 +1,121 @@
+"""High-level simulation runner with workload/trace caching.
+
+Experiments sweep many configurations over the same benchmarks; building a
+program and generating its trace dominates setup cost, so the runner memo-
+izes both per ``(workload, n_instructions, seed)`` and replays the cached
+trace through fresh engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.core.results import SimulationResult
+from repro.errors import ExperimentError
+from repro.program.program import Program
+from repro.trace.event import Trace
+from repro.trace.generator import generate_trace
+
+#: Default dynamic trace length per benchmark.  The paper traces full runs
+#: (10^7..10^9 instructions); intensive metrics converge far earlier for
+#: our synthetic footprints (see DESIGN.md §2).
+DEFAULT_TRACE_LENGTH = 200_000
+
+#: Default measurement warmup: simulated but not measured, so compulsory
+#: misses and predictor training do not pollute steady-state metrics.
+DEFAULT_WARMUP = 50_000
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadRun:
+    """A prepared (program, trace) pair ready to simulate."""
+
+    program: Program
+    trace: Trace
+
+
+class SimulationRunner:
+    """Caches programs/traces and fans configurations out over them."""
+
+    def __init__(
+        self,
+        trace_length: int = DEFAULT_TRACE_LENGTH,
+        seed: int = 1995,
+        warmup: int | None = None,
+    ) -> None:
+        if trace_length < 1:
+            raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
+        if warmup is None:
+            warmup = min(DEFAULT_WARMUP, trace_length // 4)
+        if not 0 <= warmup < trace_length:
+            raise ExperimentError(
+                f"warmup {warmup} must lie in [0, trace_length={trace_length})"
+            )
+        self.trace_length = trace_length
+        self.seed = seed
+        self.warmup = warmup
+        self._programs: dict[str, Program] = {}
+        self._traces: dict[str, Trace] = {}
+
+    # -- workload preparation ---------------------------------------------------
+
+    def program(self, name: str) -> Program:
+        """The (cached) synthetic program for benchmark *name*."""
+        if name not in self._programs:
+            from repro.program.workloads import build_workload
+
+            self._programs[name] = build_workload(name, seed=self.seed)
+        return self._programs[name]
+
+    def trace(self, name: str) -> Trace:
+        """The (cached) dynamic trace for benchmark *name*."""
+        if name not in self._traces:
+            self._traces[name] = generate_trace(
+                self.program(name), self.trace_length, seed=self.seed
+            )
+        return self._traces[name]
+
+    def prepared(self, name: str) -> WorkloadRun:
+        """Program and trace for *name*, building them if needed."""
+        return WorkloadRun(program=self.program(name), trace=self.trace(name))
+
+    # -- simulation -------------------------------------------------------------
+
+    def run(self, name: str, config: SimConfig) -> SimulationResult:
+        """Simulate benchmark *name* under *config* (with warmup)."""
+        prepared = self.prepared(name)
+        return simulate(
+            prepared.program, prepared.trace, config, warmup=self.warmup
+        )
+
+    def run_policies(
+        self,
+        name: str,
+        config: SimConfig,
+        policies: Sequence[FetchPolicy] = ALL_POLICIES,
+    ) -> dict[FetchPolicy, SimulationResult]:
+        """Simulate *name* under each policy (same base config)."""
+        return {
+            policy: self.run(name, config.with_policy(policy))
+            for policy in policies
+        }
+
+    def run_suite(
+        self,
+        names: Iterable[str],
+        config: SimConfig,
+    ) -> dict[str, SimulationResult]:
+        """Simulate each benchmark in *names* under *config*."""
+        return {name: self.run(name, config) for name in names}
+
+    def run_matrix(
+        self,
+        names: Iterable[str],
+        config: SimConfig,
+        policies: Sequence[FetchPolicy] = ALL_POLICIES,
+    ) -> dict[str, dict[FetchPolicy, SimulationResult]]:
+        """The full benchmark x policy matrix for one base config."""
+        return {name: self.run_policies(name, config, policies) for name in names}

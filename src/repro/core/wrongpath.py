@@ -1,0 +1,110 @@
+"""Static wrong-path enumeration.
+
+When the front end goes down a wrong path (mispredict or misfetch), the
+addresses it fetches are determined by the *static* code image plus the
+*current* predictor state: at each control transfer on the wrong path the
+machine follows its own (speculative, read-only) prediction.
+
+:func:`iter_wrong_path_lines` enumerates the cache lines such a walk
+touches, leaving all timing/stall decisions to the engine.  This split
+keeps the walker purely functional and unit-testable.
+
+Modelling notes (see DESIGN.md §4):
+
+* wrong-path predictor probes use :meth:`BranchUnit.peek_*` so they cannot
+  perturb predictor state (keeps runs comparable across policies);
+* a direct transfer's static target is followed as soon as the transfer is
+  reached (the real machine would only redirect at decode on a BTB miss;
+  within a <= 4-cycle window the difference is second-order);
+* dynamic-target transfers (returns, indirect calls) follow the BTB target
+  when present, otherwise the walk continues sequentially (exactly what
+  pre-decode hardware does);
+* leaving the code image ends the walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.branch.unit import BranchUnit
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.program.image import CodeImage
+
+_COND = int(InstrKind.COND_BRANCH)
+_JUMP = int(InstrKind.JUMP)
+_CALL = int(InstrKind.CALL)
+_RETURN = int(InstrKind.RETURN)
+_ICALL = int(InstrKind.INDIRECT_CALL)
+
+
+def iter_wrong_path_lines(
+    image: CodeImage,
+    unit: BranchUnit,
+    start_pc: int,
+    max_instructions: int,
+    line_size: int,
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(line_number, n_instructions)`` runs of a wrong-path walk.
+
+    The walk starts at *start_pc* and fetches at most *max_instructions*
+    instructions, splitting each straight-line run at cache-line
+    boundaries.  The caller (engine) decides how many of the yielded
+    instructions actually fit in its redirect window.
+    """
+    if max_instructions <= 0:
+        return
+    base = image.base
+    n_image = image.n_instructions
+    kinds = image.kinds_list
+    targets = image.targets_list
+    next_ctrl = image.next_ctrl_list
+    line_shift = line_size.bit_length() - 1
+    per_line = line_size // INSTRUCTION_SIZE
+
+    pc = start_pc
+    remaining = max_instructions
+    while remaining > 0:
+        offset = pc - base
+        if offset < 0 or offset % INSTRUCTION_SIZE:
+            return
+        idx = offset // INSTRUCTION_SIZE
+        if idx >= n_image:
+            return
+        ctrl = next_ctrl[idx]
+        run = (n_image if ctrl >= n_image else ctrl + 1) - idx
+        take = run if run < remaining else remaining
+        # Split the run at line boundaries.
+        pos = idx
+        left = take
+        while left > 0:
+            addr = base + pos * INSTRUCTION_SIZE
+            line = addr >> line_shift
+            in_line = per_line - (addr // INSTRUCTION_SIZE) % per_line
+            chunk = in_line if in_line < left else left
+            yield (line, chunk)
+            pos += chunk
+            left -= chunk
+        remaining -= take
+        if take < run or ctrl >= n_image:
+            return
+        # Follow the speculative prediction at the control transfer.
+        kind = kinds[ctrl]
+        ctrl_addr = base + ctrl * INSTRUCTION_SIZE
+        fall = ctrl_addr + INSTRUCTION_SIZE
+        if kind == _COND:
+            if unit.peek_direction(ctrl_addr):
+                pc = targets[ctrl]
+            else:
+                pc = fall
+        elif kind == _JUMP or kind == _CALL:
+            pc = targets[ctrl]
+        elif kind == _RETURN or kind == _ICALL:
+            if kind == _RETURN and unit.ras is not None:
+                predicted = unit.ras.peek()
+            else:
+                predicted = unit.peek_target(ctrl_addr)
+            if predicted is None:
+                predicted = unit.peek_target(ctrl_addr)
+            pc = predicted if predicted is not None else fall
+        else:  # pragma: no cover - images contain only the kinds above
+            return

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting programming errors (``TypeError``,
+``KeyError`` from misuse of plain containers, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProgramError(ReproError):
+    """A synthetic program / CFG is malformed (bad layout, dangling edge...)."""
+
+
+class DecodeError(ProgramError):
+    """An address does not decode to an instruction in the code image."""
+
+
+class TraceError(ReproError):
+    """A dynamic trace is malformed or inconsistent with its program."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was misconfigured or referenced an unknown artifact."""

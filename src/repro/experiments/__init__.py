@@ -1,0 +1,71 @@
+"""Paper-artifact experiments.
+
+One module per reproduced table/figure (see DESIGN.md §5 for the index),
+a registry mapping experiment ids to runner functions, and a CLI
+(``repro-experiment`` / ``python -m repro``).
+"""
+
+from repro.experiments.ablations import (
+    ABLATION_BENCHMARKS,
+    run_ablation_assoc,
+    run_ablation_btb,
+    run_ablation_btbupd,
+    run_ablation_linesize,
+    run_ablation_pht,
+    run_ablation_pht_size,
+    run_ablation_ras,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.baseline import run_figure1
+from repro.experiments.extensions import (
+    EXTENSION_BENCHMARKS,
+    run_extension_l2,
+    run_extension_nonblocking,
+    run_extension_prefetch_variants,
+    run_extension_reorder,
+    run_extension_streambuffer,
+)
+from repro.experiments.cachesize import run_table6
+from repro.experiments.characterization import run_table2, run_table3
+from repro.experiments.depth import run_table5
+from repro.experiments.latency import run_figure2
+from repro.experiments.missclass import run_table4
+from repro.experiments.prefetch import run_figure3, run_figure4, run_table7
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ABLATION_BENCHMARKS",
+    "EXPERIMENTS",
+    "EXTENSION_BENCHMARKS",
+    "ExperimentResult",
+    "PAPER_EXPERIMENTS",
+    "get_experiment",
+    "run_extension_l2",
+    "run_extension_nonblocking",
+    "run_extension_prefetch_variants",
+    "run_extension_reorder",
+    "run_extension_streambuffer",
+    "run_ablation_assoc",
+    "run_ablation_btb",
+    "run_ablation_btbupd",
+    "run_ablation_linesize",
+    "run_ablation_pht",
+    "run_ablation_pht_size",
+    "run_ablation_ras",
+    "run_experiment",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]

@@ -1,0 +1,64 @@
+"""Experiment infrastructure.
+
+Every reproduced table/figure is an *experiment*: a function taking a
+:class:`~repro.core.runner.SimulationRunner` and returning an
+:class:`ExperimentResult` holding rendered tables/charts plus the raw data
+(used by tests and by EXPERIMENTS.md generation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.results import SimulationResult
+from repro.core.runner import SimulationRunner
+from repro.report.figures import StackedBarChart
+from repro.report.format import Table
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    tables: list[Table] = field(default_factory=list)
+    charts: list[StackedBarChart] = field(default_factory=list)
+    #: Machine-readable results keyed by whatever the experiment defines.
+    data: dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Render everything to a printable report."""
+        parts = [f"== {self.experiment_id}: {self.title} ==",
+                 f"(paper: {self.paper_ref})"]
+        if self.notes:
+            parts.append(self.notes)
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        for chart in self.charts:
+            parts.append("")
+            parts.append(chart.render())
+        return "\n".join(parts)
+
+
+def policy_breakdowns(
+    runner: SimulationRunner,
+    benchmarks: Sequence[str],
+    config: SimConfig,
+    policies: Sequence[FetchPolicy],
+) -> dict[str, dict[FetchPolicy, SimulationResult]]:
+    """Run the benchmark x policy matrix for figure-style experiments."""
+    return runner.run_matrix(benchmarks, config, policies)
+
+
+def language_average(
+    values: dict[str, float], names: Sequence[str]
+) -> float:
+    """Average of *values* over the subset *names*."""
+    subset = [values[name] for name in names if name in values]
+    return sum(subset) / len(subset) if subset else 0.0

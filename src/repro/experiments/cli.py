@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate paper tables/figures.
+
+Usage (installed as ``repro-experiment``, or ``python -m repro``):
+
+    repro-experiment table5
+    repro-experiment figure1 figure3 --trace-length 400000
+    repro-experiment all
+    repro-experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.core.runner import DEFAULT_TRACE_LENGTH, SimulationRunner
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate tables/figures from 'Instruction Cache Fetch "
+            "Policies for Speculative Execution' (ISCA 1995)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (e.g. table5, figure1) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known experiment ids"
+    )
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=DEFAULT_TRACE_LENGTH,
+        help="dynamic instructions per benchmark (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="unmeasured warmup instructions (default: trace length / 4, "
+        "capped at 50k)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1995, help="trace seed (default 1995)"
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's artifacts (txt, csv, json, and "
+        "svg for figures) into DIR",
+    )
+    return parser
+
+
+def _save_artifacts(result, directory: str) -> None:
+    import os
+
+    from repro.errors import ExperimentError
+    from repro.report import (
+        save_breakdown_svg,
+        save_experiment_csv,
+        save_experiment_json,
+    )
+
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, result.experiment_id)
+    with open(base + ".txt", "w", encoding="utf-8") as handle:
+        handle.write(result.render() + "\n")
+    save_experiment_csv(result, directory)
+    save_experiment_json(result, base + ".json")
+    if result.charts:
+        try:
+            save_breakdown_svg(result, base + ".svg")
+        except ExperimentError:
+            pass
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if not args.experiments:
+        print("no experiments given; try --list", file=sys.stderr)
+        return 2
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = list(EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = SimulationRunner(
+        trace_length=args.trace_length, seed=args.seed, warmup=args.warmup
+    )
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, runner)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.output_dir:
+            _save_artifacts(result, args.output_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Abstract instruction-set layer.
+
+The paper traces Alpha AXP binaries; for the reproduction only three things
+about the ISA matter to an instruction-cache study:
+
+* instructions have addresses and a fixed size (4 bytes on Alpha),
+* some instructions are control transfers with static targets,
+* control transfers come in kinds that the branch architecture treats
+  differently (conditional branch, direct jump/call, return, indirect).
+
+This package provides exactly that: :class:`~repro.isa.instruction.Instruction`
+with an :class:`~repro.isa.instruction.InstrKind`, plus the address/line
+arithmetic used throughout the simulator.
+"""
+
+from repro.isa.encoding import (
+    INSTRUCTION_SIZE,
+    AddressSpace,
+    align_down,
+    align_up,
+    instruction_index,
+    instructions_per_line,
+    line_address,
+    line_number,
+    line_offset,
+    span_lines,
+)
+from repro.isa.instruction import (
+    CONTROL_KINDS,
+    Instruction,
+    InstrKind,
+    is_control,
+)
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "AddressSpace",
+    "CONTROL_KINDS",
+    "Instruction",
+    "InstrKind",
+    "align_down",
+    "align_up",
+    "instruction_index",
+    "instructions_per_line",
+    "is_control",
+    "line_address",
+    "line_number",
+    "line_offset",
+    "span_lines",
+]

@@ -1,0 +1,33 @@
+"""Human-readable rendering of instructions and code regions.
+
+Purely diagnostic: used by examples and error messages, never by the
+simulation hot path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.isa.instruction import Instruction, InstrKind
+
+_MNEMONICS = {
+    InstrKind.PLAIN: "op",
+    InstrKind.COND_BRANCH: "bcond",
+    InstrKind.JUMP: "jmp",
+    InstrKind.CALL: "call",
+    InstrKind.RETURN: "ret",
+    InstrKind.INDIRECT_CALL: "icall",
+}
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction as ``addr: mnemonic [target]``."""
+    mnemonic = _MNEMONICS[instr.kind]
+    if instr.target is not None:
+        return f"{instr.address:#010x}: {mnemonic:<6} {instr.target:#010x}"
+    return f"{instr.address:#010x}: {mnemonic}"
+
+
+def format_listing(instructions: Iterable[Instruction]) -> str:
+    """Render a sequence of instructions, one per line."""
+    return "\n".join(format_instruction(instr) for instr in instructions)

@@ -1,0 +1,109 @@
+"""Address and cache-line arithmetic.
+
+All addresses in the simulator are plain ints (byte addresses).  These
+helpers centralise the line math so the cache, the prefetcher and the
+wrong-path walker all agree on what "line i" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fixed instruction width in bytes (Alpha AXP).
+INSTRUCTION_SIZE = 4
+
+
+def _check_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round *address* down to a multiple of *alignment* (a power of two)."""
+    _check_power_of_two(alignment, "alignment")
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round *address* up to a multiple of *alignment* (a power of two)."""
+    _check_power_of_two(alignment, "alignment")
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def line_number(address: int, line_size: int) -> int:
+    """Cache-line number containing *address*."""
+    _check_power_of_two(line_size, "line_size")
+    return address >> line_size.bit_length() - 1
+
+
+def line_address(address: int, line_size: int) -> int:
+    """Base address of the cache line containing *address*."""
+    return align_down(address, line_size)
+
+
+def line_offset(address: int, line_size: int) -> int:
+    """Byte offset of *address* within its cache line."""
+    _check_power_of_two(line_size, "line_size")
+    return address & (line_size - 1)
+
+
+def instructions_per_line(line_size: int) -> int:
+    """Number of fixed-width instructions in one cache line."""
+    _check_power_of_two(line_size, "line_size")
+    if line_size < INSTRUCTION_SIZE:
+        raise ValueError(f"line_size {line_size} smaller than an instruction")
+    return line_size // INSTRUCTION_SIZE
+
+
+def instruction_index(address: int) -> int:
+    """Index of the instruction at *address* in a 4-byte-per-slot space."""
+    if address % INSTRUCTION_SIZE:
+        raise ValueError(f"misaligned instruction address {address:#x}")
+    return address // INSTRUCTION_SIZE
+
+
+def span_lines(start: int, n_instructions: int, line_size: int) -> range:
+    """Line numbers touched by *n_instructions* starting at *start*.
+
+    Returns a ``range`` of line numbers (inclusive of both endpoints'
+    lines).  ``n_instructions`` must be >= 1.
+    """
+    if n_instructions < 1:
+        raise ValueError("span_lines needs at least one instruction")
+    first = line_number(start, line_size)
+    last_addr = start + (n_instructions - 1) * INSTRUCTION_SIZE
+    last = line_number(last_addr, line_size)
+    return range(first, last + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class AddressSpace:
+    """A contiguous code region ``[base, base + size_bytes)``.
+
+    Used by the layout engine to place functions, and by validation code to
+    check that generated control flow stays inside the program image.
+    """
+
+    base: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("address-space base must be non-negative")
+        if self.base % INSTRUCTION_SIZE:
+            raise ValueError("address-space base must be instruction-aligned")
+        if self.size_bytes <= 0:
+            raise ValueError("address space must have positive size")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    def contains(self, address: int) -> bool:
+        """True if *address* lies inside the region."""
+        return self.base <= address < self.end
+
+    def instruction_capacity(self) -> int:
+        """How many fixed-width instructions fit in the region."""
+        return self.size_bytes // INSTRUCTION_SIZE

@@ -1,0 +1,109 @@
+"""Instruction model.
+
+Instructions are fixed-width (4 bytes, Alpha-like).  An instruction is fully
+described by its kind plus, for control transfers, its static target(s).
+Conditional branches also carry the index of the *behaviour model* that the
+trace generator uses to decide taken/not-taken at run time; the front-end
+simulator itself never looks at that field.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrKind(enum.IntEnum):
+    """Classification of instructions as seen by the fetch architecture."""
+
+    #: Ordinary (non-control) instruction: ALU op, load, store, ...
+    PLAIN = 0
+    #: Conditional branch: taken -> ``target``, not taken -> fall-through.
+    COND_BRANCH = 1
+    #: Unconditional direct jump to ``target``.
+    JUMP = 2
+    #: Direct call: jumps to ``target`` and pushes the return address.
+    CALL = 3
+    #: Return: target comes from the call stack (dynamic).
+    RETURN = 4
+    #: Indirect jump/call: target chosen dynamically among several callees
+    #: (models C++ virtual dispatch and function pointers).
+    INDIRECT_CALL = 5
+
+
+#: Kinds that transfer control (everything except PLAIN).
+CONTROL_KINDS = frozenset(
+    {
+        InstrKind.COND_BRANCH,
+        InstrKind.JUMP,
+        InstrKind.CALL,
+        InstrKind.RETURN,
+        InstrKind.INDIRECT_CALL,
+    }
+)
+
+#: Kinds whose target is *not* encoded in the instruction and must be
+#: produced dynamically (BTB or call stack).
+DYNAMIC_TARGET_KINDS = frozenset({InstrKind.RETURN, InstrKind.INDIRECT_CALL})
+
+
+def is_control(kind: InstrKind) -> bool:
+    """Return True if *kind* transfers control."""
+    return kind in CONTROL_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A single decoded instruction.
+
+    Attributes:
+        address: byte address of the instruction.
+        kind: the :class:`InstrKind`.
+        target: static target address for COND_BRANCH / JUMP / CALL;
+            ``None`` for PLAIN and for dynamic-target kinds.
+        behaviour: for COND_BRANCH, index of the branch-behaviour model in
+            the owning program (drives the trace generator); for
+            INDIRECT_CALL, index of the target-selection model.  ``None``
+            otherwise.
+    """
+
+    address: int
+    kind: InstrKind
+    target: int | None = None
+    behaviour: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative instruction address {self.address:#x}")
+        static_target_kinds = (
+            InstrKind.COND_BRANCH,
+            InstrKind.JUMP,
+            InstrKind.CALL,
+        )
+        if self.kind in static_target_kinds and self.target is None:
+            raise ValueError(f"{self.kind.name} at {self.address:#x} needs a target")
+        if self.kind in DYNAMIC_TARGET_KINDS and self.target is not None:
+            raise ValueError(
+                f"{self.kind.name} at {self.address:#x} must not carry a static target"
+            )
+        if self.kind is InstrKind.PLAIN and self.target is not None:
+            raise ValueError(f"PLAIN at {self.address:#x} must not carry a target")
+
+    @property
+    def is_control(self) -> bool:
+        """True if this instruction transfers control."""
+        return self.kind in CONTROL_KINDS
+
+    @property
+    def is_conditional(self) -> bool:
+        """True if this is a conditional branch."""
+        return self.kind is InstrKind.COND_BRANCH
+
+    @property
+    def has_static_target(self) -> bool:
+        """True if the target address is encoded in the instruction."""
+        return self.target is not None
+
+    def fall_through(self, instruction_size: int = 4) -> int:
+        """Address of the next sequential instruction."""
+        return self.address + instruction_size

@@ -1,0 +1,21 @@
+"""Memory-channel substrate: bus, fill station, next-line prefetcher.
+
+Models the interface between the blocking I-cache and the next level of the
+hierarchy exactly as in the paper: a single outstanding line request, a
+one-entry resume/prefetch fill buffer, and the "maximal fetchahead, first
+time referenced" next-line prefetcher.
+"""
+
+from repro.memory.bus import MemoryBus
+from repro.memory.pending import FillOrigin, PendingFill, PendingFillStation
+from repro.memory.prefetcher import NextLinePrefetcher
+from repro.memory.streambuffer import StreamBufferUnit
+
+__all__ = [
+    "FillOrigin",
+    "MemoryBus",
+    "NextLinePrefetcher",
+    "PendingFill",
+    "PendingFillStation",
+    "StreamBufferUnit",
+]

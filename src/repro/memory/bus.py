@@ -1,0 +1,74 @@
+"""The channel between the I-cache and the next memory level.
+
+The paper models a single blocking channel: one outstanding line request
+at a time (demand fill or prefetch), each occupying the channel for the
+full miss penalty.  That is the default (``interleave_slots=None``).
+
+The paper's §6 names "pipelining miss requests" as future work: with
+``interleave_slots=k`` a new request may *start* every ``k`` slots while
+each still takes the full latency to complete — a simple pipelined memory
+interface used by the ``extension_nonblocking`` experiment.
+
+The engine charges stall slots to different ISPI components depending on
+*why* fetch had to wait, so the bus itself only tracks occupancy and
+traffic counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SimulationError
+
+
+class MemoryBus:
+    """Line-request channel; time is measured in issue slots."""
+
+    __slots__ = ("interleave_slots", "busy_until", "requests", "busy_wait_slots")
+
+    def __init__(self, interleave_slots: int | None = None) -> None:
+        if interleave_slots is not None and interleave_slots < 1:
+            raise ConfigError(
+                f"bus interleave must be >= 1 slot, got {interleave_slots}"
+            )
+        #: Pipelining: slots between request *starts* (None = serial, the
+        #: next request starts only when the previous one completes).
+        self.interleave_slots = interleave_slots
+        #: Earliest slot at which a new request may start.
+        self.busy_until = 0
+        self.requests = 0
+        self.busy_wait_slots = 0
+
+    def free_at(self) -> int:
+        """Earliest slot at which a new request may start."""
+        return self.busy_until
+
+    def is_free(self, now: int) -> bool:
+        """True if a request could start at slot *now*."""
+        return self.busy_until <= now
+
+    def request(self, now: int, duration_slots: int) -> tuple[int, int]:
+        """Issue a line request at or after *now*.
+
+        Returns ``(start, done)``: the request begins once the channel can
+        accept it and the data arrives ``duration_slots`` later.  On a
+        serial bus the channel is held until ``done``; on a pipelined bus
+        it can accept the next request ``interleave_slots`` after
+        ``start``.  The caller decides how to charge any ``start - now``
+        wait.
+        """
+        if duration_slots < 0:
+            raise SimulationError(f"negative bus occupancy {duration_slots}")
+        start = self.busy_until if self.busy_until > now else now
+        done = start + duration_slots
+        if self.interleave_slots is None:
+            self.busy_until = done
+        else:
+            self.busy_until = start + self.interleave_slots
+        self.requests += 1
+        self.busy_wait_slots += start - now
+        return start, done
+
+    def reset(self) -> None:
+        """Clear occupancy and statistics."""
+        self.busy_until = 0
+        self.requests = 0
+        self.busy_wait_slots = 0

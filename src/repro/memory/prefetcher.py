@@ -1,0 +1,144 @@
+"""Instruction prefetching (§3 and §2.2 of the paper).
+
+The paper's own prefetcher is **next-line, maximal fetchahead, first time
+referenced** ("tagged" in Smith's terminology): when a line is loaded its
+first-reference bit is set; the first subsequent fetch from it clears the
+bit and prefetches the next sequential line, provided that line is absent
+and the channel is free.  Prefetched lines install with their bit set, so
+a sequential stream keeps prefetching ahead of itself.
+
+Three further §2.2 variants are provided for ablation:
+
+* ``always``  — every fetched line triggers a next-line attempt
+  (Smith 82's unconditional prefetch);
+* ``on-miss`` — only demand fills trigger the next-line attempt
+  (Smith 82's prefetch-on-miss);
+* ``fetchahead`` — the Smith & Hsu 92 trigger: prefetch line *i+1* when
+  fetch comes within ``fetchahead_distance`` instructions of the end of
+  line *i* (re-arming on every traversal, not just the first).
+
+And, from the Smith & Hsu / Pierce & Mudge lineage, **target prefetching**
+(:meth:`prefetch_target`): the engine may request a prefetch of the cache
+line holding the *other* arm of a conditional branch — the path the
+prediction did not follow.
+
+All prefetches ride the background fill station, as the paper intends
+("handled as in Resume").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cache.icache import InstructionCache
+from repro.errors import ConfigError
+from repro.memory.bus import MemoryBus
+from repro.memory.pending import FillOrigin, PendingFillStation
+
+#: Valid next-line trigger variants.
+VARIANTS = ("tagged", "always", "on-miss", "fetchahead")
+
+#: Fill-time provider: a fixed slot count, or a per-line callable (used
+#: when a second-level cache makes latencies line-dependent).
+FillDuration = int | Callable[[int], int]
+
+
+def _as_duration_fn(duration: FillDuration) -> Callable[[int], int]:
+    if callable(duration):
+        return duration
+    return lambda line: duration
+
+
+class NextLinePrefetcher:
+    """Trigger and issue logic for sequential and target prefetching."""
+
+    __slots__ = (
+        "cache",
+        "bus",
+        "station",
+        "fill_duration",
+        "variant",
+        "next_line_enabled",
+        "issued",
+        "target_issued",
+        "suppressed",
+    )
+
+    def __init__(
+        self,
+        cache: InstructionCache,
+        bus: MemoryBus,
+        station: PendingFillStation,
+        penalty_slots: FillDuration,
+        variant: str = "tagged",
+        next_line_enabled: bool = True,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ConfigError(
+                f"unknown prefetch variant {variant!r}; expected one of {VARIANTS}"
+            )
+        self.cache = cache
+        self.bus = bus
+        self.station = station
+        self.fill_duration = _as_duration_fn(penalty_slots)
+        self.variant = variant
+        self.next_line_enabled = next_line_enabled
+        self.issued = 0
+        self.target_issued = 0
+        self.suppressed = 0
+
+    # -- shared issue path -----------------------------------------------------
+
+    def _try_issue(self, candidate: int, now: int) -> bool:
+        """Issue a prefetch of *candidate* if resources allow."""
+        self.station.drain(now, self.cache)
+        if self.cache.contains(candidate) or self.station.matches(candidate):
+            return False
+        if self.station.busy(now) or not self.bus.is_free(now):
+            # The paper's prefetcher only fires when the channel is free.
+            self.suppressed += 1
+            return False
+        _, done = self.bus.request(now, self.fill_duration(candidate))
+        self.station.start(candidate, done, FillOrigin.PREFETCH)
+        return True
+
+    # -- next-line triggers ------------------------------------------------------
+
+    def on_line_fetch(self, line: int, now: int) -> None:
+        """Hook called by the engine on every fetch that hits *line*."""
+        if not self.next_line_enabled:
+            return
+        if self.variant == "tagged":
+            if not self.cache.test_and_clear_first_ref(line):
+                return
+        elif self.variant in ("on-miss", "fetchahead"):
+            return  # these variants use the dedicated hooks below
+        if self._try_issue(line + 1, now):
+            self.issued += 1
+
+    def on_demand_fill(self, line: int, now: int) -> None:
+        """Hook called by the engine right after a demand fill completes."""
+        if not self.next_line_enabled or self.variant != "on-miss":
+            return
+        if self._try_issue(line + 1, now):
+            self.issued += 1
+
+    def on_line_end_near(self, line: int, now: int) -> None:
+        """Hook: fetch is within the fetchahead distance of *line*'s end."""
+        if not self.next_line_enabled or self.variant != "fetchahead":
+            return
+        if self._try_issue(line + 1, now):
+            self.issued += 1
+
+    # -- target prefetching --------------------------------------------------------
+
+    def prefetch_target(self, line: int, now: int) -> None:
+        """Prefetch the line holding a branch's not-followed arm."""
+        if self._try_issue(line, now):
+            self.target_issued += 1
+
+    def reset(self) -> None:
+        """Clear statistics (cache/bus/station are reset by their owners)."""
+        self.issued = 0
+        self.target_issued = 0
+        self.suppressed = 0

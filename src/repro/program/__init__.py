@@ -1,0 +1,67 @@
+"""Synthetic-program substrate.
+
+Builds the workloads that stand in for the paper's ATOM-traced benchmarks:
+symbolic CFGs (:mod:`~repro.program.cfg`) are laid out into a decodable
+:class:`~repro.program.image.CodeImage`, packaged with dynamic behaviour
+models into a :class:`~repro.program.program.Program`, and tuned per paper
+benchmark in :mod:`~repro.program.workloads`.
+"""
+
+from repro.program.behaviour import (
+    BiasedBehaviour,
+    BranchBehaviour,
+    CorrelatedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+)
+from repro.program.builder import FunctionBuilder, ProgramBuilder
+from repro.program.cfg import BasicBlock, ControlFlowGraph, Function, Terminator
+from repro.program.image import CodeImage
+from repro.program.layout import Layout, layout_cfg
+from repro.program.program import Program
+from repro.program.reorder import function_heat, reorder_program
+from repro.program.synth import TierSpec, WorkloadSpec, synthesize
+from repro.program.validate import (
+    ValidationReport,
+    assert_valid_deep,
+    validate_deep,
+)
+from repro.program.workloads import (
+    FIGURE_BENCHMARKS,
+    LANGUAGE,
+    PAPER_REFERENCE,
+    SUITE,
+    WORKLOAD_SPECS,
+    build_workload,
+    get_spec,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BiasedBehaviour",
+    "BranchBehaviour",
+    "CodeImage",
+    "ControlFlowGraph",
+    "CorrelatedBehaviour",
+    "FIGURE_BENCHMARKS",
+    "Function",
+    "FunctionBuilder",
+    "IndirectBehaviour",
+    "LANGUAGE",
+    "Layout",
+    "LoopBehaviour",
+    "PAPER_REFERENCE",
+    "PatternBehaviour",
+    "Program",
+    "ProgramBuilder",
+    "SUITE",
+    "Terminator",
+    "TierSpec",
+    "WORKLOAD_SPECS",
+    "WorkloadSpec",
+    "build_workload",
+    "get_spec",
+    "layout_cfg",
+    "synthesize",
+]

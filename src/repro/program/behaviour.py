@@ -1,0 +1,221 @@
+"""Branch behaviour models.
+
+The paper drives its simulator from ATOM traces of real programs, so branch
+outcomes come for free.  Our synthetic substitute attaches a *behaviour
+model* to every conditional branch (and every indirect-call site); the trace
+generator asks the model for each dynamic outcome.
+
+The models are chosen to span the behaviours that matter to the paper's
+branch architecture (gshare PHT + BTB):
+
+* :class:`LoopBehaviour` — classic backward loop branch: taken ``trips - 1``
+  times, then not taken.  Highly predictable by 2-bit counters; dominates
+  Fortran codes.
+* :class:`BiasedBehaviour` — i.i.d. Bernoulli with a fixed taken
+  probability.  Its predictability is exactly ``max(p, 1-p)``; models
+  data-dependent C branches.
+* :class:`PatternBehaviour` — a repeating outcome pattern.  Learnable by a
+  global-history predictor but not by per-branch counters alone.
+* :class:`CorrelatedBehaviour` — agrees (or anti-agrees) with the most
+  recent global branch outcome with some probability; models the
+  inter-branch correlation that motivates two-level predictors.
+* :class:`IndirectBehaviour` — selects among several callees for an
+  indirect call site, with a "stickiness" knob; models C++ virtual
+  dispatch (monomorphic sites are BTB-friendly, polymorphic ones are not).
+
+All models are stateful and must be :meth:`~BranchBehaviour.reset` before a
+trace generation run so that repeated runs with the same seed reproduce the
+same trace.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.errors import ProgramError
+
+
+class BranchBehaviour(abc.ABC):
+    """Decides dynamic outcomes for one conditional-branch site."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return the model to its initial state."""
+
+    @abc.abstractmethod
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        """Return the next dynamic outcome (True = taken).
+
+        Args:
+            rng: the trace generator's random stream.
+            global_history: bitfield of recent global branch outcomes
+                (bit 0 = most recent branch, 1 = taken).  Most models
+                ignore it; :class:`CorrelatedBehaviour` uses it.
+        """
+
+
+class LoopBehaviour(BranchBehaviour):
+    """Backward loop branch: taken until the trip count is exhausted.
+
+    The trip count for each loop activation is drawn uniformly from
+    ``[mean_trips - jitter, mean_trips + jitter]`` (clamped to >= 1), so
+    loops with ``jitter == 0`` have a fixed, perfectly learnable trip count.
+    """
+
+    def __init__(self, mean_trips: int, jitter: int = 0) -> None:
+        if mean_trips < 1:
+            raise ProgramError(f"loop trip count must be >= 1, got {mean_trips}")
+        if jitter < 0:
+            raise ProgramError(f"loop jitter must be >= 0, got {jitter}")
+        self.mean_trips = mean_trips
+        self.jitter = jitter
+        self._remaining = 0
+
+    def reset(self) -> None:
+        self._remaining = 0
+
+    def _draw_trips(self, rng: random.Random) -> int:
+        if self.jitter == 0:
+            return self.mean_trips
+        low = max(1, self.mean_trips - self.jitter)
+        high = self.mean_trips + self.jitter
+        return rng.randint(low, high)
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        if self._remaining == 0:
+            self._remaining = self._draw_trips(rng)
+        self._remaining -= 1
+        # Taken while iterations remain; the final evaluation falls through.
+        return self._remaining > 0
+
+    def __repr__(self) -> str:
+        return f"LoopBehaviour(mean_trips={self.mean_trips}, jitter={self.jitter})"
+
+
+class BiasedBehaviour(BranchBehaviour):
+    """I.i.d. Bernoulli branch with a fixed taken probability."""
+
+    def __init__(self, p_taken: float) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ProgramError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def reset(self) -> None:
+        pass
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        return rng.random() < self.p_taken
+
+    def __repr__(self) -> str:
+        return f"BiasedBehaviour(p_taken={self.p_taken})"
+
+
+class PatternBehaviour(BranchBehaviour):
+    """Cyclic outcome pattern, e.g. ``(False, False, False, True)``."""
+
+    def __init__(self, pattern: tuple[bool, ...], phase: int = 0) -> None:
+        if not pattern:
+            raise ProgramError("pattern must be non-empty")
+        if not 0 <= phase < len(pattern):
+            raise ProgramError(f"phase {phase} out of range for pattern {pattern}")
+        self.pattern = tuple(bool(x) for x in pattern)
+        self.phase = phase
+        self._index = phase
+
+    def reset(self) -> None:
+        self._index = self.phase
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        outcome = self.pattern[self._index]
+        self._index = (self._index + 1) % len(self.pattern)
+        return outcome
+
+    def __repr__(self) -> str:
+        return f"PatternBehaviour(pattern={self.pattern}, phase={self.phase})"
+
+
+class CorrelatedBehaviour(BranchBehaviour):
+    """Outcome correlated with the most recent global branch outcome.
+
+    With probability ``p_agree`` the branch repeats the most recent global
+    outcome (bit 0 of the history), otherwise it inverts it.  Values of
+    ``p_agree`` near 1.0 (or 0.0) are learnable by a global-history
+    predictor such as gshare, but look like a ~50% coin to a per-branch
+    counter when the global stream itself is balanced.
+    """
+
+    def __init__(self, p_agree: float) -> None:
+        if not 0.0 <= p_agree <= 1.0:
+            raise ProgramError(f"p_agree must be in [0, 1], got {p_agree}")
+        self.p_agree = p_agree
+
+    def reset(self) -> None:
+        pass
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        last = bool(global_history & 1)
+        agree = rng.random() < self.p_agree
+        return last if agree else not last
+
+    def __repr__(self) -> str:
+        return f"CorrelatedBehaviour(p_agree={self.p_agree})"
+
+
+class IndirectBehaviour(BranchBehaviour):
+    """Target selector for an indirect-call site.
+
+    ``next_target_index`` picks among ``n_targets`` candidate callees.
+    With probability ``repeat_prob`` the previous target is reused
+    (temporal locality of receiver types); otherwise a fresh target is
+    drawn, either uniformly or weighted.
+
+    The :class:`BranchBehaviour` interface is implemented for uniformity
+    (``next_outcome`` returns True: indirect calls always transfer), but
+    the trace generator calls :meth:`next_target_index`.
+    """
+
+    def __init__(
+        self,
+        n_targets: int,
+        repeat_prob: float = 0.0,
+        weights: tuple[float, ...] | None = None,
+    ) -> None:
+        if n_targets < 1:
+            raise ProgramError(f"indirect site needs >= 1 target, got {n_targets}")
+        if not 0.0 <= repeat_prob <= 1.0:
+            raise ProgramError(f"repeat_prob must be in [0, 1], got {repeat_prob}")
+        if weights is not None:
+            if len(weights) != n_targets:
+                raise ProgramError(
+                    f"got {len(weights)} weights for {n_targets} targets"
+                )
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ProgramError("weights must be non-negative with positive sum")
+        self.n_targets = n_targets
+        self.repeat_prob = repeat_prob
+        self.weights = weights
+        self._last: int | None = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        return True
+
+    def next_target_index(self, rng: random.Random) -> int:
+        """Pick the callee index for the next dynamic call."""
+        if self._last is not None and rng.random() < self.repeat_prob:
+            return self._last
+        if self.weights is None:
+            choice = rng.randrange(self.n_targets)
+        else:
+            choice = rng.choices(range(self.n_targets), weights=self.weights, k=1)[0]
+        self._last = choice
+        return choice
+
+    def __repr__(self) -> str:
+        return (
+            f"IndirectBehaviour(n_targets={self.n_targets}, "
+            f"repeat_prob={self.repeat_prob})"
+        )

@@ -1,0 +1,173 @@
+"""Symbolic control-flow graphs.
+
+A program is described first as a :class:`ControlFlowGraph` — functions made
+of labelled basic blocks with symbolic terminators — and only later lowered
+to concrete addresses by :mod:`repro.program.layout`.  Keeping the symbolic
+form separate makes the synthetic generators simple (they never deal with
+addresses) and lets validation happen before layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa import InstrKind
+
+
+@dataclass(frozen=True, slots=True)
+class Terminator:
+    """Symbolic control-transfer ending a basic block.
+
+    Exactly one addressing field is used, depending on ``kind``:
+
+    * ``COND_BRANCH`` / ``JUMP`` — ``target_label`` names a block in the
+      *same* function.
+    * ``CALL`` — ``callee`` names a function.
+    * ``RETURN`` — no target (dynamic, from the call stack).
+    * ``INDIRECT_CALL`` — ``indirect_callees`` names candidate functions;
+      ``behaviour`` selects among them at trace time.
+
+    ``behaviour`` is the index of the behaviour model (in the owning
+    program's behaviour table) for COND_BRANCH and INDIRECT_CALL.
+    """
+
+    kind: InstrKind
+    target_label: str | None = None
+    callee: str | None = None
+    indirect_callees: tuple[str, ...] = ()
+    behaviour: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is InstrKind.PLAIN:
+            raise ProgramError("a terminator cannot be a PLAIN instruction")
+        if self.kind in (InstrKind.COND_BRANCH, InstrKind.JUMP):
+            if self.target_label is None:
+                raise ProgramError(f"{self.kind.name} terminator needs target_label")
+            if self.callee is not None or self.indirect_callees:
+                raise ProgramError(f"{self.kind.name} terminator takes only a label")
+        if self.kind is InstrKind.CALL and self.callee is None:
+            raise ProgramError("CALL terminator needs a callee")
+        if self.kind is InstrKind.RETURN and (
+            self.target_label or self.callee or self.indirect_callees
+        ):
+            raise ProgramError("RETURN terminator takes no target")
+        if self.kind is InstrKind.INDIRECT_CALL:
+            if not self.indirect_callees:
+                raise ProgramError("INDIRECT_CALL terminator needs candidate callees")
+            if self.behaviour is None:
+                raise ProgramError("INDIRECT_CALL terminator needs a behaviour index")
+        if self.kind is InstrKind.COND_BRANCH and self.behaviour is None:
+            raise ProgramError("COND_BRANCH terminator needs a behaviour index")
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A run of ``n_plain`` plain instructions plus an optional terminator.
+
+    A block with ``terminator=None`` falls through to the next block of the
+    function (which must exist).  The total instruction count of the block
+    is ``n_plain + (1 if terminator else 0)`` and must be at least 1.
+    """
+
+    label: str
+    n_plain: int
+    terminator: Terminator | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_plain < 0:
+            raise ProgramError(f"block {self.label!r}: negative n_plain")
+        if self.n_plain == 0 and self.terminator is None:
+            raise ProgramError(f"block {self.label!r} would be empty")
+
+    @property
+    def n_instructions(self) -> int:
+        """Total instructions in the block, terminator included."""
+        return self.n_plain + (1 if self.terminator is not None else 0)
+
+
+@dataclass(slots=True)
+class Function:
+    """An ordered list of basic blocks; entry is the first block."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Check intra-function invariants; raise :class:`ProgramError`."""
+        if not self.blocks:
+            raise ProgramError(f"function {self.name!r} has no blocks")
+        labels = [block.label for block in self.blocks]
+        if len(set(labels)) != len(labels):
+            raise ProgramError(f"function {self.name!r} has duplicate block labels")
+        label_set = set(labels)
+        last = self.blocks[-1]
+        for block in self.blocks:
+            term = block.terminator
+            if term is None and block is last:
+                raise ProgramError(
+                    f"function {self.name!r}: final block {block.label!r} "
+                    "falls through past the end of the function"
+                )
+            if term is None:
+                continue
+            if term.target_label is not None and term.target_label not in label_set:
+                raise ProgramError(
+                    f"function {self.name!r}: block {block.label!r} targets "
+                    f"unknown label {term.target_label!r}"
+                )
+        # A conditional terminator on the last block would fall through past
+        # the end of the function on the not-taken path.
+        if last.terminator is not None and last.terminator.kind in (
+            InstrKind.COND_BRANCH,
+            InstrKind.CALL,
+            InstrKind.INDIRECT_CALL,
+        ):
+            raise ProgramError(
+                f"function {self.name!r}: final block {last.label!r} ends with "
+                f"{last.terminator.kind.name}, whose continuation would fall "
+                "off the end of the function"
+            )
+
+    @property
+    def n_instructions(self) -> int:
+        """Total instructions across all blocks."""
+        return sum(block.n_instructions for block in self.blocks)
+
+
+@dataclass(slots=True)
+class ControlFlowGraph:
+    """All functions of a program plus the entry function name."""
+
+    functions: dict[str, Function]
+    entry: str
+
+    def validate(self) -> None:
+        """Check whole-program invariants; raise :class:`ProgramError`."""
+        if self.entry not in self.functions:
+            raise ProgramError(f"entry function {self.entry!r} not defined")
+        for name, function in self.functions.items():
+            if name != function.name:
+                raise ProgramError(
+                    f"function registered as {name!r} but named {function.name!r}"
+                )
+            function.validate()
+            for block in function.blocks:
+                term = block.terminator
+                if term is None:
+                    continue
+                callees = []
+                if term.callee is not None:
+                    callees.append(term.callee)
+                callees.extend(term.indirect_callees)
+                for callee in callees:
+                    if callee not in self.functions:
+                        raise ProgramError(
+                            f"function {name!r}, block {block.label!r}: "
+                            f"unknown callee {callee!r}"
+                        )
+
+    @property
+    def n_instructions(self) -> int:
+        """Total static instructions across all functions."""
+        return sum(f.n_instructions for f in self.functions.values())

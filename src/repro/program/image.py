@@ -1,0 +1,168 @@
+"""Flat, decodable code image.
+
+The :class:`CodeImage` is the static view of a program that the front-end
+simulator needs: given *any* instruction address — in particular one on a
+wrong (mispredicted or misfetched) path — it decodes the instruction there
+in O(1) and can tell how far the straight-line run extends before the next
+control transfer.
+
+Internally the image is a struct-of-arrays (numpy) so the wrong-path walker
+does no per-instruction Python object allocation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DecodeError, ProgramError
+from repro.isa import INSTRUCTION_SIZE, Instruction, InstrKind
+
+_NO_TARGET = -1
+_NO_BEHAVIOUR = -1
+
+
+class CodeImage:
+    """Contiguous code region decodable at any instruction address."""
+
+    def __init__(
+        self,
+        base: int,
+        kinds: np.ndarray,
+        targets: np.ndarray,
+        behaviours: np.ndarray,
+    ) -> None:
+        if base < 0 or base % INSTRUCTION_SIZE:
+            raise ProgramError(f"bad image base address {base:#x}")
+        n = len(kinds)
+        if n == 0:
+            raise ProgramError("empty code image")
+        if len(targets) != n or len(behaviours) != n:
+            raise ProgramError("image arrays must have equal length")
+        self.base = base
+        self._kinds = np.ascontiguousarray(kinds, dtype=np.int8)
+        self._targets = np.ascontiguousarray(targets, dtype=np.int64)
+        self._behaviours = np.ascontiguousarray(behaviours, dtype=np.int32)
+        self._next_ctrl = self._compute_next_control(self._kinds)
+        # Plain-python mirrors: scalar indexing into lists is measurably
+        # faster than numpy scalar indexing in the simulator's hot loops.
+        self.kinds_list: list[int] = self._kinds.tolist()
+        self.targets_list: list[int] = self._targets.tolist()
+        self.behaviours_list: list[int] = self._behaviours.tolist()
+        self.next_ctrl_list: list[int] = self._next_ctrl.tolist()
+
+    @staticmethod
+    def _compute_next_control(kinds: np.ndarray) -> np.ndarray:
+        """For each index, the index of the next control instruction >= it.
+
+        Indices past the last control instruction get ``n`` (one past the
+        end), meaning "straight line to the end of the image".
+        """
+        n = len(kinds)
+        next_ctrl = np.empty(n, dtype=np.int64)
+        nxt = n
+        is_ctrl = kinds != int(InstrKind.PLAIN)
+        for i in range(n - 1, -1, -1):
+            if is_ctrl[i]:
+                nxt = i
+            next_ctrl[i] = nxt
+        return next_ctrl
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_instructions(cls, instructions: Iterable[Instruction]) -> CodeImage:
+        """Build an image from a contiguous, address-ordered listing."""
+        listing = list(instructions)
+        if not listing:
+            raise ProgramError("cannot build an image from no instructions")
+        base = listing[0].address
+        n = len(listing)
+        kinds = np.empty(n, dtype=np.int8)
+        targets = np.full(n, _NO_TARGET, dtype=np.int64)
+        behaviours = np.full(n, _NO_BEHAVIOUR, dtype=np.int32)
+        for i, instr in enumerate(listing):
+            expected = base + i * INSTRUCTION_SIZE
+            if instr.address != expected:
+                raise ProgramError(
+                    f"non-contiguous listing: expected {expected:#x}, "
+                    f"got {instr.address:#x}"
+                )
+            kinds[i] = int(instr.kind)
+            if instr.target is not None:
+                targets[i] = instr.target
+            if instr.behaviour is not None:
+                behaviours[i] = instr.behaviour
+        return cls(base, kinds, targets, behaviours)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of instructions in the image."""
+        return len(self.kinds_list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes."""
+        return self.n_instructions * INSTRUCTION_SIZE
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the image."""
+        return self.base + self.size_bytes
+
+    def contains(self, address: int) -> bool:
+        """True if *address* is a valid instruction address in the image."""
+        return (
+            self.base <= address < self.end
+            and (address - self.base) % INSTRUCTION_SIZE == 0
+        )
+
+    def index_of(self, address: int) -> int:
+        """Instruction index for *address*; raises :class:`DecodeError`."""
+        if not self.contains(address):
+            raise DecodeError(f"address {address:#x} not in image")
+        return (address - self.base) // INSTRUCTION_SIZE
+
+    def address_of(self, index: int) -> int:
+        """Address of the instruction at *index*."""
+        if not 0 <= index < self.n_instructions:
+            raise DecodeError(f"instruction index {index} out of range")
+        return self.base + index * INSTRUCTION_SIZE
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, address: int) -> Instruction:
+        """Decode the instruction at *address* into an object (slow path)."""
+        idx = self.index_of(address)
+        kind = InstrKind(self.kinds_list[idx])
+        target = self.targets_list[idx]
+        behaviour = self.behaviours_list[idx]
+        return Instruction(
+            address=address,
+            kind=kind,
+            target=None if target == _NO_TARGET else target,
+            behaviour=None if behaviour == _NO_BEHAVIOUR else behaviour,
+        )
+
+    def run_length(self, address: int) -> int:
+        """Instructions from *address* up to and including the next control
+        transfer (or to the end of the image if no control follows)."""
+        idx = self.index_of(address)
+        nxt = self.next_ctrl_list[idx]
+        if nxt >= self.n_instructions:
+            return self.n_instructions - idx
+        return nxt - idx + 1
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        """Yield every instruction in address order (diagnostic use)."""
+        for idx in range(self.n_instructions):
+            yield self.decode(self.address_of(idx))
+
+    def __repr__(self) -> str:
+        return (
+            f"CodeImage(base={self.base:#x}, "
+            f"n_instructions={self.n_instructions})"
+        )

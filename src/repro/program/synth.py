@@ -1,0 +1,510 @@
+"""Synthetic program generation.
+
+This module builds the workload substitute described in DESIGN.md §2: the
+paper traced real SPEC92 / C++ binaries with ATOM; we synthesise programs
+whose *dynamic* behaviour exposes the same knobs that drive the paper's
+results — instruction-cache footprint structure, branch density, branch
+predictability, and BTB working-set size.
+
+A generated program has four code tiers:
+
+* **leaves** — small shared utility functions, called from everywhere
+  (they create return-target variability, i.e. BTB mispredicts);
+* **hot** — loop-intensive functions called on every iteration of the main
+  driver loop; together with the leaves they form the resident working
+  set;
+* **warm** — functions revisited every ``warm.period`` iterations; sized so
+  the warm tier thrashes a small (8K) cache but fits a large (32K) one;
+* **cold** — a large pool of functions revisited every ``cold.period``
+  iterations; sized past the large cache, so it misses everywhere.
+
+The dynamic branch mix comes from *diamonds* (if/else hammocks with
+biased, patterned, or correlated behaviours), *loops* (backward branches
+with near-constant trip counts) and, for C++-flavoured specs, *virtual
+dispatch* (indirect calls among method pools).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.program.behaviour import (
+    BiasedBehaviour,
+    CorrelatedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+)
+from repro.program.builder import FunctionBuilder, ProgramBuilder
+from repro.program.program import Program
+
+
+@dataclass(frozen=True, slots=True)
+class TierSpec:
+    """One code tier: how many functions, how big, how often visited."""
+
+    n_functions: int
+    function_instrs: int
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_functions < 0:
+            raise ProgramError(f"negative function count {self.n_functions}")
+        if self.n_functions and self.function_instrs < 8:
+            raise ProgramError(
+                f"tier functions need >= 8 instructions, got {self.function_instrs}"
+            )
+        if self.period < 1:
+            raise ProgramError(f"tier period must be >= 1, got {self.period}")
+
+    @property
+    def total_instrs(self) -> int:
+        """Approximate static footprint of the tier in instructions."""
+        return self.n_functions * self.function_instrs
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """All knobs of one synthetic benchmark (see module docstring)."""
+
+    name: str
+    language: str  # 'fortran' | 'c' | 'c++'
+    description: str = ""
+    #: Mean plain instructions per basic block (branch % ~ 100/(avg_block+1)).
+    avg_block: int = 5
+    block_jitter: int = 2
+    #: Code tiers.
+    hot: TierSpec = field(default_factory=lambda: TierSpec(4, 300))
+    warm: TierSpec = field(default_factory=lambda: TierSpec(8, 400, period=4))
+    cold: TierSpec = field(default_factory=lambda: TierSpec(16, 500, period=8))
+    #: Shared utility leaves (part of the resident set).
+    leaf_funcs: int = 4
+    leaf_instrs: int = 40
+    #: Inner-loop trip counts in hot functions.
+    loop_trips: int = 12
+    loop_jitter: int = 0
+    #: Diamond-branch behaviour mix.  Real branch biases are U-shaped:
+    #: most sites are strongly biased (centre ``bias``), a minority
+    #: (``hard_frac``) are data-dependent near-coin-flips.
+    bias: float = 0.90
+    bias_jitter: float = 0.06
+    hard_frac: float = 0.15
+    pattern_frac: float = 0.15
+    correlated_frac: float = 0.10
+    #: Fraction of diamonds that are *far* (mostly-not-taken branch to an
+    #: out-of-line handler at the end of the function).  Far diamonds make
+    #: wrong paths genuinely diverge from the correct path — they drive the
+    #: paper's pollution effect — and, being not-taken in the common case,
+    #: they put no pressure on the BTB.
+    far_frac: float = 0.40
+    #: Taken probability of far diamonds (how often the handler runs).
+    far_taken: float = 0.15
+    #: Handler size in instructions (out-of-line rare-path code).
+    handler_instrs: int = 12
+    #: Size multiplier for the skipped (else) arm of near diamonds.  With
+    #: arms larger than the mispredict window, a wrong-path walk down the
+    #: not-taken direction stays inside code the taken path then skips —
+    #: wasted fetches (the paper's Wrong Path / Spec Pollute categories)
+    #: rather than accidental prefetch of the join.
+    else_scale: float = 3.0
+    #: Probability that a diamond is followed by a call to a leaf.
+    call_density: float = 0.10
+    #: Block-size multiplier for warm/cold (straight-line) code.  Fortran
+    #: numeric code has far longer blocks outside its loop nests; larger
+    #: flat blocks also lower the tier's taken-branch site density (and
+    #: hence its BTB misfetch pressure), matching the paper's Table 3.
+    flat_block_scale: float = 1.0
+    #: C++ virtual dispatch.
+    virtual_sites: int = 0
+    virtual_degree: int = 3
+    virtual_repeat: float = 0.4
+    method_instrs: int = 48
+    #: Structure randomisation seed (layout and per-site parameters).
+    structure_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.language not in ("fortran", "c", "c++"):
+            raise ProgramError(f"unknown language {self.language!r}")
+        if self.avg_block < 1:
+            raise ProgramError(f"avg_block must be >= 1, got {self.avg_block}")
+        if not 0.0 <= self.bias <= 1.0:
+            raise ProgramError(f"bias must be in [0, 1], got {self.bias}")
+        if self.pattern_frac + self.correlated_frac > 1.0:
+            raise ProgramError("pattern_frac + correlated_frac must be <= 1")
+        if self.leaf_funcs < 1:
+            raise ProgramError("at least one leaf function is required")
+        if self.virtual_sites and self.virtual_degree < 1:
+            raise ProgramError("virtual sites need a positive degree")
+        if not 0.0 <= self.far_frac <= 1.0:
+            raise ProgramError(f"far_frac must be in [0, 1], got {self.far_frac}")
+        if not 0.0 <= self.far_taken <= 1.0:
+            raise ProgramError(f"far_taken must be in [0, 1], got {self.far_taken}")
+        if self.handler_instrs < 1:
+            raise ProgramError("handlers need at least one instruction")
+
+
+class _Synthesizer:
+    """Stateful builder for one workload (one-shot: call :meth:`build`)."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.structure_seed)
+        self.builder = ProgramBuilder(spec.name)
+        self._label_counter = 0
+        self.leaf_names: list[str] = []
+        self.method_names: list[str] = []
+        # Out-of-line handlers pending for the function being built:
+        # (handler_label, size, resume_label, optional leaf callee).
+        self._handlers: list[tuple[str, int, str, str | None]] = []
+        # Coverage bookkeeping: leaves not yet referenced by any call
+        # site, and a rotation cursor for virtual-site callee selection.
+        self._unused_leaves: list[str] = []
+        self._method_cursor = 0
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}{self._label_counter}"
+
+    def _block_size(self, scale: float = 1.0) -> int:
+        spec = self.spec
+        mean = max(1, round(spec.avg_block * scale))
+        jitter = spec.block_jitter
+        low = max(1, mean - jitter)
+        high = mean + jitter
+        return self.rng.randint(low, high)
+
+    def _pick_leaf(self) -> str:
+        """Choose a leaf callee, skewed towards one shared utility.
+
+        A dominant leaf called from many different sites makes consecutive
+        returns go to different callers, which is what defeats BTB-based
+        return prediction (the paper's "BTB mispredict" column).  Leaves
+        that no call site has used yet are picked first, so every leaf is
+        reachable (dead functions would distort the footprint budget).
+        """
+        if self._unused_leaves:
+            return self._unused_leaves.pop()
+        if len(self.leaf_names) > 1 and self.rng.random() < 0.5:
+            return self.leaf_names[0]
+        return self.rng.choice(self.leaf_names)
+
+    def _deterministic_pattern(self, p_taken: float):
+        """A cyclic pattern whose taken fraction approximates *p_taken*.
+
+        Deterministic branches dominate real programs: their outcomes are
+        repetitive, so the global history stream stays structured and a
+        two-level predictor can specialise its counters.  Pure Bernoulli
+        branches would fill the history register with noise and reduce
+        gshare to its aliasing floor — far below real predictor accuracy.
+        """
+        rng = self.rng
+        length = rng.randint(4, 12)
+        n_minority = max(0, min(length - 1, round(length * (1.0 - p_taken))))
+        pattern = [True] * length
+        for index in rng.sample(range(length), n_minority):
+            pattern[index] = False
+        return PatternBehaviour(tuple(pattern), phase=rng.randrange(length))
+
+    def _diamond_behaviour(self):
+        """Pick a behaviour model for one near-diamond branch."""
+        spec = self.spec
+        rng = self.rng
+        roll = rng.random()
+        if roll < spec.correlated_frac:
+            return CorrelatedBehaviour(p_agree=0.9)
+        if roll < spec.correlated_frac + spec.hard_frac:
+            # Data-dependent, weakly biased branch (genuine entropy).
+            return BiasedBehaviour(p_taken=rng.uniform(0.35, 0.70))
+        p = spec.bias + rng.uniform(-spec.bias_jitter, spec.bias_jitter)
+        p = min(0.98, max(0.02, p))
+        if rng.random() < spec.pattern_frac:
+            # A slice of strongly-biased branches keeps residual noise.
+            return BiasedBehaviour(p_taken=p)
+        return self._deterministic_pattern(p)
+
+    def _far_behaviour(self):
+        """Behaviour for a far (rare-path) diamond: mostly not taken."""
+        spec = self.spec
+        rng = self.rng
+        p = min(0.9, max(0.01, spec.far_taken + rng.uniform(-0.04, 0.04)))
+        if rng.random() < spec.hard_frac:
+            return BiasedBehaviour(p_taken=p)
+        return self._deterministic_pattern(p)
+
+    # -- code shapes -----------------------------------------------------------
+
+    def _emit_diamond(
+        self, fb: FunctionBuilder, allow_call: bool, scale: float = 1.0
+    ) -> int:
+        """One diamond; returns main-chain instructions emitted.
+
+        With probability ``far_frac`` the diamond is *far*: a mostly-not-
+        taken branch to an out-of-line handler registered for emission at
+        the end of the function (its size is accounted there).  Otherwise
+        it is a *near* if/else hammock whose taken direction skips the
+        else arm.
+        """
+        rng = self.rng
+        spec = self.spec
+        head = self._block_size(scale)
+        if rng.random() < spec.far_frac:
+            handler_label = self._label("H")
+            resume_label = self._label("R")
+            fb.cond(
+                self._label("f"),
+                head,
+                target=handler_label,
+                behaviour=self._far_behaviour(),
+            )
+            fb.block(resume_label, 1)
+            callee = None
+            if allow_call and rng.random() < spec.call_density and self.leaf_names:
+                callee = self._pick_leaf()
+            size = max(1, spec.handler_instrs + rng.randint(-2, 4))
+            self._handlers.append((handler_label, size, resume_label, callee))
+            # Chain cost plus the handler's (deferred) static footprint.
+            return head + 2 + size + (2 if callee is not None else 1)
+        else_size = max(1, round(self._block_size(scale) * spec.else_scale))
+        join_label = self._label("j")
+        # Taken = skip the else arm (mostly-taken near diamonds).
+        fb.cond(self._label("d"), head, target=join_label,
+                behaviour=self._diamond_behaviour())
+        emitted = head + 1
+        fb.block(self._label("e"), else_size)
+        emitted += else_size
+        if allow_call and rng.random() < spec.call_density and self.leaf_names:
+            callee = self._pick_leaf()
+            fb.call(self._label("c"), 1, callee)
+            emitted += 2
+        fb.block(join_label, 1)
+        emitted += 1
+        return emitted
+
+    def _flush_handlers(self, fb: FunctionBuilder) -> int:
+        """Emit the pending out-of-line handlers; returns instructions."""
+        emitted = 0
+        for handler_label, size, resume_label, callee in self._handlers:
+            if callee is not None:
+                fb.call(handler_label, size, callee)
+                fb.jump(self._label("hb"), 0, target=resume_label)
+                emitted += size + 2
+            else:
+                fb.jump(handler_label, size, target=resume_label)
+                emitted += size + 1
+        self._handlers.clear()
+        return emitted
+
+    def _emit_virtual_site(self, fb: FunctionBuilder) -> int:
+        """One indirect-dispatch site; returns instructions emitted.
+
+        Callees are taken from a rotation over the method pool (instead
+        of an independent random sample) so that across all sites every
+        method is dispatched to at least once.
+        """
+        spec = self.spec
+        degree = min(spec.virtual_degree, len(self.method_names))
+        pool = self.method_names
+        callees = [
+            pool[(self._method_cursor + i) % len(pool)] for i in range(degree)
+        ]
+        self._method_cursor = (self._method_cursor + degree) % len(pool)
+        # Receiver-type skew: most dynamic dispatches at a site go to one
+        # dominant method (real virtual sites are mostly monomorphic), so
+        # the BTB predicts them well; the tail provides the polymorphism.
+        weights = tuple(0.25 ** i for i in range(degree))
+        behaviour = IndirectBehaviour(
+            n_targets=degree,
+            repeat_prob=spec.virtual_repeat,
+            weights=weights,
+        )
+        fb.icall(self._label("v"), 2, callees, behaviour)
+        return 3
+
+    def _fill_straight(
+        self,
+        fb: FunctionBuilder,
+        budget: int,
+        allow_call: bool,
+        scale: float = 1.0,
+    ) -> None:
+        """Fill ~*budget* instructions with diamonds, then return."""
+        emitted = 0
+        diamond_cost = round(self.spec.avg_block * scale) + 4
+        while emitted + diamond_cost < budget:
+            emitted += self._emit_diamond(fb, allow_call, scale)
+        tail = max(1, budget - emitted - 1)
+        self._emit_epilogue(fb, tail)
+
+    def _emit_epilogue(self, fb: FunctionBuilder, tail: int) -> None:
+        """Jump over the out-of-line handler region to the return block."""
+        if self._handlers:
+            ret_label = self._label("x")
+            fb.jump(self._label("t"), tail, target=ret_label)
+            self._flush_handlers(fb)
+            fb.ret(ret_label, 1)
+        else:
+            fb.ret(self._label("r"), tail)
+
+    # -- functions --------------------------------------------------------------
+
+    def _make_leaf(self, name: str) -> None:
+        fb = self.builder.function(name)
+        self._fill_straight(fb, self.spec.leaf_instrs, allow_call=False)
+
+    def _make_method(self, name: str) -> None:
+        fb = self.builder.function(name)
+        self._fill_straight(fb, self.spec.method_instrs, allow_call=True)
+
+    def _make_hot(self, name: str, n_virtual_sites: int) -> None:
+        """A loop-intensive function: prologue, inner loop body, epilogue.
+
+        ``n_virtual_sites`` indirect-dispatch sites are spread evenly
+        through the loop body (0 for non-C++ workloads).
+        """
+        spec = self.spec
+        fb = self.builder.function(name)
+        fb.block(self._label("p"), self._block_size())
+        loop_top = self._label("L")
+        fb.block(loop_top, 1)
+        # Size the loop body so the static function size matches the tier.
+        body_budget = max(
+            2 * (spec.avg_block + 4),
+            spec.hot.function_instrs - 2 * spec.avg_block - 8,
+        )
+        emitted = 0
+        sites_left = n_virtual_sites if self.method_names else 0
+        site_interval = body_budget // (n_virtual_sites + 1) if sites_left else 0
+        next_site_at = site_interval
+        while emitted + spec.avg_block + 4 < body_budget:
+            if sites_left and emitted >= next_site_at:
+                emitted += self._emit_virtual_site(fb)
+                sites_left -= 1
+                next_site_at += site_interval
+            emitted += self._emit_diamond(fb, allow_call=True)
+        while sites_left:  # tiny bodies: emit any owed sites at the end
+            emitted += self._emit_virtual_site(fb)
+            sites_left -= 1
+        fb.cond(
+            self._label("lb"),
+            1,
+            target=loop_top,
+            behaviour=LoopBehaviour(spec.loop_trips, jitter=spec.loop_jitter),
+        )
+        self._emit_epilogue(fb, max(1, self._block_size() // 2))
+
+    def _make_flat(self, name: str, instrs: int) -> None:
+        """A warm/cold function: straight-line diamonds, no loop."""
+        fb = self.builder.function(name)
+        self._fill_straight(
+            fb, instrs, allow_call=True, scale=self.spec.flat_block_scale
+        )
+
+    # -- the driver ---------------------------------------------------------------
+
+    def _make_main(
+        self,
+        hot_names: list[str],
+        warm_names: list[str],
+        cold_names: list[str],
+    ) -> None:
+        """The outer driver loop calling the tiers on their periods."""
+        spec = self.spec
+        fb = self.builder.function("main")
+        fb.block("top", 4)
+        # Any leaves no call site happened to reference are called once
+        # per iteration from the driver, so every function is reachable
+        # (dead code would distort the synthesiser's footprint budget).
+        for name in self._unused_leaves:
+            fb.call(self._label("lc"), 1, name)
+        self._unused_leaves = []
+        for name in hot_names:
+            fb.call(self._label("h"), 2, name)
+        call_handlers: list[tuple[str, str, str]] = []
+        self._emit_guarded_calls(fb, warm_names, spec.warm.period, call_handlers)
+        self._emit_guarded_calls(fb, cold_names, spec.cold.period, call_handlers)
+        fb.jump("wrap", 1, target="top")
+        # Out-of-line call stubs: only reached when a guard fires, so the
+        # driver's common path stays free of taken branches (no BTB load),
+        # and a guard mispredict walks off towards genuinely cold code.
+        for enter_label, callee, resume_label in call_handlers:
+            fb.call(enter_label, 1, callee)
+            fb.jump(self._label("mb"), 0, target=resume_label)
+
+    def _emit_guarded_calls(
+        self,
+        fb: FunctionBuilder,
+        names: list[str],
+        period: int,
+        call_handlers: list[tuple[str, str, str]],
+    ) -> None:
+        """Call each function once every *period* iterations (phased).
+
+        Guards are mostly-not-taken conditional branches into out-of-line
+        call stubs; the stub calls the tier function and jumps back.
+        """
+        for i, name in enumerate(names):
+            if period == 1:
+                fb.call(self._label("g"), 1, name)
+                continue
+            enter_label = self._label("E")
+            resume_label = self._label("R")
+            # Taken = enter the stub; one taken slot per period.
+            pattern = [False] * period
+            pattern[0] = True
+            fb.cond(
+                self._label("g"),
+                1,
+                target=enter_label,
+                behaviour=PatternBehaviour(tuple(pattern), phase=i % period),
+            )
+            fb.block(resume_label, 1)
+            call_handlers.append((enter_label, name, resume_label))
+
+    # -- entry point ----------------------------------------------------------------
+
+    def build(self) -> Program:
+        spec = self.spec
+        self.leaf_names = [f"leaf{i}" for i in range(spec.leaf_funcs)]
+        self._unused_leaves = list(reversed(self.leaf_names))
+        for name in self.leaf_names:
+            self._make_leaf(name)
+        if spec.virtual_sites:
+            n_methods = max(spec.virtual_degree + 1, spec.virtual_sites)
+            self.method_names = [f"method{i}" for i in range(n_methods)]
+            for name in self.method_names:
+                self._make_method(name)
+        hot_names = [f"hot{i}" for i in range(spec.hot.n_functions)]
+        # Spread the virtual-site quota over the hot functions.
+        quotas = [0] * len(hot_names)
+        for index in range(spec.virtual_sites):
+            quotas[index % len(hot_names)] += 1
+        for i, name in enumerate(hot_names):
+            self._make_hot(name, n_virtual_sites=quotas[i])
+        warm_names = [f"warm{i}" for i in range(spec.warm.n_functions)]
+        for name in warm_names:
+            self._make_flat(name, spec.warm.function_instrs)
+        cold_names = [f"cold{i}" for i in range(spec.cold.n_functions)]
+        for name in cold_names:
+            self._make_flat(name, spec.cold.function_instrs)
+        self._make_main(hot_names, warm_names, cold_names)
+        self.builder.entry = "main"
+        self.builder.metadata.update(
+            {
+                "language": spec.language,
+                "description": spec.description,
+                "avg_block": spec.avg_block,
+                "hot_instrs": spec.hot.total_instrs,
+                "warm_instrs": spec.warm.total_instrs,
+                "cold_instrs": spec.cold.total_instrs,
+            }
+        )
+        return self.builder.build()
+
+
+def synthesize(spec: WorkloadSpec) -> Program:
+    """Build the synthetic :class:`Program` described by *spec*."""
+    return _Synthesizer(spec).build()

@@ -1,0 +1,422 @@
+"""The paper's 13-benchmark suite, as tuned synthetic workload specs.
+
+Each spec targets the characteristics its original reports in the paper's
+Tables 2 and 3: the dynamic branch percentage, the 8K/32K direct-mapped
+miss-rate band, the language family's branch-predictability profile, and
+the BTB pressure (misfetch rate).  The tier sizes follow the derivation in
+DESIGN.md: with a per-iteration dynamic cost ``I`` and warm/cold dynamic
+fractions ``fw``/``fc``, the expected miss rates of a streaming tier are
+``m8 ~ (fw + fc) / ipl`` and ``m32 ~ fc / ipl`` (ipl = 8 instructions per
+32-byte line), so ``fw = ipl * (m8 - m32)`` and ``fc = ipl * m32``.
+
+Calibration (measured vs. paper targets) is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.program.program import Program
+from repro.program.synth import TierSpec, WorkloadSpec, synthesize
+
+#: Paper Table 2/3 reference numbers (for reports and calibration):
+#: instructions (millions), % branches, 8K and 32K miss rates (percent).
+PAPER_REFERENCE: dict[str, dict[str, float]] = {
+    "doduc": {"inst_m": 1150, "pct_branches": 8.5, "miss_8k": 2.94, "miss_32k": 0.48},
+    "fpppp": {"inst_m": 4330, "pct_branches": 2.8, "miss_8k": 7.27, "miss_32k": 1.08},
+    "su2cor": {"inst_m": 4780, "pct_branches": 4.4, "miss_8k": 1.33, "miss_32k": 0.00},
+    "ditroff": {"inst_m": 39, "pct_branches": 17.5, "miss_8k": 3.18, "miss_32k": 0.58},
+    "gcc": {"inst_m": 144, "pct_branches": 16.0, "miss_8k": 4.48, "miss_32k": 1.71},
+    "li": {"inst_m": 1360, "pct_branches": 17.7, "miss_8k": 3.33, "miss_32k": 0.06},
+    "tex": {"inst_m": 148, "pct_branches": 10.0, "miss_8k": 2.85, "miss_32k": 1.00},
+    "cfront": {"inst_m": 16.5, "pct_branches": 13.4, "miss_8k": 7.24, "miss_32k": 2.63},
+    "db++": {"inst_m": 87, "pct_branches": 17.6, "miss_8k": 1.57, "miss_32k": 0.42},
+    "groff": {"inst_m": 57, "pct_branches": 17.5, "miss_8k": 5.33, "miss_32k": 1.68},
+    "idl": {"inst_m": 21.1, "pct_branches": 19.6, "miss_8k": 2.17, "miss_32k": 0.67},
+    "lic": {"inst_m": 6, "pct_branches": 16.5, "miss_8k": 3.93, "miss_32k": 1.68},
+    "porky": {"inst_m": 164, "pct_branches": 19.8, "miss_8k": 2.51, "miss_32k": 0.66},
+}
+
+WORKLOAD_SPECS: dict[str, WorkloadSpec] = {
+    # ----------------------------------------------------------- Fortran --
+    "doduc": WorkloadSpec(
+        name="doduc",
+        language="fortran",
+        description="Monte Carlo thermohydraulics kernel: loop nests, "
+        "moderately sized numeric routines revisited every sweep.",
+        avg_block=7,
+        block_jitter=2,
+        flat_block_scale=2.6,
+        hot=TierSpec(3, 340),
+        warm=TierSpec(12, 490, period=1),
+        cold=TierSpec(14, 490, period=11),
+        leaf_funcs=3,
+        leaf_instrs=48,
+        loop_trips=40,
+        loop_jitter=0,
+        bias=0.96,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.0,
+        call_density=0.03,
+        hard_frac=0.04,
+        far_frac=0.50,
+        far_taken=0.08,
+        structure_seed=101,
+    ),
+    "fpppp": WorkloadSpec(
+        name="fpppp",
+        language="fortran",
+        description="Quantum-chemistry integrals: enormous basic blocks, "
+        "very few branches, streaming code footprint.",
+        avg_block=24,
+        block_jitter=6,
+        flat_block_scale=1.4,
+        hot=TierSpec(1, 600),
+        warm=TierSpec(8, 530, period=1),
+        cold=TierSpec(10, 740, period=14),
+        leaf_funcs=2,
+        leaf_instrs=80,
+        loop_trips=8,
+        loop_jitter=0,
+        bias=0.96,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.0,
+        call_density=0.02,
+        hard_frac=0.02,
+        far_frac=0.80,
+        far_taken=0.08,
+        structure_seed=102,
+    ),
+    "su2cor": WorkloadSpec(
+        name="su2cor",
+        language="fortran",
+        description="Quark-gluon lattice physics: long loops over a "
+        "footprint that fits a 32K cache.",
+        avg_block=18,
+        block_jitter=4,
+        flat_block_scale=2.0,
+        hot=TierSpec(2, 400),
+        warm=TierSpec(10, 570, period=2),
+        cold=TierSpec(0, 0),
+        leaf_funcs=2,
+        leaf_instrs=60,
+        loop_trips=50,
+        loop_jitter=0,
+        bias=0.96,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.0,
+        call_density=0.02,
+        hard_frac=0.02,
+        far_frac=0.70,
+        far_taken=0.08,
+        structure_seed=103,
+    ),
+    # ----------------------------------------------------------------- C --
+    "ditroff": WorkloadSpec(
+        name="ditroff",
+        language="c",
+        description="Text formatter: branchy scanning code over a "
+        "medium footprint.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 240),
+        warm=TierSpec(12, 410, period=4),
+        cold=TierSpec(9, 450, period=24),
+        leaf_funcs=5,
+        leaf_instrs=36,
+        loop_trips=19,
+        loop_jitter=2,
+        bias=0.95,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.10,
+        hard_frac=0.18,
+        far_frac=0.25,
+        far_taken=0.10,
+        flat_block_scale=1.6,
+        structure_seed=104,
+    ),
+    "gcc": WorkloadSpec(
+        name="gcc",
+        language="c",
+        description="Compiler: large instruction working set, branchy, "
+        "hard-to-predict data-dependent control flow.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 260),
+        warm=TierSpec(14, 415, period=4),
+        cold=TierSpec(18, 450, period=10),
+        leaf_funcs=6,
+        leaf_instrs=36,
+        loop_trips=22,
+        loop_jitter=2,
+        bias=0.96,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.12,
+        hard_frac=0.03,
+        far_frac=0.25,
+        far_taken=0.10,
+        flat_block_scale=1.6,
+        structure_seed=105,
+    ),
+    "li": WorkloadSpec(
+        name="li",
+        language="c",
+        description="Lisp interpreter: small hot dispatch core, "
+        "call-heavy, modest footprint.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 250),
+        warm=TierSpec(14, 420, period=4),
+        cold=TierSpec(2, 340, period=24),
+        leaf_funcs=6,
+        leaf_instrs=36,
+        loop_trips=19,
+        loop_jitter=2,
+        bias=0.95,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.15,
+        hard_frac=0.12,
+        far_frac=0.25,
+        far_taken=0.10,
+        flat_block_scale=1.6,
+        structure_seed=106,
+    ),
+    "tex": WorkloadSpec(
+        name="tex",
+        language="c",
+        description="TeX: moderate branch density, large-ish paging "
+        "footprint revisited in phases.",
+        avg_block=6,
+        block_jitter=2,
+        hot=TierSpec(2, 260),
+        warm=TierSpec(11, 420, period=5),
+        cold=TierSpec(15, 470, period=10),
+        leaf_funcs=5,
+        leaf_instrs=40,
+        loop_trips=19,
+        loop_jitter=2,
+        bias=0.96,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.02,
+        call_density=0.08,
+        hard_frac=0.02,
+        far_frac=0.35,
+        far_taken=0.10,
+        flat_block_scale=1.8,
+        structure_seed=107,
+    ),
+    # --------------------------------------------------------------- C++ --
+    "cfront": WorkloadSpec(
+        name="cfront",
+        language="c++",
+        description="C++-to-C translator: very large footprint, heavy "
+        "dispatch, the worst I-cache behaviour of the suite.",
+        avg_block=4,
+        block_jitter=1,
+        hot=TierSpec(2, 240),
+        warm=TierSpec(12, 425, period=2),
+        cold=TierSpec(19, 460, period=7),
+        leaf_funcs=6,
+        leaf_instrs=36,
+        loop_trips=13,
+        loop_jitter=1,
+        bias=0.95,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.12,
+        virtual_sites=3,
+        virtual_degree=3,
+        virtual_repeat=0.5,
+        hard_frac=0.04,
+        far_frac=0.20,
+        far_taken=0.10,
+        flat_block_scale=1.4,
+        structure_seed=108,
+    ),
+    "db++": WorkloadSpec(
+        name="db++",
+        language="c++",
+        description="DeltaBlue constraint solver: small hot core with "
+        "virtual dispatch, modest footprint.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 250),
+        warm=TierSpec(11, 400, period=8),
+        cold=TierSpec(11, 440, period=24),
+        leaf_funcs=5,
+        leaf_instrs=36,
+        loop_trips=22,
+        loop_jitter=2,
+        bias=0.96,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.02,
+        call_density=0.12,
+        virtual_sites=2,
+        virtual_degree=3,
+        virtual_repeat=0.6,
+        hard_frac=0.03,
+        far_frac=0.35,
+        far_taken=0.10,
+        flat_block_scale=1.8,
+        structure_seed=109,
+    ),
+    "groff": WorkloadSpec(
+        name="groff",
+        language="c++",
+        description="groff formatter: large working set, frequent "
+        "virtual dispatch, branchy.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 240),
+        warm=TierSpec(13, 405, period=3),
+        cold=TierSpec(18, 450, period=10),
+        leaf_funcs=6,
+        leaf_instrs=36,
+        loop_trips=14,
+        loop_jitter=2,
+        bias=0.95,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.13,
+        virtual_sites=3,
+        virtual_degree=3,
+        virtual_repeat=0.4,
+        hard_frac=0.04,
+        far_frac=0.20,
+        far_taken=0.10,
+        flat_block_scale=1.4,
+        structure_seed=110,
+    ),
+    "idl": WorkloadSpec(
+        name="idl",
+        language="c++",
+        description="IDL backend: the branchiest of the suite, "
+        "dispatch-dominated with a moderate footprint.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 230),
+        warm=TierSpec(11, 410, period=7),
+        cold=TierSpec(13, 440, period=20),
+        leaf_funcs=6,
+        leaf_instrs=32,
+        loop_trips=13,
+        loop_jitter=2,
+        bias=0.97,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.02,
+        call_density=0.15,
+        virtual_sites=3,
+        virtual_degree=3,
+        virtual_repeat=0.3,
+        hard_frac=0.02,
+        far_frac=0.60,
+        far_taken=0.10,
+        flat_block_scale=2.3,
+        structure_seed=111,
+    ),
+    "lic": WorkloadSpec(
+        name="lic",
+        language="c++",
+        description="SUIF linear-inequality calculator: large cold "
+        "footprint relative to its short run.",
+        avg_block=4,
+        block_jitter=1,
+        hot=TierSpec(2, 240),
+        warm=TierSpec(13, 405, period=5),
+        cold=TierSpec(17, 460, period=11),
+        leaf_funcs=5,
+        leaf_instrs=36,
+        loop_trips=15,
+        loop_jitter=2,
+        bias=0.96,
+        bias_jitter=0.03,
+        pattern_frac=0.05,
+        correlated_frac=0.03,
+        call_density=0.10,
+        virtual_sites=3,
+        virtual_degree=3,
+        virtual_repeat=0.5,
+        hard_frac=0.02,
+        far_frac=0.25,
+        far_taken=0.10,
+        flat_block_scale=1.6,
+        structure_seed=112,
+    ),
+    "porky": WorkloadSpec(
+        name="porky",
+        language="c++",
+        description="SUIF optimiser passes: very branchy IR walking "
+        "with moderate footprint.",
+        avg_block=3,
+        block_jitter=1,
+        hot=TierSpec(2, 240),
+        warm=TierSpec(13, 390, period=6),
+        cold=TierSpec(12, 460, period=18),
+        leaf_funcs=6,
+        leaf_instrs=32,
+        loop_trips=16,
+        loop_jitter=2,
+        bias=0.96,
+        bias_jitter=0.02,
+        pattern_frac=0.05,
+        correlated_frac=0.02,
+        call_density=0.12,
+        virtual_sites=2,
+        virtual_degree=3,
+        virtual_repeat=0.4,
+        hard_frac=0.02,
+        far_frac=0.35,
+        far_taken=0.10,
+        flat_block_scale=1.7,
+        structure_seed=113,
+    ),
+}
+
+#: All benchmark names in the paper's table order.
+SUITE: tuple[str, ...] = tuple(WORKLOAD_SPECS)
+
+#: The five benchmarks the paper's Figures 1-4 show in detail.
+FIGURE_BENCHMARKS: tuple[str, ...] = ("doduc", "gcc", "li", "groff", "lic")
+
+#: Language family per benchmark (for grouped averages, as in §5).
+LANGUAGE: dict[str, str] = {
+    name: spec.language for name, spec in WORKLOAD_SPECS.items()
+}
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """The spec for benchmark *name*; raises for unknown names."""
+    try:
+        return WORKLOAD_SPECS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; expected one of {', '.join(SUITE)}"
+        ) from None
+
+
+def build_workload(name: str, seed: int | None = None) -> Program:
+    """Synthesize the program for benchmark *name*.
+
+    ``seed`` perturbs the structural randomisation (layout, per-site
+    parameters) so sensitivity studies can regenerate variant programs;
+    ``None`` uses the spec's canonical structure seed.
+    """
+    spec = get_spec(name)
+    if seed is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, structure_seed=spec.structure_seed * 1_000_003 + seed)
+    return synthesize(spec)

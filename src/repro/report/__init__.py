@@ -1,0 +1,38 @@
+"""Rendering of experiment output: ASCII tables, stacked-bar figures,
+CSV export, and SVG figure files."""
+
+from repro.report.csv_export import (
+    save_experiment_csv,
+    save_table_csv,
+    table_to_csv,
+)
+from repro.report.figures import (
+    COMPONENT_GLYPHS,
+    LEGEND,
+    StackedBarChart,
+    breakdown_chart,
+)
+from repro.report.format import Table, mean
+from repro.report.json_export import (
+    experiment_to_dict,
+    experiment_to_json,
+    save_experiment_json,
+)
+from repro.report.svg import render_stacked_bars_svg, save_breakdown_svg
+
+__all__ = [
+    "experiment_to_dict",
+    "experiment_to_json",
+    "save_experiment_json",
+    "COMPONENT_GLYPHS",
+    "LEGEND",
+    "StackedBarChart",
+    "Table",
+    "breakdown_chart",
+    "mean",
+    "render_stacked_bars_svg",
+    "save_breakdown_svg",
+    "save_experiment_csv",
+    "save_table_csv",
+    "table_to_csv",
+]

@@ -1,0 +1,48 @@
+"""CSV export of experiment results.
+
+Every :class:`~repro.report.format.Table` can be exported as CSV so the
+reproduced numbers can be re-plotted with external tooling (the paper's
+figures were plots of exactly these tables).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+
+from repro.report.format import Table
+
+
+def table_to_csv(table: Table) -> str:
+    """Render *table* as CSV text (separators dropped, title omitted)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.headers)
+    for row in table.rows:
+        if all(cell == "---" for cell in row):
+            continue
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def save_table_csv(table: Table, path: str | os.PathLike[str]) -> None:
+    """Write *table* to *path* as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(table_to_csv(table))
+
+
+def save_experiment_csv(result, directory: str | os.PathLike[str]) -> list[str]:
+    """Write every table of an experiment result to *directory*.
+
+    Files are named ``<experiment_id>.csv`` (first table) and
+    ``<experiment_id>_<n>.csv`` for subsequent tables; returns the paths.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    for index, table in enumerate(result.tables):
+        suffix = "" if index == 0 else f"_{index}"
+        path = os.path.join(directory, f"{result.experiment_id}{suffix}.csv")
+        save_table_csv(table, path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,97 @@
+"""ASCII reproductions of the paper's stacked-bar figures.
+
+The paper's Figures 1-4 are stacked bar charts of the ISPI penalty
+components per (benchmark, policy).  We render them as horizontal stacked
+bars built from one character per component, so a terminal shows the same
+qualitative picture: bar height (length) = total ISPI, segments = the
+component breakdown, in the paper's stacking order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.results import COMPONENTS
+from repro.errors import ExperimentError
+
+#: One glyph per penalty component, in stacking order.
+COMPONENT_GLYPHS: dict[str, str] = {
+    "branch_full": "F",
+    "branch": "B",
+    "rt_icache": "r",
+    "wrong_icache": "w",
+    "bus": "u",
+    "force_resolve": "v",
+}
+
+LEGEND = (
+    "legend: F=branch_full B=branch r=rt_icache "
+    "w=wrong_icache u=bus v=force_resolve"
+)
+
+
+@dataclass(slots=True)
+class StackedBarChart:
+    """A labelled collection of stacked horizontal ISPI bars."""
+
+    title: str
+    scale: float = 40.0  # characters per 1.0 ISPI
+    bars: list[tuple[str, Mapping[str, float]]] = field(default_factory=list)
+
+    def add_bar(self, label: str, breakdown: Mapping[str, float]) -> None:
+        """Add one bar; *breakdown* maps component name -> ISPI."""
+        unknown = set(breakdown) - set(COMPONENTS)
+        if unknown:
+            raise ExperimentError(f"unknown ISPI components {sorted(unknown)}")
+        self.bars.append((label, dict(breakdown)))
+
+    def add_gap(self) -> None:
+        """Insert a blank separator line between bar groups."""
+        self.bars.append(("", {}))
+
+    def _auto_scale(self) -> float:
+        totals = [
+            sum(b.values()) for _, b in self.bars if b
+        ]
+        longest = max(totals, default=0.0)
+        if longest <= 0:
+            return self.scale
+        # Keep the longest bar at ~60 characters.
+        return min(self.scale, 60.0 / longest)
+
+    def render(self) -> str:
+        """Render the chart to a string."""
+        scale = self._auto_scale()
+        width = max((len(label) for label, _ in self.bars), default=0)
+        lines = [self.title, LEGEND, ""]
+        for label, breakdown in self.bars:
+            if not breakdown:
+                lines.append("")
+                continue
+            segments = []
+            for component in COMPONENTS:
+                value = breakdown.get(component, 0.0)
+                n = round(value * scale)
+                segments.append(COMPONENT_GLYPHS[component] * n)
+            total = sum(breakdown.values())
+            lines.append(f"{label.rjust(width)} |{''.join(segments)} {total:.2f}")
+        return "\n".join(lines)
+
+
+def breakdown_chart(
+    title: str,
+    groups: Sequence[tuple[str, Sequence[tuple[str, Mapping[str, float]]]]],
+) -> StackedBarChart:
+    """Build a chart from ``(group_label, [(bar_label, breakdown), ...])``.
+
+    Group labels are prefixed onto bar labels, with a blank line between
+    groups — matching the per-benchmark clusters of the paper's figures.
+    """
+    chart = StackedBarChart(title)
+    for gi, (group_label, bars) in enumerate(groups):
+        if gi:
+            chart.add_gap()
+        for bar_label, breakdown in bars:
+            chart.add_bar(f"{group_label} {bar_label}", breakdown)
+    return chart

@@ -1,0 +1,88 @@
+"""Fixed-width ASCII tables.
+
+All experiment output is rendered through :class:`Table` so the benchmark
+harness, the CLI, and the examples print the paper's tables in one
+consistent style.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+Cell = object  # str | int | float | None
+
+
+@dataclass(slots=True)
+class Table:
+    """A simple column-aligned table with optional float formatting."""
+
+    headers: Sequence[str]
+    rows: list[list[Cell]] = field(default_factory=list)
+    float_format: str = "{:.2f}"
+    title: str = ""
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_separator(self) -> None:
+        """Append a horizontal rule (rendered as dashes)."""
+        self.rows.append(["---"] * len(self.headers))
+
+    def _format_cell(self, cell: Cell) -> str:
+        if cell is None:
+            return ""
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        formatted = [[self._format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                if cell != "---":
+                    widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            if all(cell == "---" for cell in row):
+                lines.append("  ".join("-" * w for w in widths))
+                continue
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Cell]:
+        """All values of the named column (excluding separators)."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise ExperimentError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows if row[idx] != "---"]
+
+    def row_by_key(self, key: str) -> list[Cell]:
+        """The first row whose first cell equals *key*."""
+        for row in self.rows:
+            if row and row[0] == key:
+                return row
+        raise ExperimentError(f"no row keyed {key!r}")
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (raises on an empty sequence)."""
+    items = list(values)
+    if not items:
+        raise ExperimentError("mean of empty sequence")
+    return sum(items) / len(items)

@@ -1,0 +1,59 @@
+"""JSON export of experiment results.
+
+The text/CSV renderings are for humans and spreadsheets; the JSON export
+carries the *machine-readable* ``data`` payload every experiment fills in,
+plus the rendered tables, for downstream analysis pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serialisable structures."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Enums, dataclasses, anything else: fall back to a string.
+    return str(value)
+
+
+def experiment_to_dict(result) -> dict[str, Any]:
+    """Convert an :class:`ExperimentResult` to a plain dictionary."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_ref": result.paper_ref,
+        "notes": result.notes,
+        "data": _jsonable(result.data),
+        "tables": [
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": [
+                    _jsonable(row)
+                    for row in table.rows
+                    if not all(cell == "---" for cell in row)
+                ],
+            }
+            for table in result.tables
+        ],
+    }
+
+
+def experiment_to_json(result, indent: int = 2) -> str:
+    """Render an experiment result as a JSON string."""
+    return json.dumps(experiment_to_dict(result), indent=indent)
+
+
+def save_experiment_json(result, path: str | os.PathLike[str]) -> None:
+    """Write an experiment result to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(experiment_to_json(result))
+        handle.write("\n")

@@ -1,0 +1,145 @@
+"""SVG rendering of the paper's stacked-bar figures.
+
+Pure-stdlib SVG writer: turns the same per-policy ISPI breakdowns that
+feed the ASCII charts into standalone ``.svg`` files comparable to the
+paper's Figures 1-4.  The benchmark harness saves one SVG next to each
+figure's text output.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from collections.abc import Mapping, Sequence
+
+from repro.core.results import COMPONENTS
+from repro.errors import ExperimentError
+
+#: Fill colours per ISPI component (paper stacking order).
+COMPONENT_COLORS: dict[str, str] = {
+    "branch_full": "#9467bd",
+    "branch": "#4c78a8",
+    "rt_icache": "#72b7b2",
+    "wrong_icache": "#e45756",
+    "bus": "#f58518",
+    "force_resolve": "#bab0ac",
+}
+
+_BAR_HEIGHT = 16
+_BAR_GAP = 6
+_GROUP_GAP = 18
+_LABEL_WIDTH = 150
+_CHART_WIDTH = 460
+_LEGEND_HEIGHT = 40
+_TITLE_HEIGHT = 28
+_VALUE_WIDTH = 60
+
+
+def _esc(text: str) -> str:
+    return html.escape(text, quote=True)
+
+
+def render_stacked_bars_svg(
+    title: str,
+    groups: Sequence[tuple[str, Sequence[tuple[str, Mapping[str, float]]]]],
+) -> str:
+    """Render ``(group, [(bar_label, breakdown), ...])`` groups as SVG.
+
+    The breakdown maps ISPI component names to per-instruction values;
+    bars are scaled so the longest fills the chart width.
+    """
+    bars: list[tuple[str, Mapping[str, float] | None]] = []
+    for gi, (group_label, group_bars) in enumerate(groups):
+        if gi:
+            bars.append(("", None))  # group gap
+        for bar_label, breakdown in group_bars:
+            unknown = set(breakdown) - set(COMPONENTS)
+            if unknown:
+                raise ExperimentError(f"unknown components {sorted(unknown)}")
+            bars.append((f"{group_label} {bar_label}".strip(), breakdown))
+    totals = [sum(b.values()) for _, b in bars if b is not None]
+    if not totals:
+        raise ExperimentError("no bars to render")
+    longest = max(totals) or 1.0
+    scale = _CHART_WIDTH / longest
+
+    height = _TITLE_HEIGHT + _LEGEND_HEIGHT
+    for _, breakdown in bars:
+        height += _GROUP_GAP if breakdown is None else _BAR_HEIGHT + _BAR_GAP
+    width = _LABEL_WIDTH + _CHART_WIDTH + _VALUE_WIDTH + 20
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="10" y="18" font-size="14" font-weight="bold">'
+        f"{_esc(title)}</text>",
+    ]
+    # Legend.
+    x = 10
+    y = _TITLE_HEIGHT + 12
+    for component in COMPONENTS:
+        color = COMPONENT_COLORS[component]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(f'<text x="{x + 14}" y="{y}">{_esc(component)}</text>')
+        x += 14 + 7 * len(component) + 18
+
+    y = _TITLE_HEIGHT + _LEGEND_HEIGHT
+    for label, breakdown in bars:
+        if breakdown is None:
+            y += _GROUP_GAP
+            continue
+        parts.append(
+            f'<text x="{_LABEL_WIDTH - 6}" y="{y + _BAR_HEIGHT - 4}" '
+            f'text-anchor="end">{_esc(label)}</text>'
+        )
+        x = float(_LABEL_WIDTH)
+        for component in COMPONENTS:
+            value = breakdown.get(component, 0.0)
+            if value <= 0:
+                continue
+            segment = value * scale
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{segment:.1f}" '
+                f'height="{_BAR_HEIGHT}" fill="{COMPONENT_COLORS[component]}">'
+                f"<title>{_esc(component)}: {value:.3f}</title></rect>"
+            )
+            x += segment
+        total = sum(breakdown.values())
+        parts.append(
+            f'<text x="{x + 6:.1f}" y="{y + _BAR_HEIGHT - 4}">{total:.2f}</text>'
+        )
+        y += _BAR_HEIGHT + _BAR_GAP
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_breakdown_svg(
+    result,
+    path: str | os.PathLike[str],
+) -> None:
+    """Write an experiment's per-benchmark breakdowns as an SVG figure.
+
+    Works for any experiment whose ``data['per_benchmark']`` maps
+    benchmark -> {bar label -> {component -> ispi}} (figures 1-4).
+    """
+    per_benchmark = result.data.get("per_benchmark")
+    if not isinstance(per_benchmark, dict):
+        raise ExperimentError(
+            f"{result.experiment_id} carries no per-benchmark breakdowns"
+        )
+    groups = []
+    for name, by_label in per_benchmark.items():
+        bars = []
+        for label, breakdown in by_label.items():
+            if not isinstance(breakdown, dict):
+                raise ExperimentError(
+                    f"{result.experiment_id}: {name}/{label} is not a "
+                    "component breakdown"
+                )
+            bars.append((label, breakdown))
+        groups.append((name, bars))
+    svg = render_stacked_bars_svg(result.title, groups)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)

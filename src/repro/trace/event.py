@@ -1,0 +1,109 @@
+"""Trace records.
+
+A :class:`BlockRecord` describes one correct-path basic-block execution:
+``length`` instructions starting at ``start``, the last of which is the
+control transfer of kind ``kind`` (or ``PLAIN`` when the block was split
+without a control transfer, e.g. at an image boundary).  ``next_pc`` is the
+address actually executed next, and ``taken`` records the actual direction
+for conditional branches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.errors import TraceError
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+
+
+class BlockRecord(NamedTuple):
+    """One executed basic block on the correct path."""
+
+    #: Address of the first instruction of the block.
+    start: int
+    #: Number of instructions in the block, terminator included.
+    length: int
+    #: Terminator kind as an int (``InstrKind`` value); PLAIN for splits.
+    kind: int
+    #: Actual direction for COND_BRANCH terminators (True = taken).
+    #: True for unconditional transfers; False for PLAIN splits.
+    taken: bool
+    #: Address executed after this block (actual next PC).
+    next_pc: int
+
+    @property
+    def terminator_address(self) -> int:
+        """Address of the block's final instruction."""
+        return self.start + (self.length - 1) * INSTRUCTION_SIZE
+
+    @property
+    def fall_through(self) -> int:
+        """Address just past the block (not-taken continuation)."""
+        return self.start + self.length * INSTRUCTION_SIZE
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` if the record is self-inconsistent."""
+        if self.length < 1:
+            raise TraceError(f"block at {self.start:#x} has length {self.length}")
+        if self.start < 0 or self.start % INSTRUCTION_SIZE:
+            raise TraceError(f"misaligned block start {self.start:#x}")
+        if self.next_pc < 0 or self.next_pc % INSTRUCTION_SIZE:
+            raise TraceError(f"misaligned next_pc {self.next_pc:#x}")
+        kind = InstrKind(self.kind)
+        if kind is InstrKind.COND_BRANCH and not self.taken:
+            if self.next_pc != self.fall_through:
+                raise TraceError(
+                    f"not-taken branch at {self.terminator_address:#x} "
+                    f"continues at {self.next_pc:#x}, expected fall-through "
+                    f"{self.fall_through:#x}"
+                )
+        if kind is InstrKind.PLAIN and self.taken:
+            raise TraceError(f"PLAIN-terminated block at {self.start:#x} taken")
+
+
+@dataclass(slots=True)
+class Trace:
+    """An ordered sequence of correct-path block records."""
+
+    program_name: str
+    records: list[BlockRecord] = field(default_factory=list)
+    seed: int | None = None
+    _n_instructions: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._n_instructions = sum(r.length for r in self.records)
+
+    @property
+    def n_instructions(self) -> int:
+        """Total correct-path instructions in the trace."""
+        return self._n_instructions
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of block records."""
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[BlockRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def validate(self) -> None:
+        """Check every record plus inter-record continuity."""
+        for record in self.records:
+            record.validate()
+        for prev, nxt in zip(self.records, self.records[1:]):
+            if prev.next_pc != nxt.start:
+                raise TraceError(
+                    f"discontinuity: block at {prev.start:#x} continues at "
+                    f"{prev.next_pc:#x} but next block starts at {nxt.start:#x}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(program={self.program_name!r}, blocks={self.n_blocks}, "
+            f"instructions={self.n_instructions})"
+        )

@@ -1,0 +1,72 @@
+"""Trace persistence.
+
+Traces are saved as compressed ``.npz`` archives of parallel arrays.  This
+is mostly a convenience for benchmarking workflows that want to generate a
+long trace once and replay it across many simulator configurations in
+separate processes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.event import BlockRecord, Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | os.PathLike[str]) -> None:
+    """Write *trace* to *path* as a compressed npz archive."""
+    n = trace.n_blocks
+    starts = np.empty(n, dtype=np.int64)
+    lengths = np.empty(n, dtype=np.int32)
+    kinds = np.empty(n, dtype=np.int8)
+    takens = np.empty(n, dtype=np.bool_)
+    next_pcs = np.empty(n, dtype=np.int64)
+    for i, record in enumerate(trace.records):
+        starts[i] = record.start
+        lengths[i] = record.length
+        kinds[i] = record.kind
+        takens[i] = record.taken
+        next_pcs[i] = record.next_pc
+    np.savez_compressed(
+        path,
+        version=np.int32(_FORMAT_VERSION),
+        program_name=np.str_(trace.program_name),
+        seed=np.int64(-1 if trace.seed is None else trace.seed),
+        starts=starts,
+        lengths=lengths,
+        kinds=kinds,
+        takens=takens,
+        next_pcs=next_pcs,
+    )
+
+
+def load_trace(path: str | os.PathLike[str]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise TraceError(f"unsupported trace format version {version}")
+            program_name = str(data["program_name"])
+            seed_raw = int(data["seed"])
+            starts = data["starts"]
+            lengths = data["lengths"]
+            kinds = data["kinds"]
+            takens = data["takens"]
+            next_pcs = data["next_pcs"]
+        except KeyError as exc:
+            raise TraceError(f"trace archive missing field {exc}") from exc
+    records = [
+        BlockRecord(int(s), int(n), int(k), bool(t), int(p))
+        for s, n, k, t, p in zip(starts, lengths, kinds, takens, next_pcs)
+    ]
+    return Trace(
+        program_name=program_name,
+        records=records,
+        seed=None if seed_raw < 0 else seed_raw,
+    )

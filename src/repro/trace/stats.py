@@ -1,0 +1,81 @@
+"""Trace statistics.
+
+Reproduces the workload-characterisation numbers the paper reports in its
+Table 2 (instruction counts, % branches) plus extra structure useful for
+calibrating the synthetic workloads (taken rates, block lengths, code
+footprint actually touched).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa import InstrKind, span_lines
+from repro.trace.event import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Summary statistics of one dynamic trace."""
+
+    n_instructions: int
+    n_blocks: int
+    #: Dynamic control-transfer instructions (all kinds) / all instructions.
+    pct_branches: float
+    #: Dynamic conditional branches / all instructions.
+    pct_conditional: float
+    #: Fraction of conditional branches that were taken.
+    taken_fraction: float
+    #: Mean dynamic basic-block length in instructions.
+    avg_block_length: float
+    #: Distinct I-cache lines touched (at ``line_size`` granularity).
+    footprint_lines: int
+    #: Footprint in bytes (= footprint_lines * line_size).
+    footprint_bytes: int
+    #: Dynamic counts per terminator kind name.
+    kind_counts: dict[str, int]
+    #: Number of distinct static conditional-branch sites executed.
+    static_cond_sites: int
+    #: Number of distinct static taken-transfer sites (BTB working set).
+    static_taken_sites: int
+
+
+def compute_stats(trace: Trace, line_size: int = 32) -> TraceStats:
+    """Compute :class:`TraceStats` for *trace*."""
+    kind_counts: Counter[int] = Counter()
+    taken_cond = 0
+    lines: set[int] = set()
+    cond_sites: set[int] = set()
+    taken_sites: set[int] = set()
+    for record in trace.records:
+        kind_counts[record.kind] += 1
+        for line in span_lines(record.start, record.length, line_size):
+            lines.add(line)
+        if record.kind == int(InstrKind.COND_BRANCH):
+            cond_sites.add(record.terminator_address)
+            if record.taken:
+                taken_cond += 1
+                taken_sites.add(record.terminator_address)
+        elif record.kind != int(InstrKind.PLAIN):
+            taken_sites.add(record.terminator_address)
+
+    n_instr = trace.n_instructions
+    n_blocks = trace.n_blocks
+    n_cond = kind_counts[int(InstrKind.COND_BRANCH)]
+    n_control = sum(
+        count for kind, count in kind_counts.items() if kind != int(InstrKind.PLAIN)
+    )
+    return TraceStats(
+        n_instructions=n_instr,
+        n_blocks=n_blocks,
+        pct_branches=100.0 * n_control / n_instr if n_instr else 0.0,
+        pct_conditional=100.0 * n_cond / n_instr if n_instr else 0.0,
+        taken_fraction=taken_cond / n_cond if n_cond else 0.0,
+        avg_block_length=n_instr / n_blocks if n_blocks else 0.0,
+        footprint_lines=len(lines),
+        footprint_bytes=len(lines) * line_size,
+        kind_counts={InstrKind(k).name: v for k, v in sorted(kind_counts.items())},
+        static_cond_sites=len(cond_sites),
+        static_taken_sites=len(taken_sites),
+    )

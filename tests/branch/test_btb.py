@@ -1,0 +1,133 @@
+"""Branch target buffer."""
+
+import pytest
+
+from repro.branch import BranchTargetBuffer
+from repro.errors import ConfigError
+
+
+def make_btb(entries=64, assoc=4):
+    return BranchTargetBuffer(entries=entries, assoc=assoc)
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        btb = make_btb()
+        assert btb.n_sets == 16
+        assert btb.assoc == 4
+
+    def test_entries_divisible_by_assoc(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=24, assoc=2)  # 12 sets
+
+    def test_fully_associative(self):
+        btb = BranchTargetBuffer(entries=64, assoc=64)
+        assert btb.n_sets == 1
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        btb = make_btb()
+        assert btb.lookup(0x1000) is None
+        assert btb.misses == 1
+
+    def test_insert_then_hit(self):
+        btb = make_btb()
+        btb.insert(0x1000, 0x2000)
+        entry = btb.lookup(0x1000)
+        assert entry is not None
+        assert entry.target == 0x2000
+        assert btb.hits == 1
+
+    def test_insert_updates_target(self):
+        btb = make_btb()
+        btb.insert(0x1000, 0x2000)
+        btb.insert(0x1000, 0x3000)
+        assert btb.lookup(0x1000).target == 0x3000
+        assert btb.insertions == 1  # second insert was a refresh
+
+    def test_different_sets_do_not_collide(self):
+        btb = make_btb()
+        btb.insert(0x1000, 0x2000)
+        assert btb.lookup(0x1004) is None
+
+    def test_contains(self):
+        btb = make_btb()
+        btb.insert(0x1000, 0x2000)
+        assert 0x1000 in btb
+        assert 0x1004 not in btb
+
+
+class TestLRU:
+    def _same_set_pcs(self, btb, count):
+        # PCs with identical set index: stride = n_sets * 4 bytes.
+        stride = btb.n_sets * 4
+        return [0x1000 + i * stride for i in range(count)]
+
+    def test_eviction_of_lru(self):
+        btb = make_btb()
+        pcs = self._same_set_pcs(btb, 5)
+        for pc in pcs[:4]:
+            btb.insert(pc, pc + 4)
+        btb.insert(pcs[4], pcs[4] + 4)  # evicts pcs[0]
+        assert btb.peek(pcs[0]) is None
+        assert all(btb.peek(pc) is not None for pc in pcs[1:])
+        assert btb.evictions == 1
+
+    def test_lookup_refreshes_lru(self):
+        btb = make_btb()
+        pcs = self._same_set_pcs(btb, 5)
+        for pc in pcs[:4]:
+            btb.insert(pc, pc + 4)
+        btb.lookup(pcs[0])  # refresh oldest
+        btb.insert(pcs[4], pcs[4] + 4)  # now evicts pcs[1]
+        assert btb.peek(pcs[0]) is not None
+        assert btb.peek(pcs[1]) is None
+
+    def test_peek_does_not_refresh(self):
+        btb = make_btb()
+        pcs = self._same_set_pcs(btb, 5)
+        for pc in pcs[:4]:
+            btb.insert(pc, pc + 4)
+        btb.peek(pcs[0])  # must NOT refresh
+        btb.insert(pcs[4], pcs[4] + 4)
+        assert btb.peek(pcs[0]) is None
+
+    def test_peek_does_not_count_stats(self):
+        btb = make_btb()
+        btb.peek(0x1000)
+        assert btb.hits == 0
+        assert btb.misses == 0
+
+
+class TestCoupledCounters:
+    def test_counter_initial_weakly_taken(self):
+        btb = make_btb()
+        entry = btb.insert(0x1000, 0x2000)
+        assert btb.counter_predicts_taken(entry)
+
+    def test_counter_trains_not_taken(self):
+        btb = make_btb()
+        entry = btb.insert(0x1000, 0x2000)
+        btb.update_counter(0x1000, False)
+        btb.update_counter(0x1000, False)
+        assert not btb.counter_predicts_taken(entry)
+
+    def test_update_counter_missing_entry_is_noop(self):
+        btb = make_btb()
+        btb.update_counter(0x9999000, True)  # must not raise
+
+
+class TestReset:
+    def test_reset_clears(self):
+        btb = make_btb()
+        btb.insert(0x1000, 0x2000)
+        btb.lookup(0x1000)
+        btb.reset()
+        assert btb.peek(0x1000) is None
+        assert btb.hits == 0
+        assert btb.insertions == 0

@@ -1,0 +1,88 @@
+"""Saturating counters."""
+
+import pytest
+
+from repro.branch import CounterTable, SaturatingCounter
+from repro.errors import ConfigError
+
+
+class TestSaturatingCounter:
+    def test_initial_weakly_not_taken(self):
+        counter = SaturatingCounter()
+        assert counter.value == 1
+        assert not counter.prediction
+
+    def test_one_taken_flips_to_taken(self):
+        counter = SaturatingCounter()
+        counter.update(True)
+        assert counter.prediction
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter()
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        counter.update(True)
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter()
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(initial=3)
+        counter.update(False)
+        assert counter.prediction  # still taken after one not-taken
+        counter.update(False)
+        assert not counter.prediction
+
+    def test_one_bit_counter(self):
+        counter = SaturatingCounter(bits=1, initial=0)
+        assert not counter.prediction
+        counter.update(True)
+        assert counter.prediction
+        counter.update(False)
+        assert not counter.prediction
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigError):
+            SaturatingCounter(bits=0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ConfigError):
+            SaturatingCounter(bits=2, initial=4)
+
+
+class TestCounterTable:
+    def test_size_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CounterTable(entries=100)
+
+    def test_initial_predictions_not_taken(self):
+        table = CounterTable(entries=16)
+        assert not any(table.predict(i) for i in range(16))
+
+    def test_independent_entries(self):
+        table = CounterTable(entries=16)
+        table.update(3, True)
+        assert table.predict(3)
+        assert not table.predict(4)
+
+    def test_saturation_bounds(self):
+        table = CounterTable(entries=4, bits=2)
+        for _ in range(10):
+            table.update(0, True)
+            table.update(1, False)
+        assert table.values[0] == 3
+        assert table.values[1] == 0
+
+    def test_reset(self):
+        table = CounterTable(entries=8)
+        table.update(0, True)
+        table.reset()
+        assert not table.predict(0)
+
+    def test_len(self):
+        assert len(CounterTable(entries=64)) == 64

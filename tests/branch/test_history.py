@@ -1,0 +1,48 @@
+"""Global history register."""
+
+import pytest
+
+from repro.branch import GlobalHistory
+from repro.errors import ConfigError
+
+
+class TestGlobalHistory:
+    def test_starts_zero(self):
+        assert GlobalHistory(9).snapshot() == 0
+
+    def test_shift_in_taken(self):
+        history = GlobalHistory(4)
+        history.shift_in(True)
+        assert history.snapshot() == 0b1
+
+    def test_shift_order_most_recent_in_bit0(self):
+        history = GlobalHistory(4)
+        history.shift_in(True)
+        history.shift_in(False)
+        assert history.snapshot() == 0b10
+
+    def test_masked_to_width(self):
+        history = GlobalHistory(3)
+        for _ in range(10):
+            history.shift_in(True)
+        assert history.snapshot() == 0b111
+
+    def test_reset(self):
+        history = GlobalHistory(5)
+        history.shift_in(True)
+        history.reset()
+        assert history.snapshot() == 0
+
+    def test_sequence_reconstruction(self):
+        history = GlobalHistory(8)
+        outcomes = [True, False, True, True, False, False, True, False]
+        for outcome in outcomes:
+            history.shift_in(outcome)
+        expected = 0
+        for outcome in outcomes:
+            expected = ((expected << 1) | int(outcome)) & 0xFF
+        assert history.snapshot() == expected
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigError):
+            GlobalHistory(0)

@@ -1,0 +1,68 @@
+"""Return address stack and static predictors."""
+
+import pytest
+
+from repro.branch import ReturnAddressStack, StaticPredictor
+from repro.errors import ConfigError
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1000)
+        ras.push(0x2000)
+        assert ras.pop() == 0x2000
+        assert ras.pop() == 0x1000
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1000)
+        ras.push(0x2000)
+        ras.push(0x3000)
+        assert ras.overflows == 1
+        assert ras.pop() == 0x3000
+        assert ras.pop() == 0x2000
+        assert ras.pop() is None
+
+    def test_peek(self):
+        ras = ReturnAddressStack(4)
+        assert ras.peek() is None
+        ras.push(0x1000)
+        assert ras.peek() == 0x1000
+        assert len(ras) == 1  # peek does not pop
+
+    def test_reset(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1000)
+        ras.reset()
+        assert len(ras) == 0
+        assert ras.pushes == 0
+
+    def test_bad_depth(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(0)
+
+
+class TestStaticPredictor:
+    def test_always_taken(self):
+        assert StaticPredictor("taken").predict(0x1000, None)
+
+    def test_always_not_taken(self):
+        assert not StaticPredictor("not-taken").predict(0x1000, 0x2000)
+
+    def test_btfnt_backward_taken(self):
+        pred = StaticPredictor("btfnt")
+        assert pred.predict(0x2000, 0x1000)  # backward
+        assert not pred.predict(0x1000, 0x2000)  # forward
+
+    def test_btfnt_unknown_target_not_taken(self):
+        assert not StaticPredictor("btfnt").predict(0x1000, None)
+
+    def test_unknown_rule(self):
+        with pytest.raises(ConfigError):
+            StaticPredictor("random")

@@ -1,0 +1,81 @@
+"""Shadow-Oracle miss classification."""
+
+import pytest
+
+from repro.cache import MissClassifier
+
+
+@pytest.fixture()
+def classifier():
+    return MissClassifier(size_bytes=1024, line_size=32)  # 32 sets
+
+
+class TestClassification:
+    def test_both_miss(self, classifier):
+        # Optimistic missed, shadow (cold) misses too.
+        classifier.right_path_access(5, optimistic_hit=False)
+        assert classifier.counts.both_miss == 1
+        assert classifier.counts.oracle_fills == 1
+
+    def test_spec_prefetch(self, classifier):
+        # Optimistic hit (wrong path prefetched it) but Oracle misses.
+        classifier.right_path_access(5, optimistic_hit=True)
+        assert classifier.counts.spec_prefetch == 1
+
+    def test_spec_pollute(self, classifier):
+        # Warm the shadow with line 5, then Optimistic misses it
+        # (its copy was displaced by a wrong-path fill).
+        classifier.right_path_access(5, optimistic_hit=False)
+        classifier.right_path_access(5, optimistic_hit=False)
+        assert classifier.counts.spec_pollute == 1
+
+    def test_agreeing_hits_uncounted(self, classifier):
+        classifier.right_path_access(5, optimistic_hit=False)  # warm shadow
+        classifier.right_path_access(5, optimistic_hit=True)
+        counts = classifier.counts
+        assert counts.both_miss == 1
+        assert counts.spec_pollute == 0
+        assert counts.spec_prefetch == 0
+
+    def test_wrong_path(self, classifier):
+        classifier.wrong_path_miss()
+        assert classifier.counts.wrong_path == 1
+
+    def test_shadow_evictions_matter(self, classifier):
+        # Fill the shadow's set 5 with line 5, then conflict-evict via 37.
+        classifier.right_path_access(5, optimistic_hit=False)
+        classifier.right_path_access(5 + 32, optimistic_hit=False)
+        # Line 5 was evicted from the shadow; Optimistic hitting it now is
+        # a Spec Prefetch (only Oracle misses).
+        classifier.right_path_access(5, optimistic_hit=True)
+        assert classifier.counts.spec_prefetch == 1
+
+
+class TestDerived:
+    def test_miss_totals(self, classifier):
+        classifier.right_path_access(1, optimistic_hit=False)  # BM
+        classifier.right_path_access(2, optimistic_hit=True)   # SPr
+        classifier.wrong_path_miss()
+        counts = classifier.counts
+        assert counts.optimistic_misses == 2  # BM + WP
+        assert counts.oracle_misses == 2      # BM + SPr
+
+    def test_traffic_ratio(self, classifier):
+        classifier.right_path_access(1, optimistic_hit=False)
+        classifier.optimistic_fill()
+        classifier.optimistic_fill()
+        assert classifier.counts.traffic_ratio == 2.0
+
+    def test_traffic_ratio_no_oracle_fills(self, classifier):
+        assert classifier.counts.traffic_ratio == 0.0
+        classifier.optimistic_fill()
+        assert classifier.counts.traffic_ratio == float("inf")
+
+    def test_finalize_percentages(self, classifier):
+        classifier.right_path_access(1, optimistic_hit=False)
+        classifier.wrong_path_miss()
+        result = classifier.finalize("toy", n_instructions=200)
+        assert result.both_miss == pytest.approx(0.5)
+        assert result.wrong_path == pytest.approx(0.5)
+        assert result.optimistic_miss_ratio == pytest.approx(1.0)
+        assert result.oracle_miss_ratio == pytest.approx(0.5)

@@ -1,0 +1,104 @@
+"""Second-level cache model and its engine integration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cache import SecondLevelCache
+from repro.config import FetchPolicy, SimConfig
+from repro.errors import ConfigError
+
+
+class TestSecondLevelCache:
+    def test_miss_then_hit(self):
+        l2 = SecondLevelCache(64 * 1024, hit_cycles=5, miss_cycles=20)
+        assert l2.access(7) == 20  # cold miss goes to memory
+        assert l2.access(7) == 5   # now L2-resident
+        assert l2.hits == 1
+        assert l2.misses == 1
+        assert l2.hit_rate == 0.5
+
+    def test_allocation_on_miss(self):
+        l2 = SecondLevelCache(64 * 1024)
+        l2.access(7)
+        assert l2.contains(7)
+
+    def test_capacity_evictions(self):
+        # 1KB L2 = 32 lines, 4-way: lines i and i+8k share a set.
+        l2 = SecondLevelCache(1024, assoc=4, hit_cycles=1, miss_cycles=10)
+        for k in range(5):  # five-way conflict in a 4-way set
+            l2.access(8 * k)
+        assert not l2.contains(0)
+        assert l2.contains(32)
+
+    def test_reset_stats_keeps_contents(self):
+        l2 = SecondLevelCache(64 * 1024)
+        l2.access(7)
+        l2.reset_stats()
+        assert l2.misses == 0
+        assert l2.access(7) == l2.hit_cycles
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SecondLevelCache(64 * 1024, hit_cycles=0)
+        with pytest.raises(ConfigError):
+            SecondLevelCache(64 * 1024, hit_cycles=10, miss_cycles=5)
+
+
+class TestL2Config:
+    def test_l2_must_exceed_l1(self):
+        with pytest.raises(ConfigError):
+            SimConfig(l2_size_bytes=4096)  # smaller than the 8K L1
+
+    def test_memory_latency_must_cover_l2_hit(self):
+        with pytest.raises(ConfigError):
+            SimConfig(l2_size_bytes=65536, l2_hit_cycles=10,
+                      miss_penalty_cycles=5)
+
+    def test_valid_config(self):
+        config = SimConfig(l2_size_bytes=65536, miss_penalty_cycles=20)
+        assert config.l2_hit_cycles == 5
+
+
+class TestEngineWithL2:
+    @pytest.fixture(scope="class")
+    def pair(self, runner):
+        base = replace(
+            SimConfig(policy=FetchPolicy.ORACLE), miss_penalty_cycles=20
+        )
+        no_l2 = runner.run("gcc", base)
+        with_l2 = runner.run("gcc", replace(base, l2_size_bytes=64 * 1024))
+        return no_l2, with_l2
+
+    def test_l2_counters_populated(self, pair):
+        _, with_l2 = pair
+        assert with_l2.counters.l2_hits > 0
+        assert with_l2.counters.l2_misses > 0
+
+    def test_l2_reduces_ispi(self, pair):
+        no_l2, with_l2 = pair
+        assert with_l2.total_ispi < no_l2.total_ispi
+
+    def test_same_l1_misses(self, pair):
+        """The L2 changes fill latency, not which L1 accesses miss."""
+        no_l2, with_l2 = pair
+        assert (
+            with_l2.counters.right_misses == no_l2.counters.right_misses
+        )
+
+    def test_effective_penalty_between_bounds(self, pair):
+        """Average rt_icache cost per fill must lie between the L2 hit
+        time and the memory latency."""
+        _, with_l2 = pair
+        per_fill = (
+            with_l2.penalties.rt_icache / with_l2.counters.right_fills
+        )
+        assert 5 * 4 <= per_fill <= 20 * 4
+
+    def test_bigger_l2_helps_more(self, runner):
+        base = replace(
+            SimConfig(policy=FetchPolicy.ORACLE), miss_penalty_cycles=20
+        )
+        small = runner.run("gcc", replace(base, l2_size_bytes=32 * 1024))
+        large = runner.run("gcc", replace(base, l2_size_bytes=256 * 1024))
+        assert large.total_ispi <= small.total_ispi

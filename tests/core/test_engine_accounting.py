@@ -1,0 +1,161 @@
+"""Engine timing/accounting on hand-computable programs.
+
+The scenarios here are small enough that every slot can be accounted by
+hand; they pin down the engine's cost model exactly.
+"""
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.errors import SimulationError
+from repro.program import ProgramBuilder
+from repro.trace.generator import generate_trace
+
+PENALTY_SLOTS = 20  # 5 cycles x 4 wide
+
+
+def straight_line_program(region_plain=62):
+    """main = <region_plain plains> + 1-plain block ending in a jump back.
+
+    Total size = region_plain + 2 instructions.  With region_plain=62 the
+    function is exactly 64 instructions = 8 cache lines.
+    """
+    builder = ProgramBuilder("straight")
+    main = builder.function("main")
+    main.block("a", region_plain)
+    main.jump("w", 1, target="a")
+    return builder.build()
+
+
+@pytest.fixture()
+def straight():
+    program = straight_line_program()
+    trace = generate_trace(program, 640, seed=0)  # 10 iterations
+    return program, trace
+
+
+class TestOracleStraightLine:
+    def test_exact_accounting(self, straight):
+        program, trace = straight
+        result = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        counters = result.counters
+        # 64 instructions = 8 lines, all cold on the first pass only.
+        assert counters.right_misses == 8
+        assert counters.right_fills == 8
+        assert result.penalties.rt_icache == 8 * PENALTY_SLOTS
+        # The wrap jump misfetches exactly once (first execution).
+        assert result.branch_stats.btb_misfetches == 1
+        assert result.penalties.branch == 8
+        # Nothing else can be charged in this scenario.
+        assert result.penalties.branch_full == 0
+        assert result.penalties.wrong_icache == 0
+        assert result.penalties.bus == 0
+        assert result.penalties.force_resolve == 0
+        # Oracle never fills the wrong path.
+        assert counters.wrong_fills == 0
+
+    def test_total_cycles(self, straight):
+        program, trace = straight
+        result = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        expected_slots = trace.n_instructions + 8 * PENALTY_SLOTS + 8
+        assert result.total_cycles == pytest.approx(expected_slots / 4)
+
+
+class TestConservativeTax:
+    def test_pessimistic_decode_guard(self, straight):
+        """With no outstanding branches, Pessimistic's guard is the
+        decode of the previous instruction: 7 slots per right-path miss."""
+        program, trace = straight
+        result = simulate(
+            program, trace, SimConfig(policy=FetchPolicy.PESSIMISTIC)
+        )
+        assert result.penalties.force_resolve == 8 * 7
+        assert result.penalties.rt_icache == 8 * PENALTY_SLOTS
+
+    def test_decode_guard_identical_without_branches(self, straight):
+        program, trace = straight
+        pess = simulate(program, trace, SimConfig(policy=FetchPolicy.PESSIMISTIC))
+        deco = simulate(program, trace, SimConfig(policy=FetchPolicy.DECODE))
+        assert deco.penalties.force_resolve == pess.penalties.force_resolve
+
+
+class TestMissPenaltyScaling:
+    @pytest.mark.parametrize("cycles", [5, 20])
+    def test_rt_icache_scales(self, straight, cycles):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.ORACLE, miss_penalty_cycles=cycles)
+        result = simulate(program, trace, config)
+        assert result.penalties.rt_icache == 8 * cycles * 4
+
+    def test_zero_penalty(self, straight):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.ORACLE, miss_penalty_cycles=0)
+        result = simulate(program, trace, config)
+        assert result.penalties.rt_icache == 0
+
+
+class TestPerfectCache:
+    def test_no_cache_penalties(self, straight):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.OPTIMISTIC, perfect_cache=True)
+        result = simulate(program, trace, config)
+        assert result.penalties.rt_icache == 0
+        assert result.penalties.wrong_icache == 0
+        assert result.penalties.bus == 0
+        assert result.counters.right_probes == 0
+        assert result.cache_stats is None
+        # Branch penalties remain.
+        assert result.penalties.branch == 8
+
+
+class TestWarmup:
+    def test_warmup_excludes_compulsory_misses(self, straight):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.ORACLE)
+        warmed = simulate(program, trace, config, warmup=100)
+        # All 8 compulsory misses (and the misfetch) land in the warmup.
+        assert warmed.counters.right_misses == 0
+        assert warmed.penalties.total_slots == 0
+        assert warmed.counters.instructions < trace.n_instructions
+
+    def test_warmup_bounds_validated(self, straight):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.ORACLE)
+        with pytest.raises(SimulationError):
+            simulate(program, trace, config, warmup=trace.n_instructions)
+        with pytest.raises(SimulationError):
+            simulate(program, trace, config, warmup=-1)
+
+    def test_instructions_partitioned(self, straight):
+        program, trace = straight
+        config = SimConfig(policy=FetchPolicy.ORACLE)
+        warmed = simulate(program, trace, config, warmup=300)
+        # Measured instructions = trace minus warmup (to block granularity).
+        assert (
+            trace.n_instructions - 300 - 64
+            <= warmed.counters.instructions
+            <= trace.n_instructions - 300 + 64
+        )
+
+
+class TestMismatches:
+    def test_trace_program_mismatch(self, straight):
+        program, _ = straight
+        other = straight_line_program()
+        object.__setattr__  # noqa: B018 - documentation only
+        trace = generate_trace(other, 100, seed=0)
+        trace.program_name = "someone-else"
+        with pytest.raises(SimulationError):
+            simulate(program, trace, SimConfig())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", list(FetchPolicy))
+    def test_same_inputs_same_outputs(self, straight, policy):
+        program, trace = straight
+        config = SimConfig(policy=policy)
+        r1 = simulate(program, trace, config)
+        r2 = simulate(program, trace, config)
+        assert r1.penalties.as_dict() == r2.penalties.as_dict()
+        assert r1.counters.right_misses == r2.counters.right_misses

@@ -1,0 +1,183 @@
+"""Engine edge cases: misfetch-only workloads, classifier consistency,
+pipelined-channel timing, and odd-but-legal configurations."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.program import ProgramBuilder
+from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def jump_cycle():
+    """A cycle of 100 far jumps, each from a distinct site.
+
+    100 taken sites thrash the 64-entry BTB, so essentially every jump
+    misfetches, forever; blocks are 24 plains + 1 jump (2500 instructions
+    = 10 KB, overflowing the 8K cache), so both right and wrong paths
+    miss.  All redirect windows are misfetch windows — no conditional
+    ever mispredicts because there are no conditionals at all.
+    """
+    builder = ProgramBuilder("jumpcycle")
+    main = builder.function("main")
+    n = 100
+    for i in range(n):
+        target = f"b{(i + 37) % n}"
+        main.jump(f"b{i}", 24, target=target)
+    program = builder.build()
+    trace = generate_trace(program, 20_000, seed=0)
+    return program, trace
+
+
+class TestMisfetchOnlyWorkload:
+    def test_everything_misfetches(self, jump_cycle):
+        program, trace = jump_cycle
+        result = simulate(
+            program, trace, SimConfig(policy=FetchPolicy.ORACLE), warmup=5_000
+        )
+        stats = result.branch_stats
+        # Every jump execution is a misfetch (the BTB can never hold the
+        # whole working set of 100 taken sites).
+        assert stats.btb_misfetches == stats.unconditional
+        assert stats.pht_mispredicts == 0
+        # branch ISPI is exactly 8 slots per misfetch.
+        assert result.penalties.branch == 8 * stats.btb_misfetches
+
+    def test_decode_cancels_every_wrongpath_fill(self, jump_cycle):
+        """All windows are misfetch windows, and Decode's guard catches
+        misfetches: it must never fill a wrong-path miss here."""
+        program, trace = jump_cycle
+        result = simulate(
+            program, trace, SimConfig(policy=FetchPolicy.DECODE), warmup=5_000
+        )
+        assert result.counters.wrong_fills == 0
+        assert result.penalties.wrong_icache == 0
+
+    def test_optimistic_fills_misfetch_windows(self, jump_cycle):
+        program, trace = jump_cycle
+        result = simulate(
+            program, trace,
+            SimConfig(policy=FetchPolicy.OPTIMISTIC), warmup=5_000,
+        )
+        assert result.counters.wrong_fills > 0
+        # A misfetch window is 8 slots; a 20-slot fill always overshoots.
+        assert result.penalties.wrong_icache > 0
+
+    def test_decode_beats_pessimistic_here(self, jump_cycle):
+        """With only misfetches, Decode's cheaper guard (decode-only wait)
+        should never lose to Pessimistic's."""
+        program, trace = jump_cycle
+        decode = simulate(
+            program, trace, SimConfig(policy=FetchPolicy.DECODE), warmup=5_000
+        )
+        pess = simulate(
+            program, trace,
+            SimConfig(policy=FetchPolicy.PESSIMISTIC), warmup=5_000,
+        )
+        assert decode.total_ispi <= pess.total_ispi
+        # Without unresolved conditionals, the two guards are identical.
+        assert decode.penalties.force_resolve == pess.penalties.force_resolve
+
+
+class TestClassifierConsistency:
+    def test_classifier_counts_match_engine_counters(self, runner):
+        config = replace(
+            SimConfig(policy=FetchPolicy.OPTIMISTIC), classify=True
+        )
+        result = runner.run("gcc", config)
+        cls = result.classification
+        n = result.counters.instructions
+        # Right-path misses on the Optimistic cache = Both Miss + Pollute.
+        assert result.counters.right_misses == round(
+            (cls.both_miss + cls.spec_pollute) * n / 100
+        )
+        # Wrong-path misses = the Wrong Path category.
+        assert result.counters.wrong_misses == round(cls.wrong_path * n / 100)
+
+    def test_perfect_cache_has_no_classification(self, gcc_run):
+        program, trace = gcc_run.program, gcc_run.trace
+        config = replace(
+            SimConfig(policy=FetchPolicy.OPTIMISTIC, perfect_cache=True),
+            classify=True,
+        )
+        result = simulate(program, trace, config)
+        assert result.classification is None
+
+
+class TestPipelinedChannelTiming:
+    def test_interleaved_requests_overlap(self):
+        from repro.memory import MemoryBus
+
+        serial = MemoryBus()
+        piped = MemoryBus(interleave_slots=8)
+        for bus in (serial, piped):
+            bus.request(0, 20)
+        # Second request: serial starts at 20, pipelined at 8.
+        assert serial.request(0, 20)[0] == 20
+        assert piped.request(0, 20)[0] == 8
+
+    def test_pipelined_completion_still_full_latency(self):
+        from repro.memory import MemoryBus
+
+        bus = MemoryBus(interleave_slots=4)
+        _, done = bus.request(0, 20)
+        assert done == 20
+        start, done2 = bus.request(0, 20)
+        assert (start, done2) == (4, 24)
+
+
+class TestOddConfigurations:
+    def test_zero_warmup_explicit(self, gcc_run):
+        result = simulate(
+            gcc_run.program, gcc_run.trace, SimConfig(), warmup=0
+        )
+        assert result.counters.instructions == gcc_run.trace.n_instructions
+
+    def test_depth_one_with_everything_enabled(self, gcc_run):
+        config = replace(
+            SimConfig(policy=FetchPolicy.RESUME),
+            max_unresolved=1,
+            prefetch=True,
+            target_prefetch=True,
+            stream_buffers=2,
+            l2_size_bytes=64 * 1024,
+            fill_buffers=2,
+            bus_interleave_cycles=2,
+        )
+        result = simulate(gcc_run.program, gcc_run.trace, config, warmup=5_000)
+        assert result.total_ispi > 0
+        assert result.penalties.branch_full > 0  # depth 1 must stall
+
+    def test_one_cycle_everything(self, gcc_run):
+        config = replace(
+            SimConfig(policy=FetchPolicy.OPTIMISTIC),
+            miss_penalty_cycles=1,
+            decode_cycles=1,
+            resolve_cycles=1,
+        )
+        result = simulate(gcc_run.program, gcc_run.trace, config, warmup=5_000)
+        # With 1-cycle resolution the mispredict penalty is 4 slots.
+        stats = result.branch_stats
+        assert result.penalties.branch == (
+            4 * (stats.pht_mispredicts + stats.btb_mispredicts)
+            + 4 * stats.btb_misfetches
+        )
+
+    def test_wide_issue_width(self, gcc_run):
+        """An 8-wide front end halves the per-event cycle penalties but
+        doubles the slots; penalties stay proportional."""
+        narrow = simulate(
+            gcc_run.program, gcc_run.trace,
+            SimConfig(policy=FetchPolicy.ORACLE), warmup=5_000,
+        )
+        wide = simulate(
+            gcc_run.program, gcc_run.trace,
+            replace(SimConfig(policy=FetchPolicy.ORACLE), issue_width=8),
+            warmup=5_000,
+        )
+        # Same misses; each costs twice the slots at the same cycle count.
+        assert wide.counters.right_misses == narrow.counters.right_misses
+        assert wide.penalties.rt_icache == 2 * narrow.penalties.rt_icache

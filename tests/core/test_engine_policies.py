@@ -1,0 +1,215 @@
+"""Policy semantics: what each fetch policy may and may not do."""
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig, paper_baseline
+from repro.core.engine import simulate
+from repro.program import PatternBehaviour, ProgramBuilder
+from repro.trace.generator import generate_trace
+
+
+def dense_conditional_program(n_conds=3, spacing=0):
+    """A chain of always-not-taken conditionals, *spacing* plains apart.
+
+    With ``spacing=0`` the conditionals issue on consecutive slots, so
+    they outrun the resolve bandwidth even at depth 4; with ``spacing=8``
+    a conditional issues every ~9 slots and at most two are outstanding.
+    """
+    builder = ProgramBuilder("dense")
+    main = builder.function("main")
+    labels = [f"c{i}" for i in range(n_conds)]
+    for i, label in enumerate(labels):
+        nxt = labels[i + 1] if i + 1 < n_conds else "w"
+        main.cond(
+            label, spacing, target=nxt, behaviour=PatternBehaviour((False,))
+        )
+    main.jump("w", 3, target=labels[0])
+    return builder.build()
+
+
+class TestBranchFull:
+    def test_depth_one_stalls(self):
+        program = dense_conditional_program()
+        trace = generate_trace(program, 400, seed=0)
+        config = SimConfig(
+            policy=FetchPolicy.ORACLE, perfect_cache=True, max_unresolved=1
+        )
+        result = simulate(program, trace, config)
+        assert result.penalties.branch_full > 0
+
+    def test_depth_four_fits(self):
+        program = dense_conditional_program(n_conds=3, spacing=8)
+        trace = generate_trace(program, 400, seed=0)
+        config = SimConfig(
+            policy=FetchPolicy.ORACLE, perfect_cache=True, max_unresolved=4
+        )
+        result = simulate(program, trace, config)
+        assert result.penalties.branch_full == 0
+
+    def test_depth_one_stalls_even_when_spaced(self):
+        program = dense_conditional_program(n_conds=3, spacing=8)
+        trace = generate_trace(program, 400, seed=0)
+        config = SimConfig(
+            policy=FetchPolicy.ORACLE, perfect_cache=True, max_unresolved=1
+        )
+        result = simulate(program, trace, config)
+        assert result.penalties.branch_full > 0
+
+    def test_deeper_is_never_worse(self):
+        program = dense_conditional_program(n_conds=5)
+        trace = generate_trace(program, 1_000, seed=0)
+        totals = []
+        for depth in (1, 2, 4):
+            config = SimConfig(
+                policy=FetchPolicy.ORACLE, perfect_cache=True, max_unresolved=depth
+            )
+            totals.append(simulate(program, trace, config).total_ispi)
+        assert totals[0] >= totals[1] >= totals[2]
+
+
+class TestPolicyInvariantsOnWorkload:
+    """Cross-policy invariants on a realistic workload (gcc)."""
+
+    @pytest.fixture(scope="class")
+    def results(self, runner):
+        return {
+            policy: runner.run("gcc", paper_baseline(policy))
+            for policy in FetchPolicy
+        }
+
+    def test_oracle_never_fills_wrong_path(self, results):
+        oracle = results[FetchPolicy.ORACLE]
+        assert oracle.counters.wrong_fills == 0
+        assert oracle.penalties.wrong_icache == 0
+        assert oracle.penalties.bus == 0
+        assert oracle.penalties.force_resolve == 0
+
+    def test_pessimistic_never_fills_wrong_path(self, results):
+        pess = results[FetchPolicy.PESSIMISTIC]
+        assert pess.counters.wrong_fills == 0
+        assert pess.penalties.wrong_icache == 0
+        assert pess.penalties.force_resolve > 0
+
+    def test_oracle_pessimistic_identical_fills(self, results):
+        """The paper's footnote: Oracle and Pessimistic generate the same
+        number of I-cache misses (their fill sequences are identical)."""
+        oracle = results[FetchPolicy.ORACLE]
+        pess = results[FetchPolicy.PESSIMISTIC]
+        assert oracle.counters.right_misses == pess.counters.right_misses
+        assert oracle.counters.right_fills == pess.counters.right_fills
+
+    def test_optimistic_blocks_on_wrong_path(self, results):
+        opt = results[FetchPolicy.OPTIMISTIC]
+        assert opt.counters.wrong_fills > 0
+        assert opt.penalties.wrong_icache > 0
+        assert opt.penalties.bus == 0  # blocking: it always waits in place
+        assert opt.penalties.force_resolve == 0
+
+    def test_resume_backgrounds_wrong_path_fills(self, results):
+        resume = results[FetchPolicy.RESUME]
+        assert resume.counters.wrong_fills > 0
+        assert resume.penalties.wrong_icache == 0  # never stalls past window
+        assert resume.penalties.bus > 0
+        assert resume.counters.inflight_merges > 0
+
+    def test_optimistic_resume_similar_miss_counts(self, results):
+        """The paper's footnote says Optimistic and Resume generate the
+        same misses; our Resume can skip a fill when its single buffer is
+        busy, so we require close agreement rather than equality."""
+        opt = results[FetchPolicy.OPTIMISTIC].counters
+        res = results[FetchPolicy.RESUME].counters
+        total_opt = opt.right_misses + opt.wrong_misses
+        total_res = res.right_misses + res.wrong_misses
+        assert abs(total_opt - total_res) / total_opt < 0.15
+
+    def test_decode_between_extremes(self, results):
+        decode = results[FetchPolicy.DECODE]
+        opt = results[FetchPolicy.OPTIMISTIC]
+        assert decode.penalties.force_resolve > 0
+        # Decode fills mispredict-window misses but not misfetch-window
+        # ones, so it fills less than Optimistic.
+        assert 0 < decode.counters.wrong_fills < opt.counters.wrong_fills
+
+    def test_branch_component_policy_independent(self, results):
+        """Branch penalties come from the predictors, which see the same
+        trace under every policy; tiny differences can only come from
+        resolution-timing effects on the history register."""
+        values = [r.ispi("branch") for r in results.values()]
+        assert max(values) - min(values) < 0.05 * max(values)
+
+    def test_oracle_close_to_best(self, results):
+        """Oracle is the yardstick: no policy should beat it by much
+        (wrong-path prefetching can give Resume a small edge, as in the
+        paper's Table 5)."""
+        oracle = results[FetchPolicy.ORACLE].total_ispi
+        for policy, result in results.items():
+            assert result.total_ispi > 0.9 * oracle, policy
+
+    def test_resume_is_best_realizable(self, results):
+        resume = results[FetchPolicy.RESUME].total_ispi
+        for policy in (FetchPolicy.OPTIMISTIC, FetchPolicy.PESSIMISTIC,
+                       FetchPolicy.DECODE):
+            assert resume <= results[policy].total_ispi
+
+
+class TestPrefetching:
+    @pytest.fixture(scope="class")
+    def streaming(self):
+        """A code region twice the 8K cache: every pass misses everything."""
+        builder = ProgramBuilder("stream")
+        main = builder.function("main")
+        main.block("a", 4094)
+        main.jump("w", 1, target="a")
+        program = builder.build()
+        trace = generate_trace(program, 13_000, seed=0)  # ~3 passes
+        return program, trace
+
+    def test_prefetch_reduces_ispi_at_small_penalty(self, streaming):
+        program, trace = streaming
+        plain = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        pref = simulate(
+            program, trace,
+            SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+        )
+        assert pref.counters.prefetches > 0
+        assert pref.total_ispi < plain.total_ispi
+        # Prefetching converts full-latency rt_icache stalls into shorter
+        # bus waits for the in-flight prefetch.
+        assert pref.penalties.rt_icache < plain.penalties.rt_icache
+        assert pref.penalties.bus > 0
+
+    def test_prefetched_lines_fully_cover_with_short_fill(self, streaming):
+        """With a 1-cycle fill the prefetch completes before the stream
+        reaches the line: demand probes become genuine prefetch hits."""
+        program, trace = streaming
+        pref = simulate(
+            program, trace,
+            SimConfig(
+                policy=FetchPolicy.ORACLE, prefetch=True, miss_penalty_cycles=1
+            ),
+        )
+        assert pref.counters.prefetch_hits > 0
+
+    def test_slow_fill_gives_partial_coverage(self, streaming):
+        """With a 5-cycle fill the stream always catches the prefetch in
+        flight: no full hits, but the miss merges with the in-flight fill
+        (bus wait shorter than the full penalty)."""
+        program, trace = streaming
+        pref = simulate(
+            program, trace,
+            SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+        )
+        assert pref.counters.prefetch_hits == 0
+        assert pref.counters.inflight_merges > 0
+
+    def test_prefetch_increases_traffic_on_workload(self, runner):
+        from dataclasses import replace
+
+        plain = runner.run("gcc", SimConfig(policy=FetchPolicy.PESSIMISTIC))
+        pref = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.PESSIMISTIC), prefetch=True),
+        )
+        assert (
+            pref.counters.memory_accesses > plain.counters.memory_accesses
+        )

@@ -1,0 +1,159 @@
+"""Engine extensions: non-blocking fills, pipelined bus, prefetch variants,
+target prefetching."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.errors import ConfigError
+from repro.program import ProgramBuilder
+from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def streaming():
+    """A 16KB straight-line region: every pass misses every line at 8K."""
+    builder = ProgramBuilder("stream")
+    main = builder.function("main")
+    main.block("a", 4094)
+    main.jump("w", 1, target="a")
+    program = builder.build()
+    trace = generate_trace(program, 13_000, seed=0)
+    return program, trace
+
+
+class TestConfigValidation:
+    def test_bad_variant(self):
+        with pytest.raises(ConfigError):
+            SimConfig(prefetch_variant="psychic")
+
+    def test_bad_fill_buffers(self):
+        with pytest.raises(ConfigError):
+            SimConfig(fill_buffers=0)
+
+    def test_bad_interleave(self):
+        with pytest.raises(ConfigError):
+            SimConfig(bus_interleave_cycles=0)
+
+
+class TestPipelinedBus:
+    def test_pipelined_prefetch_stream_is_faster(self, streaming):
+        """With pipelined misses, the prefetcher can run ahead of the
+        stream instead of serialising with demand fills."""
+        program, trace = streaming
+        serial = simulate(
+            program, trace,
+            SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+        )
+        pipelined = simulate(
+            program, trace,
+            replace(
+                SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+                bus_interleave_cycles=2,
+                fill_buffers=2,
+            ),
+        )
+        assert pipelined.total_ispi < serial.total_ispi
+
+    def test_pipelining_alone_helps_demand_stream(self, streaming):
+        program, trace = streaming
+        serial = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        pipelined = simulate(
+            program, trace,
+            replace(SimConfig(policy=FetchPolicy.ORACLE),
+                    bus_interleave_cycles=1),
+        )
+        # Pure blocking demand misses cannot overlap (the processor waits
+        # for each fill), so pipelining alone changes nothing here.
+        assert pipelined.total_ispi == serial.total_ispi
+
+
+class TestPrefetchVariants:
+    @pytest.mark.parametrize("variant", ["tagged", "always", "on-miss"])
+    def test_all_variants_issue_prefetches(self, streaming, variant):
+        program, trace = streaming
+        result = simulate(
+            program, trace,
+            replace(
+                SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+                prefetch_variant=variant,
+            ),
+        )
+        assert result.counters.prefetches > 0
+
+    def test_variants_all_beat_no_prefetch_on_stream(self, streaming):
+        program, trace = streaming
+        plain = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        for variant in ("tagged", "always", "on-miss"):
+            pref = simulate(
+                program, trace,
+                replace(
+                    SimConfig(policy=FetchPolicy.ORACLE, prefetch=True),
+                    prefetch_variant=variant,
+                ),
+            )
+            assert pref.total_ispi < plain.total_ispi, variant
+
+
+class TestTargetPrefetch:
+    def test_issues_on_workload(self, runner):
+        result = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.RESUME), target_prefetch=True),
+        )
+        assert result.counters.target_prefetches > 0
+        # The prefetched alternate arms turn later wrong-path misses into
+        # hits, so wrong-path demand fills drop.
+        plain = runner.run("gcc", SimConfig(policy=FetchPolicy.RESUME))
+        assert result.counters.wrong_fills < plain.counters.wrong_fills
+
+    def test_reduces_ispi_on_workload(self, runner):
+        plain = runner.run("gcc", SimConfig(policy=FetchPolicy.RESUME))
+        target = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.RESUME), target_prefetch=True),
+        )
+        assert target.total_ispi < plain.total_ispi * 1.02
+
+    def test_no_target_prefetch_without_flag(self, runner):
+        result = runner.run("gcc", SimConfig(policy=FetchPolicy.RESUME))
+        assert result.counters.target_prefetches == 0
+
+
+class TestNonBlockingResume:
+    def test_multiple_background_fills_possible(self, runner):
+        config = replace(
+            SimConfig(policy=FetchPolicy.RESUME),
+            miss_penalty_cycles=20,
+            fill_buffers=4,
+            bus_interleave_cycles=2,
+        )
+        multi = runner.run("gcc", config)
+        single = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.RESUME),
+                    miss_penalty_cycles=20),
+        )
+        # More channels + buffers means more wrong-path fills get issued...
+        assert multi.counters.wrong_fills >= single.counters.wrong_fills
+        # ...and the right path waits far less for the channel.
+        assert multi.penalties.bus < single.penalties.bus
+
+    def test_pipelined_nonblocking_beats_blocking_at_long_latency(self, runner):
+        blocking = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.RESUME),
+                    miss_penalty_cycles=20),
+        )
+        nonblocking = runner.run(
+            "gcc",
+            replace(
+                SimConfig(policy=FetchPolicy.RESUME),
+                miss_penalty_cycles=20,
+                fill_buffers=4,
+                bus_interleave_cycles=2,
+            ),
+        )
+        assert nonblocking.total_ispi < blocking.total_ispi

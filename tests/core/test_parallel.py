@@ -1,0 +1,94 @@
+"""Multi-process sweep runner."""
+
+import pytest
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.parallel import ParallelRunner
+from repro.core.runner import SimulationRunner
+from repro.errors import ExperimentError
+
+TRACE = 15_000
+WARMUP = 3_000
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return SimulationRunner(trace_length=TRACE, warmup=WARMUP, seed=7)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return ParallelRunner(
+        trace_length=TRACE, warmup=WARMUP, seed=7, max_workers=2
+    )
+
+
+class TestValidation:
+    def test_bad_trace_length(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner(trace_length=0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner(trace_length=100, warmup=100)
+
+    def test_bad_workers(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner(max_workers=0)
+
+
+class TestRunJobs:
+    def test_empty(self, parallel):
+        assert parallel.run_jobs([]) == []
+
+    def test_matches_serial_exactly(self, serial, parallel):
+        jobs = [
+            ("li", SimConfig(policy=FetchPolicy.RESUME)),
+            ("li", SimConfig(policy=FetchPolicy.PESSIMISTIC)),
+            ("doduc", SimConfig(policy=FetchPolicy.ORACLE)),
+        ]
+        parallel_results = parallel.run_jobs(jobs)
+        for (name, config), presult in zip(jobs, parallel_results):
+            sresult = serial.run(name, config)
+            assert presult.penalties.as_dict() == sresult.penalties.as_dict()
+            assert (
+                presult.counters.right_misses == sresult.counters.right_misses
+            )
+
+    def test_job_order_preserved(self, parallel):
+        jobs = [
+            ("doduc", SimConfig(policy=FetchPolicy.ORACLE)),
+            ("li", SimConfig(policy=FetchPolicy.ORACLE)),
+            ("doduc", SimConfig(policy=FetchPolicy.PESSIMISTIC)),
+        ]
+        results = parallel.run_jobs(jobs)
+        assert results[0].program == "doduc"
+        assert results[1].program == "li"
+        assert results[2].program == "doduc"
+        assert results[2].config.policy is FetchPolicy.PESSIMISTIC
+
+    def test_single_worker_path(self):
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=7, max_workers=1
+        )
+        results = runner.run_jobs([("li", SimConfig())])
+        assert results[0].program == "li"
+
+
+class TestRunMatrix:
+    def test_shape_matches_serial(self, serial, parallel):
+        names = ("li", "doduc")
+        policies = (FetchPolicy.ORACLE, FetchPolicy.RESUME)
+        pmatrix = parallel.run_matrix(names, SimConfig(), policies)
+        smatrix = serial.run_matrix(names, SimConfig(), policies)
+        assert set(pmatrix) == set(smatrix)
+        for name in names:
+            for policy in policies:
+                assert (
+                    pmatrix[name][policy].total_ispi
+                    == smatrix[name][policy].total_ispi
+                )
+
+    def test_all_policies_default(self, parallel):
+        matrix = parallel.run_matrix(("li",), SimConfig())
+        assert set(matrix["li"]) == set(ALL_POLICIES)

@@ -1,0 +1,92 @@
+"""Result containers and ISPI math."""
+
+import pytest
+
+from repro.branch.unit import BranchStats
+from repro.config import SimConfig
+from repro.core.results import (
+    COMPONENTS,
+    EngineCounters,
+    PenaltyAccumulator,
+    SimulationResult,
+)
+from repro.errors import SimulationError
+
+
+def make_result(instructions=1000, **penalty_slots):
+    penalties = PenaltyAccumulator()
+    for component, slots in penalty_slots.items():
+        penalties.add(component, slots)
+    counters = EngineCounters()
+    counters.instructions = instructions
+    return SimulationResult(
+        program="toy",
+        config=SimConfig(),
+        penalties=penalties,
+        counters=counters,
+        branch_stats=BranchStats(),
+        cache_stats=None,
+    )
+
+
+class TestPenaltyAccumulator:
+    def test_components_complete(self):
+        acc = PenaltyAccumulator()
+        assert set(acc.as_dict()) == set(COMPONENTS)
+
+    def test_add(self):
+        acc = PenaltyAccumulator()
+        acc.add("branch", 16)
+        acc.add("branch", 8)
+        assert acc.branch == 24
+        assert acc.total_slots == 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            PenaltyAccumulator().add("bus", -1)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(AttributeError):
+            PenaltyAccumulator().add("voodoo", 4)
+
+
+class TestSimulationResult:
+    def test_ispi(self):
+        result = make_result(instructions=1000, branch=160, rt_icache=40)
+        assert result.ispi("branch") == pytest.approx(0.16)
+        assert result.total_ispi == pytest.approx(0.2)
+
+    def test_breakdown_sums_to_total(self):
+        result = make_result(instructions=500, branch=80, bus=20, rt_icache=100)
+        breakdown = result.ispi_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(result.total_ispi)
+
+    def test_zero_instructions_raises(self):
+        result = make_result(instructions=0)
+        with pytest.raises(SimulationError):
+            _ = result.total_ispi
+
+    def test_total_cycles(self):
+        result = make_result(instructions=400, branch=80)
+        # (400 useful + 80 lost) slots at 4 wide.
+        assert result.total_cycles == pytest.approx(120.0)
+
+    def test_branch_ispi_unknown_cause(self):
+        result = make_result(instructions=100)
+        with pytest.raises(SimulationError):
+            result.branch_ispi("cosmic_rays")
+
+    def test_miss_rate_percent(self):
+        result = make_result(instructions=1000)
+        result.counters.right_misses = 37
+        assert result.miss_rate_percent == pytest.approx(3.7)
+
+    def test_counters_memory_accesses(self):
+        counters = EngineCounters()
+        counters.right_fills = 3
+        counters.wrong_fills = 2
+        counters.prefetches = 4
+        assert counters.memory_accesses == 9
+
+    def test_summary_renders(self):
+        assert "toy" in make_result(instructions=10).summary()

@@ -1,0 +1,73 @@
+"""SimulationRunner caching and orchestration."""
+
+import pytest
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.runner import SimulationRunner
+from repro.errors import ExperimentError
+
+
+class TestRunnerCaching:
+    def test_program_cached(self, runner):
+        assert runner.program("li") is runner.program("li")
+
+    def test_trace_cached(self, runner):
+        assert runner.trace("li") is runner.trace("li")
+
+    def test_trace_length_honoured(self):
+        small = SimulationRunner(trace_length=5_000, warmup=1_000)
+        trace = small.trace("li")
+        assert 5_000 <= trace.n_instructions < 5_200
+
+    def test_unknown_benchmark(self, runner):
+        with pytest.raises(ExperimentError):
+            runner.run("spice", SimConfig())
+
+
+class TestRunnerValidation:
+    def test_bad_trace_length(self):
+        with pytest.raises(ExperimentError):
+            SimulationRunner(trace_length=0)
+
+    def test_warmup_must_fit(self):
+        with pytest.raises(ExperimentError):
+            SimulationRunner(trace_length=1_000, warmup=1_000)
+
+    def test_default_warmup_scales_down(self):
+        runner = SimulationRunner(trace_length=8_000)
+        assert runner.warmup == 2_000
+
+    def test_default_warmup_capped(self):
+        runner = SimulationRunner(trace_length=1_000_000)
+        assert runner.warmup == 50_000
+
+
+class TestSweeps:
+    def test_run_policies_keys(self, runner):
+        results = runner.run_policies("li", SimConfig())
+        assert set(results) == set(ALL_POLICIES)
+        for policy, result in results.items():
+            assert result.config.policy is policy
+
+    def test_run_policies_subset(self, runner):
+        subset = (FetchPolicy.ORACLE, FetchPolicy.RESUME)
+        results = runner.run_policies("li", SimConfig(), subset)
+        assert set(results) == set(subset)
+
+    def test_run_suite(self, runner):
+        results = runner.run_suite(["li", "doduc"], SimConfig())
+        assert set(results) == {"li", "doduc"}
+        assert results["li"].program == "li"
+
+    def test_run_matrix_shape(self, runner):
+        subset = (FetchPolicy.ORACLE, FetchPolicy.PESSIMISTIC)
+        matrix = runner.run_matrix(["li"], SimConfig(), subset)
+        assert set(matrix) == {"li"}
+        assert set(matrix["li"]) == set(subset)
+
+    def test_warmup_applied(self, runner):
+        result = runner.run("li", SimConfig())
+        assert (
+            result.counters.instructions
+            <= runner.trace_length - runner.warmup + 128
+        )

@@ -1,0 +1,46 @@
+"""The repro-experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiments == ["table2"]
+        assert args.trace_length == 200_000
+        assert args.seed == 1995
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["figure1", "--trace-length", "5000", "--seed", "3", "--warmup", "100"]
+        )
+        assert args.trace_length == 5000
+        assert args.seed == 3
+        assert args.warmup == 100
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(EXPERIMENTS)
+
+    def test_no_experiments_is_error(self, capsys):
+        assert main([]) == 2
+        assert "no experiments" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_error(self, capsys):
+        assert main(["table99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_runs_one_experiment(self, capsys):
+        code = main(["table2", "--trace-length", "8000", "--warmup", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "doduc" in out
+        assert "regenerated" in out

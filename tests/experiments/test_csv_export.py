@@ -1,0 +1,52 @@
+"""CSV export of experiment tables."""
+
+from repro.report import Table
+from repro.report.csv_export import save_experiment_csv, save_table_csv, table_to_csv
+
+
+def make_table():
+    table = Table(headers=["Program", "ISPI"])
+    table.add_row("gcc", 1.5)
+    table.add_separator()
+    table.add_row("Average", 1.5)
+    return table
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = table_to_csv(make_table())
+        lines = text.strip().splitlines()
+        assert lines[0] == "Program,ISPI"
+        assert lines[1] == "gcc,1.5"
+        assert lines[2] == "Average,1.5"
+
+    def test_separators_dropped(self):
+        assert "---" not in table_to_csv(make_table())
+
+    def test_none_becomes_empty(self):
+        table = Table(headers=["a", "b"])
+        table.add_row("x", None)
+        assert table_to_csv(table).strip().splitlines()[1] == "x,"
+
+    def test_save_to_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_table_csv(make_table(), path)
+        assert path.read_text().startswith("Program,ISPI")
+
+    def test_save_experiment(self, tmp_path, runner):
+        from repro.experiments import run_table2
+
+        result = run_table2(runner, benchmarks=("li",))
+        paths = save_experiment_csv(result, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].endswith("table2.csv")
+        content = (tmp_path / "table2.csv").read_text()
+        assert "li" in content
+
+    def test_multi_table_experiment(self, tmp_path, runner):
+        from repro.experiments import run_extension_prefetch_variants
+
+        result = run_extension_prefetch_variants(runner, benchmarks=("li",))
+        paths = save_experiment_csv(result, tmp_path)
+        assert len(paths) == 2
+        assert paths[1].endswith("_1.csv")

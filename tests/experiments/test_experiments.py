@@ -1,0 +1,237 @@
+"""Experiment runners: structure and basic sanity of every artifact.
+
+These run on reduced benchmark subsets with the shared short-trace runner;
+full-suite reproduction numbers live in the benchmark harness and
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.config import ALL_POLICIES
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    get_experiment,
+    run_ablation_assoc,
+    run_ablation_btb,
+    run_ablation_btbupd,
+    run_ablation_pht,
+    run_ablation_ras,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+SMALL = ("doduc", "gcc")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "figure1", "figure2", "figure3", "figure4",
+        }
+        assert expected <= set(EXPERIMENTS)
+        assert set(PAPER_EXPERIMENTS) == expected
+
+    def test_ablations_present(self):
+        assert {
+            "ablation_btb", "ablation_pht", "ablation_assoc",
+            "ablation_btbupd", "ablation_ras",
+        } <= set(EXPERIMENTS)
+
+    def test_extensions_present(self):
+        assert {
+            "extension_nonblocking",
+            "extension_prefetch_variants",
+            "extension_reorder",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table99")
+
+
+class TestCharacterization:
+    def test_table2(self, runner):
+        result = run_table2(runner, benchmarks=SMALL)
+        table = result.tables[0]
+        assert table.column("Program") == list(SMALL)
+        for pct in table.column("%Br"):
+            assert 1.0 < pct < 30.0
+
+    def test_table3(self, runner):
+        result = run_table3(runner, benchmarks=SMALL)
+        data = result.data["per_benchmark"]
+        for name in SMALL:
+            row = data[name]
+            # 8K cache cannot have a lower miss rate than 32K.
+            assert row["miss_8k"] >= row["miss_32k"]
+            assert row["pht_b4"] >= 0
+        # gcc misses more than doduc in both caches (paper ordering).
+        assert data["gcc"]["miss_8k"] > data["doduc"]["miss_8k"]
+
+
+class TestMissClassification:
+    def test_table4_structure(self, runner):
+        result = run_table4(runner, benchmarks=SMALL)
+        data = result.data["per_benchmark"]
+        for name in SMALL:
+            row = data[name]
+            assert row["both_miss"] > 0
+            assert row["wrong_path"] > 0
+            assert row["traffic_ratio"] > 1.0
+
+    def test_table4_prefetch_beats_pollution(self, runner):
+        result = run_table4(runner, benchmarks=SMALL)
+        for row in result.data["per_benchmark"].values():
+            assert row["spec_prefetch"] > row["spec_pollute"]
+
+
+class TestBreakdownFigures:
+    def test_figure1_structure(self, runner):
+        result = run_figure1(runner, benchmarks=SMALL)
+        data = result.data["per_benchmark"]
+        assert set(data) == set(SMALL)
+        for per_policy in data.values():
+            assert set(per_policy) == {p.value for p in ALL_POLICIES}
+        assert result.charts
+
+    def test_figure1_policy_claims(self, runner):
+        result = run_figure1(runner, benchmarks=SMALL)
+        table = result.tables[0]
+        for name in SMALL:
+            row = dict(zip(table.headers, table.row_by_key(name)))
+            # Resume is the best realizable policy at the small penalty.
+            assert row["Res"] <= row["Opt"] + 1e-9
+            assert row["Res"] <= row["Pess"] + 1e-9
+            # Optimistic beats Pessimistic at the small penalty.
+            assert row["Opt"] < row["Pess"]
+
+    def test_figure2_long_latency(self, runner):
+        result = run_figure2(runner, benchmarks=SMALL)
+        row = dict(
+            zip(result.tables[0].headers, result.tables[0].row_by_key("gcc"))
+        )
+        # At 20 cycles the Pessimistic/Optimistic gap closes dramatically
+        # (for C programs the paper has Pessimistic winning).
+        assert row["Pess"] < 1.25 * row["Opt"]
+
+
+class TestDepthAndSize:
+    def test_table5_depth_monotonic(self, runner):
+        result = run_table5(runner, benchmarks=SMALL, depths=(1, 4))
+        for name in SMALL:
+            row = result.data["per_benchmark"][name]
+            for policy in ALL_POLICIES:
+                assert (
+                    row[f"B4-{policy.value}"] <= row[f"B1-{policy.value}"] * 1.02
+                )
+
+    def test_table6_policy_gap_compresses(self, runner):
+        from repro.experiments import run_figure1
+
+        small_cache = run_figure1(runner, benchmarks=("gcc",))
+        large_cache = run_table6(runner, benchmarks=("gcc",))
+        row8 = small_cache.data["per_benchmark"]["gcc"]
+        gap8 = sum(row8["pessimistic"].values()) - sum(row8["resume"].values())
+        row32 = large_cache.data["per_benchmark"]["gcc"]
+        gap32 = row32["pessimistic"] - row32["resume"]
+        assert gap32 < gap8
+
+
+class TestPrefetchExperiments:
+    def test_figure3_prefetch_helps(self, runner):
+        result = run_figure3(runner, benchmarks=("gcc",))
+        data = result.data["per_benchmark"]["gcc"]
+        for label in ("Oracle", "Res", "Pess"):
+            plain = sum(data[label].values())
+            pref = sum(data[f"{label}+Pref"].values())
+            assert pref < plain * 1.02  # prefetch helps (or is neutral)
+
+    def test_table7_traffic_increases(self, runner):
+        result = run_table7(runner, benchmarks=SMALL)
+        for row in result.data["per_benchmark"].values():
+            for ratio in row.values():
+                assert ratio > 1.0
+
+
+class TestAblations:
+    def test_btb_designs_comparable(self, runner):
+        """Both designs must run and land in the same ballpark.  Which one
+        wins depends on the workload's PHT-aliasing pressure (per-entry
+        counters dodge gshare interference), so no direction is asserted."""
+        result = run_ablation_btb(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert row["decoupled"] > 0
+        assert row["coupled"] > 0
+        assert 0.5 < row["coupled"] / row["decoupled"] < 2.0
+
+    def test_pht_kinds_all_run(self, runner):
+        result = run_ablation_pht(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert set(row) == {"gshare", "bimodal", "gag"}
+
+    def test_assoc_reduces_misses(self, runner):
+        result = run_ablation_assoc(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert row["miss_2"] <= row["miss_1"] * 1.05
+
+    def test_btb_update_timing_close(self, runner):
+        result = run_ablation_btbupd(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert row["speculative"] <= row["resolved"] * 1.25
+
+    def test_ras_removes_return_mispredicts(self, runner):
+        result = run_ablation_ras(runner, benchmarks=("li",))
+        row = result.data["per_benchmark"]["li"]
+        assert row["ras"] <= row["btb"]
+
+
+class TestExtensions:
+    def test_nonblocking_pipelined_wins(self, runner):
+        from repro.experiments import run_extension_nonblocking
+
+        result = run_extension_nonblocking(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert row["4buf+pipe"] < row["1buf"]
+
+    def test_prefetch_variants_structure(self, runner):
+        from repro.experiments import run_extension_prefetch_variants
+
+        result = run_extension_prefetch_variants(runner, benchmarks=("gcc",))
+        row = result.data["per_benchmark"]["gcc"]
+        assert set(row) == {
+            "none", "tagged", "always", "on-miss", "fetchahead",
+            "target", "tag+tgt",
+        }
+        # Next-line prefetching dominates the combined gain (Pierce 95).
+        gain_tagged = row["none"]["ispi"] - row["tagged"]["ispi"]
+        gain_combined = row["none"]["ispi"] - row["tag+tgt"]["ispi"]
+        assert gain_tagged > 0.6 * gain_combined
+
+    def test_reorder_produces_all_strategies(self, runner):
+        from repro.experiments import run_extension_reorder
+
+        result = run_extension_reorder(runner, benchmarks=("li",))
+        row = result.data["per_benchmark"]["li"]
+        assert set(row) == {"original", "hot-first", "shuffle"}
+        for cell in row.values():
+            assert cell["miss"] > 0
+            assert cell["ispi"] > 0
+
+
+class TestRendering:
+    def test_every_experiment_renders(self, runner):
+        # Smoke-render the cheapest experiment end to end.
+        result = run_table2(runner, benchmarks=("li",))
+        text = result.render()
+        assert "table2" in text
+        assert "li" in text

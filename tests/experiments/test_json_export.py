@@ -1,0 +1,91 @@
+"""JSON export of experiment results and the CLI --output-dir flag."""
+
+import json
+
+import pytest
+
+from repro.report import (
+    experiment_to_dict,
+    experiment_to_json,
+    save_experiment_json,
+)
+
+
+@pytest.fixture(scope="module")
+def table2_result(runner):
+    from repro.experiments import run_table2
+
+    return run_table2(runner, benchmarks=("li", "doduc"))
+
+
+class TestJsonExport:
+    def test_dict_structure(self, table2_result):
+        payload = experiment_to_dict(table2_result)
+        assert payload["experiment_id"] == "table2"
+        assert payload["paper_ref"] == "Table 2"
+        assert "per_benchmark" in payload["data"]
+        assert payload["tables"][0]["headers"][0] == "Program"
+
+    def test_json_round_trips(self, table2_result):
+        text = experiment_to_json(table2_result)
+        payload = json.loads(text)
+        assert payload["data"]["per_benchmark"]["li"]["pct_branches"] > 0
+
+    def test_separator_rows_dropped(self, runner):
+        from repro.experiments import run_table3
+
+        result = run_table3(runner, benchmarks=("li",))
+        payload = experiment_to_dict(result)
+        for row in payload["tables"][0]["rows"]:
+            assert row != ["---"] * len(row)
+
+    def test_non_serialisable_values_stringified(self):
+        from repro.report.json_export import _jsonable
+
+        from repro.config import FetchPolicy
+
+        assert _jsonable({FetchPolicy.RESUME: (1, 2)}) == {
+            "FetchPolicy.RESUME": [1, 2]
+        }
+
+    def test_save_to_file(self, table2_result, tmp_path):
+        path = tmp_path / "t2.json"
+        save_experiment_json(table2_result, path)
+        assert json.loads(path.read_text())["experiment_id"] == "table2"
+
+
+class TestCliOutputDir:
+    @pytest.mark.slow
+    def test_artifacts_written(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "table2",
+                "--trace-length", "8000",
+                "--warmup", "1000",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"table2.txt", "table2.csv", "table2.json"} <= names
+
+    @pytest.mark.slow
+    def test_figure_gets_svg(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "figure1",
+                "--trace-length", "8000",
+                "--warmup", "1000",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert (tmp_path / "figure1.svg").exists()
+        svg = (tmp_path / "figure1.svg").read_text()
+        assert svg.startswith("<svg")

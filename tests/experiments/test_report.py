@@ -1,0 +1,120 @@
+"""Table and figure rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.report import LEGEND, StackedBarChart, Table, breakdown_chart, mean
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(headers=["Program", "ISPI"])
+        table.add_row("gcc", 1.234)
+        table.add_row("li", 0.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].endswith("ISPI")
+        assert "1.23" in text
+        assert "0.50" in text
+
+    def test_width_mismatch_rejected(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row("only-one")
+
+    def test_separator(self):
+        table = Table(headers=["a"])
+        table.add_row("x")
+        table.add_separator()
+        table.add_row("y")
+        lines = table.render().splitlines()
+        assert any(set(line.strip()) == {"-"} for line in lines[2:])
+
+    def test_title(self):
+        table = Table(headers=["a"], title="My Table")
+        assert table.render().startswith("My Table")
+
+    def test_column_access(self):
+        table = Table(headers=["name", "value"])
+        table.add_row("x", 1.0)
+        table.add_separator()
+        table.add_row("y", 2.0)
+        assert table.column("value") == [1.0, 2.0]
+        with pytest.raises(ExperimentError):
+            table.column("nope")
+
+    def test_row_by_key(self):
+        table = Table(headers=["name", "value"])
+        table.add_row("x", 1.0)
+        assert table.row_by_key("x") == ["x", 1.0]
+        with pytest.raises(ExperimentError):
+            table.row_by_key("zz")
+
+    def test_none_renders_empty(self):
+        table = Table(headers=["a", "b"])
+        table.add_row("x", None)
+        assert table.render().splitlines()[-1].strip().startswith("x")
+
+    def test_custom_float_format(self):
+        table = Table(headers=["v"], float_format="{:.4f}")
+        table.add_row(1.23456)
+        assert "1.2346" in table.render()
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean([])
+
+
+class TestStackedBarChart:
+    def test_render_contains_glyphs(self):
+        chart = StackedBarChart("demo")
+        chart.add_bar("gcc Res", {"branch": 0.5, "rt_icache": 0.25})
+        text = chart.render()
+        assert LEGEND in text
+        assert "B" in text  # branch glyph
+        assert "r" in text  # rt_icache glyph
+        assert "0.75" in text
+
+    def test_unknown_component_rejected(self):
+        chart = StackedBarChart("demo")
+        with pytest.raises(ExperimentError):
+            chart.add_bar("x", {"mystery": 1.0})
+
+    def test_bar_lengths_proportional(self):
+        chart = StackedBarChart("demo")
+        chart.add_bar("a", {"branch": 1.0})
+        chart.add_bar("b", {"branch": 2.0})
+        lines = [l for l in chart.render().splitlines() if "|" in l]
+        len_a = lines[0].split("|")[1].split()[0]
+        len_b = lines[1].split("|")[1].split()[0]
+        assert len(len_b) == pytest.approx(2 * len(len_a), abs=1)
+
+    def test_auto_scale_bounds_width(self):
+        chart = StackedBarChart("demo")
+        chart.add_bar("huge", {"branch": 100.0})
+        bar_line = next(l for l in chart.render().splitlines() if "|" in l)
+        assert len(bar_line) < 90
+
+    def test_gap(self):
+        chart = StackedBarChart("demo")
+        chart.add_bar("a", {"branch": 1.0})
+        chart.add_gap()
+        chart.add_bar("b", {"branch": 1.0})
+        assert "" in chart.render().splitlines()[3:]
+
+    def test_breakdown_chart_groups(self):
+        chart = breakdown_chart(
+            "t",
+            [
+                ("gcc", [("Res", {"branch": 0.1})]),
+                ("li", [("Res", {"branch": 0.2})]),
+            ],
+        )
+        text = chart.render()
+        assert "gcc Res" in text
+        assert "li Res" in text

@@ -1,0 +1,89 @@
+"""SVG figure rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.report import render_stacked_bars_svg, save_breakdown_svg
+from repro.report.svg import COMPONENT_COLORS
+
+
+def sample_groups():
+    return [
+        ("gcc", [
+            ("Oracle", {"branch": 0.8, "rt_icache": 0.9}),
+            ("Res", {"branch": 0.8, "rt_icache": 0.7, "bus": 0.3}),
+        ]),
+        ("li", [
+            ("Oracle", {"branch": 0.5, "rt_icache": 0.6}),
+        ]),
+    ]
+
+
+class TestRenderSvg:
+    def test_valid_svg_document(self):
+        svg = render_stacked_bars_svg("demo", sample_groups())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        svg = render_stacked_bars_svg("demo", sample_groups())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_labels_and_totals(self):
+        svg = render_stacked_bars_svg("demo", sample_groups())
+        assert "gcc Oracle" in svg
+        assert "li Oracle" in svg
+        assert "1.70" in svg  # gcc Oracle total
+
+    def test_components_coloured(self):
+        svg = render_stacked_bars_svg("demo", sample_groups())
+        assert COMPONENT_COLORS["branch"] in svg
+        assert COMPONENT_COLORS["bus"] in svg
+
+    def test_title_escaped(self):
+        svg = render_stacked_bars_svg("a < b & c", sample_groups())
+        assert "a &lt; b &amp; c" in svg
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_stacked_bars_svg("x", [("g", [("b", {"woo": 1.0})])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_stacked_bars_svg("x", [])
+
+    def test_segment_widths_proportional(self):
+        import re
+
+        svg = render_stacked_bars_svg(
+            "demo",
+            [("g", [("a", {"branch": 1.0}), ("b", {"branch": 2.0})])],
+        )
+        widths = [
+            float(m) for m in re.findall(r'rect x="150.0" y="\d+" width="([\d.]+)"', svg)
+        ]
+        assert len(widths) == 2
+        assert widths[1] == pytest.approx(2 * widths[0], rel=0.01)
+
+
+class TestSaveBreakdownSvg:
+    def test_figure_experiment_saves(self, tmp_path, runner):
+        from repro.experiments import run_figure1
+
+        result = run_figure1(runner, benchmarks=("li",))
+        path = tmp_path / "figure1.svg"
+        save_breakdown_svg(result, path)
+        content = path.read_text()
+        assert content.startswith("<svg")
+        assert "li Oracle" in content or "li oracle" in content
+
+    def test_table_experiment_rejected(self, tmp_path, runner):
+        from repro.experiments import run_table6
+
+        result = run_table6(runner, benchmarks=("li",))
+        with pytest.raises(ExperimentError):
+            save_breakdown_svg(result, tmp_path / "x.svg")

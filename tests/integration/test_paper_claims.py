@@ -1,0 +1,255 @@
+"""Integration tests: the paper's headline claims must hold end to end.
+
+These run real workloads through the full stack at reduced trace lengths.
+Claims are asserted in the aggregate (averages over benchmark subsets), as
+in the paper's §5 summary, not per single noisy data point.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ALL_POLICIES, CacheConfig, FetchPolicy, SimConfig
+from repro.report.format import mean
+
+#: Cross-language subset used for the aggregate claims.
+BENCHMARKS = ("doduc", "gcc", "li", "groff")
+C_LIKE = ("gcc", "li", "groff")
+
+
+@pytest.fixture(scope="module")
+def base_matrix(runner):
+    return runner.run_matrix(BENCHMARKS, SimConfig())
+
+
+@pytest.fixture(scope="module")
+def long_matrix(runner):
+    return runner.run_matrix(
+        BENCHMARKS, replace(SimConfig(), miss_penalty_cycles=20)
+    )
+
+
+def avg_ispi(matrix, policy, names=BENCHMARKS):
+    return mean(matrix[name][policy].total_ispi for name in names)
+
+
+class TestBaselineClaims:
+    """§5.1.2: policy ordering at the small (5-cycle) miss penalty."""
+
+    def test_optimistic_beats_pessimistic(self, base_matrix):
+        assert avg_ispi(base_matrix, FetchPolicy.OPTIMISTIC) < avg_ispi(
+            base_matrix, FetchPolicy.PESSIMISTIC
+        )
+
+    def test_resume_is_best_realizable(self, base_matrix):
+        resume = avg_ispi(base_matrix, FetchPolicy.RESUME)
+        for policy in (
+            FetchPolicy.OPTIMISTIC,
+            FetchPolicy.PESSIMISTIC,
+            FetchPolicy.DECODE,
+        ):
+            assert resume < avg_ispi(base_matrix, policy)
+
+    def test_resume_close_to_oracle(self, base_matrix):
+        """'Resume performs the best, and does as well as Oracle.'"""
+        resume = avg_ispi(base_matrix, FetchPolicy.RESUME)
+        oracle = avg_ispi(base_matrix, FetchPolicy.ORACLE)
+        assert abs(resume - oracle) / oracle < 0.15
+
+    def test_decode_close_to_pessimistic(self, base_matrix):
+        """'Decode shows almost no difference in ISPI from Pessimistic.'"""
+        decode = avg_ispi(base_matrix, FetchPolicy.DECODE)
+        pess = avg_ispi(base_matrix, FetchPolicy.PESSIMISTIC)
+        assert abs(decode - pess) / pess < 0.15
+
+    def test_force_resolve_tax(self, base_matrix):
+        """Pessimistic/Decode 'place a tax on I-cache misses'."""
+        for name in BENCHMARKS:
+            assert base_matrix[name][FetchPolicy.PESSIMISTIC].ispi(
+                "force_resolve"
+            ) > 0
+
+
+class TestLongLatencyClaims:
+    """§5.2.1: at 20 cycles the conservative policies catch up."""
+
+    def test_pessimistic_competitive_for_c_like(self, long_matrix):
+        pess = avg_ispi(long_matrix, FetchPolicy.PESSIMISTIC, C_LIKE)
+        opt = avg_ispi(long_matrix, FetchPolicy.OPTIMISTIC, C_LIKE)
+        # The paper has Pessimistic ~12-16% better; we accept anything
+        # from parity to clearly better.
+        assert pess < opt * 1.02
+
+    def test_optimistic_advantage_shrinks_with_latency(
+        self, base_matrix, long_matrix
+    ):
+        def rel_gap(matrix):
+            opt = avg_ispi(matrix, FetchPolicy.OPTIMISTIC, C_LIKE)
+            pess = avg_ispi(matrix, FetchPolicy.PESSIMISTIC, C_LIKE)
+            return (pess - opt) / pess
+
+        assert rel_gap(long_matrix) < rel_gap(base_matrix)
+
+    def test_resume_beats_optimistic_at_long_latency(self, long_matrix):
+        """Resume's whole point: cut the wrong-path stall penalty."""
+        assert avg_ispi(long_matrix, FetchPolicy.RESUME) < avg_ispi(
+            long_matrix, FetchPolicy.OPTIMISTIC
+        )
+
+    def test_resume_has_more_traffic_than_pessimistic(self, long_matrix):
+        for name in BENCHMARKS:
+            resume = long_matrix[name][FetchPolicy.RESUME]
+            pess = long_matrix[name][FetchPolicy.PESSIMISTIC]
+            assert (
+                resume.counters.memory_accesses
+                >= pess.counters.memory_accesses
+            )
+
+
+class TestDepthClaims:
+    """§5.2.2: deeper speculation reduces ISPI for all policies."""
+
+    @pytest.fixture(scope="class")
+    def by_depth(self, runner):
+        return {
+            depth: runner.run_matrix(
+                BENCHMARKS, replace(SimConfig(), max_unresolved=depth)
+            )
+            for depth in (1, 2, 4)
+        }
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_depth_monotonicity(self, by_depth, policy):
+        ispi = {d: avg_ispi(by_depth[d], policy) for d in (1, 2, 4)}
+        assert ispi[2] <= ispi[1]
+        assert ispi[4] <= ispi[2] * 1.01
+
+    def test_first_step_is_larger(self, by_depth):
+        """The 1->2 improvement exceeds the 2->4 improvement."""
+        oracle = {d: avg_ispi(by_depth[d], FetchPolicy.ORACLE) for d in (1, 2, 4)}
+        assert (oracle[1] - oracle[2]) > (oracle[2] - oracle[4])
+
+    def test_branch_full_vanishes_at_depth4(self, by_depth):
+        for name in BENCHMARKS:
+            deep = by_depth[4][name][FetchPolicy.ORACLE]
+            shallow = by_depth[1][name][FetchPolicy.ORACLE]
+            assert deep.ispi("branch_full") < shallow.ispi("branch_full")
+
+
+class TestCacheSizeClaims:
+    """§5.2.3: a 32K cache compresses the policy differences."""
+
+    @pytest.fixture(scope="class")
+    def large_matrix(self, runner):
+        return runner.run_matrix(
+            BENCHMARKS,
+            replace(SimConfig(), cache=CacheConfig(size_bytes=32 * 1024)),
+        )
+
+    def test_miss_rates_drop(self, base_matrix, large_matrix):
+        for name in BENCHMARKS:
+            assert (
+                large_matrix[name][FetchPolicy.ORACLE].miss_rate_percent
+                < base_matrix[name][FetchPolicy.ORACLE].miss_rate_percent
+            )
+
+    def test_policy_gap_compresses(self, base_matrix, large_matrix):
+        def gap(matrix):
+            return avg_ispi(matrix, FetchPolicy.PESSIMISTIC) - avg_ispi(
+                matrix, FetchPolicy.RESUME
+            )
+
+        assert gap(large_matrix) < gap(base_matrix)
+
+
+class TestPrefetchClaims:
+    """§5.3: next-line prefetching."""
+
+    @pytest.fixture(scope="class")
+    def pref_small(self, runner):
+        return runner.run_matrix(
+            BENCHMARKS,
+            replace(SimConfig(), prefetch=True),
+            policies=(FetchPolicy.ORACLE, FetchPolicy.RESUME,
+                      FetchPolicy.PESSIMISTIC),
+        )
+
+    @pytest.fixture(scope="class")
+    def pref_long(self, runner):
+        return runner.run_matrix(
+            BENCHMARKS,
+            replace(SimConfig(), prefetch=True, miss_penalty_cycles=20),
+            policies=(FetchPolicy.ORACLE, FetchPolicy.RESUME,
+                      FetchPolicy.PESSIMISTIC),
+        )
+
+    def test_prefetch_helps_at_small_penalty(self, base_matrix, pref_small):
+        for policy in (FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC):
+            assert avg_ispi(pref_small, policy) < avg_ispi(base_matrix, policy)
+
+    def test_prefetch_narrows_policy_gap(self, base_matrix, pref_small):
+        gap_plain = avg_ispi(base_matrix, FetchPolicy.PESSIMISTIC) - avg_ispi(
+            base_matrix, FetchPolicy.RESUME
+        )
+        gap_pref = avg_ispi(pref_small, FetchPolicy.PESSIMISTIC) - avg_ispi(
+            pref_small, FetchPolicy.RESUME
+        )
+        assert gap_pref < gap_plain
+
+    def test_prefetch_increases_traffic(self, base_matrix, pref_small):
+        for name in BENCHMARKS:
+            plain = base_matrix[name][FetchPolicy.ORACLE]
+            pref = pref_small[name][FetchPolicy.ORACLE]
+            ratio = (
+                pref.counters.memory_accesses / plain.counters.memory_accesses
+            )
+            assert ratio > 1.1
+
+    def test_prefetch_less_helpful_at_long_latency(
+        self, base_matrix, long_matrix, pref_small, pref_long
+    ):
+        """Figure 4's claim: the prefetch benefit degrades (and can turn
+        into a loss) when the miss latency is long."""
+
+        def benefit(plain, pref, policy):
+            return avg_ispi(plain, policy) - avg_ispi(pref, policy)
+
+        small_benefit = benefit(base_matrix, pref_small, FetchPolicy.ORACLE)
+        small_rel = small_benefit / avg_ispi(base_matrix, FetchPolicy.ORACLE)
+        long_benefit = benefit(long_matrix, pref_long, FetchPolicy.ORACLE)
+        long_rel = long_benefit / avg_ispi(long_matrix, FetchPolicy.ORACLE)
+        assert long_rel < small_rel
+
+
+class TestMissClassificationClaims:
+    """Table 4's qualitative structure."""
+
+    @pytest.fixture(scope="class")
+    def classifications(self, runner):
+        config = replace(
+            SimConfig(policy=FetchPolicy.OPTIMISTIC), classify=True
+        )
+        return {
+            name: runner.run(name, config).classification
+            for name in BENCHMARKS
+        }
+
+    def test_prefetch_effect_beats_pollution(self, classifications):
+        spr = mean(c.spec_prefetch for c in classifications.values())
+        spo = mean(c.spec_pollute for c in classifications.values())
+        assert spr > spo
+
+    def test_wrong_path_misses_substantial(self, classifications):
+        for name in C_LIKE:
+            c = classifications[name]
+            assert c.wrong_path > 0.3 * c.both_miss
+
+    def test_traffic_ratio_band(self, classifications):
+        for name in C_LIKE:
+            assert 1.1 < classifications[name].traffic_ratio < 2.2
+
+    def test_fortran_effects_minimal(self, classifications):
+        """'In the case of the Fortran programs, both effects are minimal.'"""
+        doduc = classifications["doduc"]
+        assert doduc.spec_pollute < 0.35
+        assert doduc.spec_prefetch < 0.8

@@ -1,0 +1,121 @@
+"""Address and line arithmetic."""
+
+import pytest
+
+from repro.isa import (
+    INSTRUCTION_SIZE,
+    AddressSpace,
+    align_down,
+    align_up,
+    instruction_index,
+    instructions_per_line,
+    line_address,
+    line_number,
+    line_offset,
+    span_lines,
+)
+
+
+class TestAlignment:
+    def test_align_down_exact(self):
+        assert align_down(64, 32) == 64
+
+    def test_align_down_rounds(self):
+        assert align_down(65, 32) == 64
+        assert align_down(95, 32) == 64
+
+    def test_align_up_exact(self):
+        assert align_up(64, 32) == 64
+
+    def test_align_up_rounds(self):
+        assert align_up(65, 32) == 96
+
+    def test_align_zero(self):
+        assert align_down(0, 32) == 0
+        assert align_up(0, 32) == 0
+
+    @pytest.mark.parametrize("bad", [0, 3, 12, -4])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            align_down(100, bad)
+        with pytest.raises(ValueError):
+            align_up(100, bad)
+
+
+class TestLineMath:
+    def test_line_number_basic(self):
+        assert line_number(0, 32) == 0
+        assert line_number(31, 32) == 0
+        assert line_number(32, 32) == 1
+
+    def test_line_address(self):
+        assert line_address(33, 32) == 32
+        assert line_address(95, 32) == 64
+
+    def test_line_offset(self):
+        assert line_offset(0, 32) == 0
+        assert line_offset(36, 32) == 4
+
+    def test_line_roundtrip(self):
+        for addr in range(0, 256, 4):
+            assert line_number(addr, 32) * 32 + line_offset(addr, 32) == addr
+
+    def test_instructions_per_line(self):
+        assert instructions_per_line(32) == 8
+        assert instructions_per_line(16) == 4
+        assert instructions_per_line(4) == 1
+
+    def test_line_smaller_than_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            instructions_per_line(2)
+
+
+class TestInstructionIndex:
+    def test_aligned(self):
+        assert instruction_index(0) == 0
+        assert instruction_index(40) == 10
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            instruction_index(6)
+
+
+class TestSpanLines:
+    def test_single_instruction(self):
+        assert list(span_lines(0, 1, 32)) == [0]
+
+    def test_within_one_line(self):
+        assert list(span_lines(0, 8, 32)) == [0]
+
+    def test_crosses_boundary(self):
+        assert list(span_lines(28, 2, 32)) == [0, 1]
+
+    def test_many_lines(self):
+        # 24 instructions from byte 16 = bytes [16, 112) -> lines 0..3
+        assert list(span_lines(16, 24, 32)) == [0, 1, 2, 3]
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            span_lines(0, 0, 32)
+
+
+class TestAddressSpace:
+    def test_contains(self):
+        space = AddressSpace(base=0x1000, size_bytes=64)
+        assert space.contains(0x1000)
+        assert space.contains(0x103C)
+        assert not space.contains(0x1040)
+        assert not space.contains(0xFFC)
+
+    def test_end_and_capacity(self):
+        space = AddressSpace(base=0, size_bytes=100)
+        assert space.end == 100
+        assert space.instruction_capacity() == 100 // INSTRUCTION_SIZE
+
+    def test_invalid_spaces(self):
+        with pytest.raises(ValueError):
+            AddressSpace(base=-4, size_bytes=16)
+        with pytest.raises(ValueError):
+            AddressSpace(base=2, size_bytes=16)
+        with pytest.raises(ValueError):
+            AddressSpace(base=0, size_bytes=0)

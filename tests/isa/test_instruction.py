@@ -1,0 +1,103 @@
+"""Instruction model invariants."""
+
+import pytest
+
+from repro.isa import CONTROL_KINDS, Instruction, InstrKind, is_control
+from repro.isa.disasm import format_instruction, format_listing
+
+
+class TestInstrKind:
+    def test_plain_is_not_control(self):
+        assert not is_control(InstrKind.PLAIN)
+        assert InstrKind.PLAIN not in CONTROL_KINDS
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            InstrKind.COND_BRANCH,
+            InstrKind.JUMP,
+            InstrKind.CALL,
+            InstrKind.RETURN,
+            InstrKind.INDIRECT_CALL,
+        ],
+    )
+    def test_control_kinds(self, kind):
+        assert is_control(kind)
+        assert kind in CONTROL_KINDS
+
+
+class TestInstructionValidation:
+    def test_plain(self):
+        instr = Instruction(0x1000, InstrKind.PLAIN)
+        assert not instr.is_control
+        assert not instr.is_conditional
+        assert not instr.has_static_target
+
+    def test_conditional_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.COND_BRANCH)
+
+    def test_jump_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.JUMP)
+
+    def test_call_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.CALL)
+
+    def test_return_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.RETURN, target=0x2000)
+
+    def test_indirect_rejects_static_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.INDIRECT_CALL, target=0x2000)
+
+    def test_plain_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(0x1000, InstrKind.PLAIN, target=0x2000)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(-4, InstrKind.PLAIN)
+
+    def test_conditional_with_behaviour(self):
+        instr = Instruction(
+            0x1000, InstrKind.COND_BRANCH, target=0x2000, behaviour=3
+        )
+        assert instr.is_conditional
+        assert instr.behaviour == 3
+        assert instr.has_static_target
+
+    def test_fall_through(self):
+        instr = Instruction(0x1000, InstrKind.PLAIN)
+        assert instr.fall_through() == 0x1004
+
+    def test_frozen(self):
+        instr = Instruction(0x1000, InstrKind.PLAIN)
+        with pytest.raises(AttributeError):
+            instr.address = 0x2000
+
+
+class TestDisasm:
+    def test_plain_format(self):
+        text = format_instruction(Instruction(0x1000, InstrKind.PLAIN))
+        assert "0x00001000" in text
+        assert "op" in text
+
+    def test_target_format(self):
+        text = format_instruction(
+            Instruction(0x1000, InstrKind.JUMP, target=0x2000)
+        )
+        assert "jmp" in text
+        assert "0x00002000" in text
+
+    def test_listing(self):
+        listing = format_listing(
+            [
+                Instruction(0x1000, InstrKind.PLAIN),
+                Instruction(0x1004, InstrKind.RETURN),
+            ]
+        )
+        assert len(listing.splitlines()) == 2
+        assert "ret" in listing

@@ -1,0 +1,57 @@
+"""Memory bus occupancy model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory import MemoryBus
+
+
+class TestBus:
+    def test_initially_free(self):
+        bus = MemoryBus()
+        assert bus.is_free(0)
+        assert bus.free_at() == 0
+
+    def test_request_occupies(self):
+        bus = MemoryBus()
+        start, done = bus.request(10, 20)
+        assert (start, done) == (10, 30)
+        assert not bus.is_free(29)
+        assert bus.is_free(30)
+
+    def test_back_to_back_serialised(self):
+        bus = MemoryBus()
+        bus.request(0, 20)
+        start, done = bus.request(5, 20)
+        assert start == 20
+        assert done == 40
+        assert bus.busy_wait_slots == 15
+
+    def test_idle_gap_no_wait(self):
+        bus = MemoryBus()
+        bus.request(0, 20)
+        start, _ = bus.request(50, 20)
+        assert start == 50
+        assert bus.busy_wait_slots == 0
+
+    def test_requests_counted(self):
+        bus = MemoryBus()
+        bus.request(0, 10)
+        bus.request(0, 10)
+        assert bus.requests == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryBus().request(0, -1)
+
+    def test_zero_duration(self):
+        bus = MemoryBus()
+        start, done = bus.request(7, 0)
+        assert start == done == 7
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.request(0, 100)
+        bus.reset()
+        assert bus.is_free(0)
+        assert bus.requests == 0

@@ -1,0 +1,133 @@
+"""Pending-fill station (resume buffer)."""
+
+import pytest
+
+from repro.cache import InstructionCache, LineOrigin
+from repro.errors import SimulationError
+from repro.memory import FillOrigin, PendingFillStation
+
+
+@pytest.fixture()
+def cache():
+    return InstructionCache(1024, line_size=32)
+
+
+@pytest.fixture()
+def station():
+    return PendingFillStation()
+
+
+class TestStation:
+    def test_initially_idle(self, station):
+        assert station.pending is None
+        assert not station.busy(0)
+
+    def test_start_and_busy(self, station):
+        station.start(5, done_at=100, origin=FillOrigin.WRONG_PATH)
+        assert station.busy(50)
+        assert not station.busy(100)
+        assert station.matches(5)
+        assert not station.matches(6)
+
+    def test_double_start_rejected(self, station):
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        with pytest.raises(SimulationError):
+            station.start(6, 120, FillOrigin.PREFETCH)
+
+    def test_drain_installs_when_complete(self, station, cache):
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        assert station.drain(99, cache) == []
+        assert not cache.contains(5)
+        installed = station.drain(100, cache)
+        assert len(installed) == 1
+        assert cache.contains(5)
+        assert station.pending is None
+        assert station.installed == 1
+
+    def test_drain_preserves_origin(self, station, cache):
+        station.start(5, 100, FillOrigin.PREFETCH)
+        station.drain(200, cache)
+        cache.probe(5)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_wrongpath_origin(self, station, cache):
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.drain(200, cache)
+        cache.probe(5)
+        assert cache.stats.wrongpath_hits == 1
+
+    def test_drained_line_has_first_ref_bit(self, station, cache):
+        station.start(5, 100, FillOrigin.PREFETCH)
+        station.drain(200, cache)
+        assert cache.test_and_clear_first_ref(5)
+
+    def test_discard(self, station, cache):
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.discard()
+        assert station.pending is None
+        assert station.overwritten == 1
+        assert station.drain(200, cache) == []
+
+    def test_discard_specific_line(self, cache):
+        station = PendingFillStation(capacity=2)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.start(6, 120, FillOrigin.PREFETCH)
+        station.discard(line=5)
+        assert not station.matches(5)
+        assert station.matches(6)
+        assert station.overwritten == 1
+
+
+class TestMultiEntryStation:
+    """The non-blocking extension: capacity > 1."""
+
+    def test_capacity_two_holds_two(self, cache):
+        station = PendingFillStation(capacity=2)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        assert not station.busy(0)
+        station.start(6, 120, FillOrigin.PREFETCH)
+        assert station.busy(0)
+        assert station.occupancy == 2
+
+    def test_third_start_rejected(self, cache):
+        station = PendingFillStation(capacity=2)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.start(6, 120, FillOrigin.PREFETCH)
+        with pytest.raises(SimulationError):
+            station.start(7, 140, FillOrigin.PREFETCH)
+
+    def test_drain_installs_all_completed(self, cache):
+        station = PendingFillStation(capacity=3)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.start(6, 110, FillOrigin.PREFETCH)
+        station.start(7, 300, FillOrigin.PREFETCH)
+        installed = station.drain(150, cache)
+        assert {f.line for f in installed} == {5, 6}
+        assert cache.contains(5) and cache.contains(6)
+        assert not cache.contains(7)
+        assert station.occupancy == 1
+
+    def test_completed_fill_frees_slot(self, cache):
+        station = PendingFillStation(capacity=1)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        # Past completion the slot no longer blocks new fills.
+        assert not station.busy(150)
+
+    def test_done_at_lookup(self, cache):
+        station = PendingFillStation(capacity=2)
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        assert station.done_at(5) == 100
+        assert station.done_at(6) is None
+
+    def test_bad_capacity(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PendingFillStation(capacity=0)
+
+    def test_reset(self, station, cache):
+        station.start(5, 100, FillOrigin.WRONG_PATH)
+        station.drain(200, cache)
+        station.reset()
+        assert station.installed == 0
+        assert station.pending is None

@@ -1,0 +1,90 @@
+"""Next-line prefetcher trigger conditions."""
+
+import pytest
+
+from repro.cache import InstructionCache, LineOrigin
+from repro.memory import FillOrigin, MemoryBus, NextLinePrefetcher, PendingFillStation
+
+PENALTY = 20
+
+
+@pytest.fixture()
+def parts():
+    cache = InstructionCache(1024, line_size=32)
+    bus = MemoryBus()
+    station = PendingFillStation()
+    prefetcher = NextLinePrefetcher(cache, bus, station, PENALTY)
+    return cache, bus, station, prefetcher
+
+
+class TestTrigger:
+    def test_first_fetch_triggers(self, parts):
+        cache, bus, station, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        prefetcher.on_line_fetch(5, now=0)
+        assert prefetcher.issued == 1
+        assert station.matches(6)
+        assert bus.free_at() == PENALTY
+
+    def test_second_fetch_does_not_trigger(self, parts):
+        cache, _, station, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        prefetcher.on_line_fetch(5, now=0)
+        station.drain(PENALTY, cache)
+        prefetcher.on_line_fetch(5, now=PENALTY + 1)
+        assert prefetcher.issued == 1
+
+    def test_next_line_resident_suppresses(self, parts):
+        cache, _, _, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        cache.fill(6, LineOrigin.DEMAND_RIGHT)
+        prefetcher.on_line_fetch(5, now=0)
+        assert prefetcher.issued == 0
+        # The trigger bit was still consumed.
+        assert not cache.test_and_clear_first_ref(5)
+
+    def test_busy_bus_suppresses(self, parts):
+        cache, bus, _, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        bus.request(0, 100)
+        prefetcher.on_line_fetch(5, now=10)
+        assert prefetcher.issued == 0
+        assert prefetcher.suppressed == 1
+
+    def test_inflight_same_line_suppresses(self, parts):
+        cache, bus, station, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        # Line 6 already being fetched in the background.
+        _, done = bus.request(0, PENALTY)
+        station.start(6, done, FillOrigin.WRONG_PATH)
+        prefetcher.on_line_fetch(5, now=5)
+        assert prefetcher.issued == 0
+
+    def test_streaming_chain(self, parts):
+        """A sequential stream keeps prefetching ahead of itself."""
+        cache, _, station, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        now = 0
+        prefetcher.on_line_fetch(5, now)  # starts prefetch of 6
+        now += PENALTY
+        station.drain(now, cache)
+        prefetcher.on_line_fetch(6, now)  # prefetched line triggers 7
+        assert prefetcher.issued == 2
+        assert station.matches(7)
+
+    def test_completed_pending_drained_before_check(self, parts):
+        cache, bus, station, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        _, done = bus.request(0, PENALTY)
+        station.start(6, done, FillOrigin.PREFETCH)
+        # After completion, a fetch of 5 must see 6 resident -> suppress.
+        prefetcher.on_line_fetch(5, now=done + 5)
+        assert prefetcher.issued == 0
+        assert cache.contains(6)
+
+    def test_reset(self, parts):
+        cache, _, _, prefetcher = parts
+        cache.fill(5, LineOrigin.DEMAND_RIGHT)
+        prefetcher.on_line_fetch(5, 0)
+        prefetcher.reset()
+        assert prefetcher.issued == 0

@@ -1,0 +1,166 @@
+"""Jouppi stream buffers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import MemoryBus, StreamBufferUnit
+
+PENALTY = 20
+
+
+@pytest.fixture()
+def unit():
+    return StreamBufferUnit(MemoryBus(), n_buffers=2, depth=4,
+                            penalty_slots=PENALTY)
+
+
+class TestConstruction:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            StreamBufferUnit(MemoryBus(), n_buffers=0)
+        with pytest.raises(ConfigError):
+            StreamBufferUnit(MemoryBus(), depth=0)
+
+
+class TestAllocationAndPump:
+    def test_idle_unit_pumps_nothing(self, unit):
+        unit.pump(0)
+        assert unit.prefetches == 0
+
+    def test_allocate_then_pump_prefetches_next_line(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        assert unit.prefetches == 1
+        # Head is line 11 (miss_line + 1), arriving after the penalty.
+        assert unit.probe(11, now=PENALTY) == PENALTY
+
+    def test_pump_respects_bus(self):
+        bus = MemoryBus()
+        unit = StreamBufferUnit(bus, n_buffers=1, depth=4, penalty_slots=PENALTY)
+        bus.request(0, 100)  # channel busy with someone else's fill
+        unit.allocate(10, now=0)
+        unit.pump(5)
+        assert unit.prefetches == 0
+
+    def test_fifo_fills_to_depth(self, unit):
+        unit.allocate(10, now=0)
+        now = 0
+        for _ in range(6):
+            unit.pump(now)
+            now += PENALTY
+        assert unit.prefetches == 4  # depth-limited
+
+    def test_mru_stream_has_priority(self):
+        bus = MemoryBus()
+        unit = StreamBufferUnit(bus, n_buffers=2, depth=4, penalty_slots=PENALTY)
+        unit.allocate(10, now=0)   # stream A (stale)
+        unit.allocate(100, now=5)  # stream B (live)
+        unit.pump(10)
+        # The live stream's successor (101) must win the channel.
+        assert unit.probe(101, now=10 + PENALTY) is not None
+
+
+class TestProbe:
+    def test_head_hit_consumes(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        assert unit.probe(11, now=50) == 50
+        # Consumed: probing again misses.
+        assert unit.probe(11, now=50) is None
+        assert unit.head_hits == 1
+
+    def test_inflight_head_hit_returns_completion(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        assert unit.probe(11, now=5) == PENALTY
+        assert unit.head_hits_inflight == 1
+
+    def test_non_head_entry_is_a_miss(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)    # head = 11
+        unit.pump(PENALTY)  # second entry = 12
+        assert unit.probe(12, now=100) is None  # not the head
+
+    def test_sequential_chain(self, unit):
+        """Consuming heads keeps the stream rolling forward."""
+        unit.allocate(10, now=0)
+        now = 0
+        for expected in (11, 12, 13):
+            unit.pump(now)
+            now += PENALTY
+            assert unit.probe(expected, now=now) == now
+        assert unit.head_hits == 3
+
+    def test_reallocation_flushes_lru(self):
+        bus = MemoryBus()
+        unit = StreamBufferUnit(bus, n_buffers=1, depth=4, penalty_slots=PENALTY)
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        unit.allocate(500, now=100)  # the single buffer is retargeted
+        assert unit.probe(11, now=200) is None
+        unit.pump(200)
+        assert unit.probe(501, now=200 + PENALTY) is not None
+        assert unit.allocations == 2
+
+
+class TestReset:
+    def test_reset_clears_everything(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        unit.reset()
+        assert unit.prefetches == 0
+        assert unit.probe(11, now=100) is None
+
+    def test_reset_stats_keeps_streams(self, unit):
+        unit.allocate(10, now=0)
+        unit.pump(0)
+        unit.reset_stats()
+        assert unit.prefetches == 0
+        # Stream content survives (warmup boundary semantics).
+        assert unit.probe(11, now=100) == 100
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def streaming(self):
+        from repro.program import ProgramBuilder
+        from repro.trace.generator import generate_trace
+
+        builder = ProgramBuilder("stream")
+        main = builder.function("main")
+        main.block("a", 4094)
+        main.jump("w", 1, target="a")
+        program = builder.build()
+        return program, generate_trace(program, 13_000, seed=0)
+
+    def test_stream_buffers_absorb_sequential_misses(self, streaming):
+        from dataclasses import replace
+
+        from repro.config import FetchPolicy, SimConfig
+        from repro.core.engine import simulate
+
+        program, trace = streaming
+        plain = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        with_sb = simulate(
+            program, trace,
+            replace(SimConfig(policy=FetchPolicy.ORACLE), stream_buffers=4),
+        )
+        # Nearly every miss is served from a buffer head...
+        assert with_sb.counters.stream_hits > 0.9 * plain.counters.right_fills
+        assert with_sb.counters.right_fills < 0.1 * plain.counters.right_fills
+        # ...and performance improves.
+        assert with_sb.total_ispi < plain.total_ispi
+
+    def test_stream_buffers_on_workload(self, runner):
+        from dataclasses import replace
+
+        from repro.config import FetchPolicy, SimConfig
+
+        plain = runner.run("gcc", SimConfig(policy=FetchPolicy.ORACLE))
+        with_sb = runner.run(
+            "gcc",
+            replace(SimConfig(policy=FetchPolicy.ORACLE), stream_buffers=4),
+        )
+        assert with_sb.counters.stream_hits > 0
+        assert with_sb.counters.right_fills < plain.counters.right_fills
+        assert with_sb.total_ispi < plain.total_ispi

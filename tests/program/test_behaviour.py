@@ -1,0 +1,151 @@
+"""Branch behaviour models."""
+
+import random
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program import (
+    BiasedBehaviour,
+    CorrelatedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+)
+
+
+def outcomes(behaviour, n, seed=1, history=0):
+    rng = random.Random(seed)
+    return [behaviour.next_outcome(rng, history) for _ in range(n)]
+
+
+class TestLoopBehaviour:
+    def test_fixed_trip_count(self):
+        loop = LoopBehaviour(mean_trips=4)
+        # Taken 3 times, then not taken, repeating.
+        assert outcomes(loop, 8) == [True, True, True, False] * 2
+
+    def test_single_trip_never_taken(self):
+        loop = LoopBehaviour(mean_trips=1)
+        assert outcomes(loop, 5) == [False] * 5
+
+    def test_jitter_bounds(self):
+        loop = LoopBehaviour(mean_trips=10, jitter=3)
+        rng = random.Random(0)
+        for _ in range(20):
+            run = 0
+            while loop.next_outcome(rng, 0):
+                run += 1
+            assert 6 <= run + 1 <= 13
+
+    def test_reset_restarts_activation(self):
+        loop = LoopBehaviour(mean_trips=4)
+        rng = random.Random(0)
+        loop.next_outcome(rng, 0)
+        loop.reset()
+        assert outcomes(loop, 4) == [True, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            LoopBehaviour(mean_trips=0)
+        with pytest.raises(ProgramError):
+            LoopBehaviour(mean_trips=5, jitter=-1)
+
+
+class TestBiasedBehaviour:
+    def test_extremes(self):
+        assert all(outcomes(BiasedBehaviour(1.0), 50))
+        assert not any(outcomes(BiasedBehaviour(0.0), 50))
+
+    def test_frequency_close_to_p(self):
+        taken = outcomes(BiasedBehaviour(0.7), 5000)
+        assert 0.65 < sum(taken) / len(taken) < 0.75
+
+    def test_determinism_given_rng(self):
+        assert outcomes(BiasedBehaviour(0.5), 20, seed=9) == outcomes(
+            BiasedBehaviour(0.5), 20, seed=9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            BiasedBehaviour(1.5)
+
+
+class TestPatternBehaviour:
+    def test_cycles(self):
+        pattern = PatternBehaviour((True, False, True))
+        assert outcomes(pattern, 6) == [True, False, True, True, False, True]
+
+    def test_phase_offset(self):
+        pattern = PatternBehaviour((True, False, False), phase=1)
+        assert outcomes(pattern, 3) == [False, False, True]
+
+    def test_reset_restores_phase(self):
+        pattern = PatternBehaviour((True, False), phase=1)
+        outcomes(pattern, 3)
+        pattern.reset()
+        assert outcomes(pattern, 1) == [False]
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            PatternBehaviour(())
+        with pytest.raises(ProgramError):
+            PatternBehaviour((True,), phase=1)
+
+
+class TestCorrelatedBehaviour:
+    def test_perfect_agreement(self):
+        behaviour = CorrelatedBehaviour(p_agree=1.0)
+        assert outcomes(behaviour, 10, history=0b1) == [True] * 10
+        assert outcomes(behaviour, 10, history=0b0) == [False] * 10
+
+    def test_perfect_disagreement(self):
+        behaviour = CorrelatedBehaviour(p_agree=0.0)
+        assert outcomes(behaviour, 10, history=0b1) == [False] * 10
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            CorrelatedBehaviour(-0.1)
+
+
+class TestIndirectBehaviour:
+    def test_single_target(self):
+        behaviour = IndirectBehaviour(1)
+        rng = random.Random(0)
+        assert all(behaviour.next_target_index(rng) == 0 for _ in range(10))
+
+    def test_targets_in_range(self):
+        behaviour = IndirectBehaviour(5)
+        rng = random.Random(0)
+        assert all(0 <= behaviour.next_target_index(rng) < 5 for _ in range(100))
+
+    def test_full_repeat(self):
+        behaviour = IndirectBehaviour(5, repeat_prob=1.0)
+        rng = random.Random(0)
+        first = behaviour.next_target_index(rng)
+        assert all(behaviour.next_target_index(rng) == first for _ in range(20))
+
+    def test_weights_respected(self):
+        behaviour = IndirectBehaviour(2, weights=(1.0, 0.0))
+        rng = random.Random(0)
+        assert all(behaviour.next_target_index(rng) == 0 for _ in range(20))
+
+    def test_next_outcome_always_taken(self):
+        assert IndirectBehaviour(2).next_outcome(random.Random(0), 0)
+
+    def test_reset_clears_last(self):
+        behaviour = IndirectBehaviour(3, repeat_prob=1.0)
+        rng = random.Random(0)
+        behaviour.next_target_index(rng)
+        behaviour.reset()
+        assert behaviour._last is None
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            IndirectBehaviour(0)
+        with pytest.raises(ProgramError):
+            IndirectBehaviour(2, weights=(1.0,))
+        with pytest.raises(ProgramError):
+            IndirectBehaviour(2, weights=(0.0, 0.0))
+        with pytest.raises(ProgramError):
+            IndirectBehaviour(2, repeat_prob=2.0)

@@ -1,0 +1,134 @@
+"""ProgramBuilder and Program container invariants."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import InstrKind
+from repro.program import (
+    BiasedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    Program,
+    ProgramBuilder,
+)
+
+
+def build_toy():
+    builder = ProgramBuilder("toy")
+    main = builder.function("main")
+    main.block("entry", 2)
+    main.cond("loop", 4, target="loop", behaviour=LoopBehaviour(5))
+    main.call("do", 1, callee="leaf")
+    main.icall(
+        "disp", 1, callees=["leaf", "leaf2"], behaviour=IndirectBehaviour(2)
+    )
+    main.jump("wrap", 1, target="entry")
+    leaf = builder.function("leaf")
+    leaf.ret("body", 6)
+    leaf2 = builder.function("leaf2")
+    leaf2.ret("body", 6)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_builds_program(self):
+        program = build_toy()
+        assert isinstance(program, Program)
+        assert program.entry == program.function_entries["main"]
+
+    def test_function_reuse(self):
+        builder = ProgramBuilder("x")
+        f1 = builder.function("main")
+        f2 = builder.function("main")
+        assert f1 is f2
+
+    def test_behaviour_indices_assigned(self):
+        program = build_toy()
+        assert len(program.behaviours) == 2
+        assert isinstance(program.behaviours[0], LoopBehaviour)
+        assert isinstance(program.behaviours[1], IndirectBehaviour)
+
+    def test_indirect_table(self):
+        program = build_toy()
+        assert len(program.indirect_targets) == 1
+        (targets,) = program.indirect_targets.values()
+        assert targets == (
+            program.function_entries["leaf"],
+            program.function_entries["leaf2"],
+        )
+
+    def test_icall_arity_checked(self):
+        builder = ProgramBuilder("x")
+        main = builder.function("main")
+        with pytest.raises(ProgramError):
+            main.icall("d", 1, callees=["a"], behaviour=IndirectBehaviour(2))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder("x").build()
+
+    def test_unknown_callee_rejected(self):
+        builder = ProgramBuilder("x")
+        main = builder.function("main")
+        main.call("c", 1, callee="ghost")
+        main.jump("w", 0, target="c")
+        with pytest.raises(ProgramError):
+            builder.build()
+
+
+class TestProgramValidation:
+    def test_entry_must_be_in_image(self):
+        program = build_toy()
+        with pytest.raises(ProgramError):
+            Program(
+                name="bad",
+                image=program.image,
+                behaviours=list(program.behaviours),
+                entry=program.image.end + 64,
+                indirect_targets=dict(program.indirect_targets),
+            )
+
+    def test_behaviour_indices_validated(self):
+        program = build_toy()
+        with pytest.raises(ProgramError):
+            Program(
+                name="bad",
+                image=program.image,
+                behaviours=[],  # indices in the image now dangle
+                entry=program.entry,
+            )
+
+    def test_indirect_behaviour_type_checked(self):
+        program = build_toy()
+        behaviours = list(program.behaviours)
+        # Swap the IndirectBehaviour for a direction model.
+        behaviours[1] = BiasedBehaviour(0.5)
+        with pytest.raises(ProgramError):
+            Program(
+                name="bad",
+                image=program.image,
+                behaviours=behaviours,
+                entry=program.entry,
+                indirect_targets=dict(program.indirect_targets),
+            )
+
+    def test_reset_behaviours(self):
+        program = build_toy()
+        import random
+
+        rng = random.Random(0)
+        loop = program.behaviours[0]
+        loop.next_outcome(rng, 0)
+        program.reset_behaviours()
+        assert loop._remaining == 0
+
+    def test_footprint(self):
+        program = build_toy()
+        assert program.footprint_bytes == program.image.size_bytes
+
+    def test_structure(self):
+        program = build_toy()
+        kinds = [i.kind for i in program.image.iter_instructions()]
+        assert InstrKind.COND_BRANCH in kinds
+        assert InstrKind.INDIRECT_CALL in kinds
+        assert kinds.count(InstrKind.RETURN) == 2

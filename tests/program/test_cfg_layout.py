@@ -1,0 +1,206 @@
+"""CFG validation and layout lowering."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.program.cfg import BasicBlock, ControlFlowGraph, Function, Terminator
+from repro.program.layout import layout_cfg
+
+
+def ret_block(label="r", n=1):
+    return BasicBlock(label, n, Terminator(InstrKind.RETURN))
+
+
+def simple_cfg():
+    main = Function(
+        "main",
+        [
+            BasicBlock("a", 3),
+            BasicBlock("b", 2, Terminator(InstrKind.JUMP, target_label="a")),
+        ],
+    )
+    return ControlFlowGraph({"main": main}, entry="main")
+
+
+class TestTerminatorValidation:
+    def test_plain_rejected(self):
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.PLAIN)
+
+    def test_cond_needs_label_and_behaviour(self):
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.COND_BRANCH)
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.COND_BRANCH, target_label="x")
+
+    def test_call_needs_callee(self):
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.CALL)
+
+    def test_return_takes_nothing(self):
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.RETURN, target_label="x")
+
+    def test_indirect_needs_callees_and_behaviour(self):
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.INDIRECT_CALL)
+        with pytest.raises(ProgramError):
+            Terminator(InstrKind.INDIRECT_CALL, indirect_callees=("f",))
+
+
+class TestBlockValidation:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ProgramError):
+            BasicBlock("x", 0)
+
+    def test_negative_plain_rejected(self):
+        with pytest.raises(ProgramError):
+            BasicBlock("x", -1)
+
+    def test_instruction_count(self):
+        assert BasicBlock("x", 3).n_instructions == 3
+        assert ret_block(n=3).n_instructions == 4
+
+
+class TestFunctionValidation:
+    def test_duplicate_labels(self):
+        function = Function("f", [ret_block("a"), ret_block("a")])
+        with pytest.raises(ProgramError):
+            function.validate()
+
+    def test_unknown_target(self):
+        function = Function(
+            "f",
+            [
+                BasicBlock("a", 1, Terminator(InstrKind.JUMP, target_label="zz")),
+                ret_block(),
+            ],
+        )
+        with pytest.raises(ProgramError):
+            function.validate()
+
+    def test_final_fall_through_rejected(self):
+        function = Function("f", [BasicBlock("a", 3)])
+        with pytest.raises(ProgramError):
+            function.validate()
+
+    def test_final_call_rejected(self):
+        function = Function(
+            "f", [BasicBlock("a", 1, Terminator(InstrKind.CALL, callee="g"))]
+        )
+        with pytest.raises(ProgramError):
+            function.validate()
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ProgramError):
+            Function("f", []).validate()
+
+
+class TestCfgValidation:
+    def test_missing_entry(self):
+        cfg = ControlFlowGraph({}, entry="main")
+        with pytest.raises(ProgramError):
+            cfg.validate()
+
+    def test_unknown_callee(self):
+        main = Function(
+            "main",
+            [
+                BasicBlock("a", 1, Terminator(InstrKind.CALL, callee="ghost")),
+                ret_block(),
+            ],
+        )
+        cfg = ControlFlowGraph({"main": main}, entry="main")
+        with pytest.raises(ProgramError):
+            cfg.validate()
+
+    def test_valid_cfg(self):
+        simple_cfg().validate()
+
+
+class TestLayout:
+    def test_contiguous_instructions(self):
+        layout = layout_cfg(simple_cfg(), base=0x1000)
+        addrs = [i.address for i in layout.instructions]
+        assert addrs == list(
+            range(addrs[0], addrs[0] + len(addrs) * INSTRUCTION_SIZE, 4)
+        )
+
+    def test_jump_target_resolved(self):
+        layout = layout_cfg(simple_cfg(), base=0x1000)
+        jump = layout.instructions[-1]
+        assert jump.kind is InstrKind.JUMP
+        assert jump.target == layout.block_addresses[("main", "a")]
+
+    def test_function_alignment(self):
+        leaf = Function("leaf", [ret_block()])
+        main = Function(
+            "main",
+            [
+                BasicBlock("a", 1, Terminator(InstrKind.CALL, callee="leaf")),
+                BasicBlock("b", 1, Terminator(InstrKind.JUMP, target_label="a")),
+            ],
+        )
+        cfg = ControlFlowGraph({"leaf": leaf, "main": main}, entry="main")
+        layout = layout_cfg(cfg, base=0x1000, function_align=32)
+        for entry in layout.function_entries.values():
+            assert entry % 32 == 0
+
+    def test_alignment_gaps_padded(self):
+        leaf = Function("leaf", [ret_block(n=2)])  # 3 instrs -> 20-byte pad
+        main = Function("main", [ret_block(n=1)])
+        cfg = ControlFlowGraph({"leaf": leaf, "main": main}, entry="main")
+        layout = layout_cfg(cfg, base=0, function_align=32)
+        addrs = [i.address for i in layout.instructions]
+        # Contiguity across the pad gap.
+        assert addrs == list(range(0, len(addrs) * 4, 4))
+        assert layout.function_entries["main"] == 32
+
+    def test_call_target_is_callee_entry(self):
+        leaf = Function("leaf", [ret_block()])
+        main = Function(
+            "main",
+            [
+                BasicBlock("a", 1, Terminator(InstrKind.CALL, callee="leaf")),
+                BasicBlock("b", 0, Terminator(InstrKind.JUMP, target_label="a")),
+            ],
+        )
+        cfg = ControlFlowGraph({"leaf": leaf, "main": main}, entry="main")
+        layout = layout_cfg(cfg)
+        call = next(i for i in layout.instructions if i.kind is InstrKind.CALL)
+        assert call.target == layout.function_entries["leaf"]
+
+    def test_indirect_targets_table(self):
+        import repro.program.behaviour as beh
+
+        f1 = Function("f1", [ret_block()])
+        f2 = Function("f2", [ret_block()])
+        main = Function(
+            "main",
+            [
+                BasicBlock(
+                    "a",
+                    1,
+                    Terminator(
+                        InstrKind.INDIRECT_CALL,
+                        indirect_callees=("f1", "f2"),
+                        behaviour=0,
+                    ),
+                ),
+                BasicBlock("b", 0, Terminator(InstrKind.JUMP, target_label="a")),
+            ],
+        )
+        cfg = ControlFlowGraph({"f1": f1, "f2": f2, "main": main}, entry="main")
+        layout = layout_cfg(cfg)
+        assert len(layout.indirect_targets) == 1
+        targets = next(iter(layout.indirect_targets.values()))
+        assert targets == (
+            layout.function_entries["f1"],
+            layout.function_entries["f2"],
+        )
+        del beh
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ProgramError):
+            layout_cfg(simple_cfg(), base=0x1001)

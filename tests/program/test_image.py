@@ -1,0 +1,114 @@
+"""Code image: decoding and run-length queries."""
+
+import pytest
+
+from repro.errors import DecodeError, ProgramError
+from repro.isa import Instruction, InstrKind
+from repro.program import CodeImage
+
+
+def build_image():
+    """[plain, plain, cond->0x1000, plain, jump->0x1000, plain]"""
+    base = 0x1000
+    listing = [
+        Instruction(base + 0, InstrKind.PLAIN),
+        Instruction(base + 4, InstrKind.PLAIN),
+        Instruction(base + 8, InstrKind.COND_BRANCH, target=base, behaviour=0),
+        Instruction(base + 12, InstrKind.PLAIN),
+        Instruction(base + 16, InstrKind.JUMP, target=base),
+        Instruction(base + 20, InstrKind.PLAIN),
+    ]
+    return CodeImage.from_instructions(listing)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        image = build_image()
+        assert image.base == 0x1000
+        assert image.n_instructions == 6
+        assert image.size_bytes == 24
+        assert image.end == 0x1018
+
+    def test_gap_rejected(self):
+        with pytest.raises(ProgramError):
+            CodeImage.from_instructions(
+                [
+                    Instruction(0x1000, InstrKind.PLAIN),
+                    Instruction(0x1008, InstrKind.PLAIN),  # hole at 0x1004
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProgramError):
+            CodeImage.from_instructions([])
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        image = build_image()
+        instr = image.decode(0x1008)
+        assert instr.kind is InstrKind.COND_BRANCH
+        assert instr.target == 0x1000
+        assert instr.behaviour == 0
+
+    def test_plain_decodes_without_target(self):
+        image = build_image()
+        instr = image.decode(0x1000)
+        assert instr.kind is InstrKind.PLAIN
+        assert instr.target is None
+        assert instr.behaviour is None
+
+    def test_outside_image(self):
+        image = build_image()
+        with pytest.raises(DecodeError):
+            image.decode(0x0FFC)
+        with pytest.raises(DecodeError):
+            image.decode(0x1018)
+
+    def test_misaligned(self):
+        with pytest.raises(DecodeError):
+            build_image().decode(0x1002)
+
+    def test_contains(self):
+        image = build_image()
+        assert image.contains(0x1000)
+        assert image.contains(0x1014)
+        assert not image.contains(0x1018)
+        assert not image.contains(0x1002)
+
+    def test_iter_matches_decode(self):
+        image = build_image()
+        listing = list(image.iter_instructions())
+        assert len(listing) == 6
+        assert [i.kind for i in listing] == [
+            InstrKind.PLAIN,
+            InstrKind.PLAIN,
+            InstrKind.COND_BRANCH,
+            InstrKind.PLAIN,
+            InstrKind.JUMP,
+            InstrKind.PLAIN,
+        ]
+
+
+class TestRunLength:
+    def test_run_to_control_inclusive(self):
+        image = build_image()
+        assert image.run_length(0x1000) == 3  # plain, plain, cond
+        assert image.run_length(0x1008) == 1  # the cond itself
+
+    def test_run_between_controls(self):
+        image = build_image()
+        assert image.run_length(0x100C) == 2  # plain, jump
+
+    def test_run_to_image_end(self):
+        image = build_image()
+        assert image.run_length(0x1014) == 1  # trailing plain, no control
+
+    def test_index_address_roundtrip(self):
+        image = build_image()
+        for idx in range(image.n_instructions):
+            assert image.index_of(image.address_of(idx)) == idx
+
+    def test_bad_index(self):
+        with pytest.raises(DecodeError):
+            build_image().address_of(6)

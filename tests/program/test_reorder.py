@@ -1,0 +1,112 @@
+"""Profile-driven code reordering."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program.reorder import function_heat, reorder_program
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    program = build_workload("li")
+    trace = generate_trace(program, 30_000, seed=5)
+    heat = function_heat(program, trace)
+    return program, trace, heat
+
+
+class TestFunctionHeat:
+    def test_covers_all_functions(self, profiled):
+        program, _, heat = profiled
+        assert set(heat) == set(program.function_entries)
+
+    def test_total_heat_equals_trace(self, profiled):
+        _, trace, heat = profiled
+        assert sum(heat.values()) == trace.n_instructions
+
+    def test_hot_tier_is_hottest(self, profiled):
+        program, _, heat = profiled
+        hot = max(
+            (name for name in heat if name.startswith("hot")),
+            key=heat.__getitem__,
+        )
+        coldest_cold = min(
+            (name for name in heat if name.startswith("cold")),
+            key=heat.__getitem__,
+        )
+        assert heat[hot] > heat[coldest_cold]
+
+    def test_trace_mismatch_rejected(self, profiled):
+        program, _, _ = profiled
+        other = build_workload("tex")
+        other_trace = generate_trace(other, 2_000, seed=1)
+        with pytest.raises(ProgramError):
+            function_heat(program, other_trace)
+
+
+class TestReorderProgram:
+    def test_hot_first_places_hottest_first(self, profiled):
+        program, _, heat = profiled
+        reordered = reorder_program(program, heat=heat, strategy="hot-first")
+        names_by_addr = sorted(
+            reordered.function_entries, key=reordered.function_entries.get
+        )
+        heats_in_order = [heat[name] for name in names_by_addr]
+        assert heats_in_order == sorted(heats_in_order, reverse=True)
+
+    def test_same_code_different_layout(self, profiled):
+        program, _, heat = profiled
+        reordered = reorder_program(program, heat=heat, strategy="hot-first")
+        assert reordered.image.n_instructions == program.image.n_instructions
+        assert sorted(reordered.image.kinds_list) == sorted(
+            program.image.kinds_list
+        )
+        assert reordered.function_entries != program.function_entries
+
+    def test_reordered_program_traces_identically(self, profiled):
+        """Same CFG + behaviours + seed => the same dynamic behaviour,
+        modulo addresses (block lengths and kinds line up 1:1)."""
+        program, _, heat = profiled
+        reordered = reorder_program(program, heat=heat, strategy="hot-first")
+        t_orig = generate_trace(program, 5_000, seed=9)
+        t_reord = generate_trace(reordered, 5_000, seed=9)
+        assert [(r.length, r.kind, r.taken) for r in t_orig.records] == [
+            (r.length, r.kind, r.taken) for r in t_reord.records
+        ]
+
+    def test_shuffle_deterministic_per_seed(self, profiled):
+        program, _, _ = profiled
+        s1 = reorder_program(program, strategy="shuffle", seed=4)
+        s2 = reorder_program(program, strategy="shuffle", seed=4)
+        s3 = reorder_program(program, strategy="shuffle", seed=5)
+        assert s1.function_entries == s2.function_entries
+        assert s1.function_entries != s3.function_entries
+
+    def test_original_strategy_preserves_order(self, profiled):
+        program, _, _ = profiled
+        same = reorder_program(program, strategy="original")
+        assert same.function_entries == program.function_entries
+
+    def test_metadata_records_layout(self, profiled):
+        program, _, heat = profiled
+        reordered = reorder_program(program, heat=heat, strategy="cold-first")
+        assert reordered.metadata["layout"] == "cold-first"
+
+    def test_unknown_strategy(self, profiled):
+        program, _, _ = profiled
+        with pytest.raises(ProgramError):
+            reorder_program(program, strategy="alphabetical")
+
+    def test_heat_required_for_profile_strategies(self, profiled):
+        program, _, _ = profiled
+        with pytest.raises(ProgramError):
+            reorder_program(program, strategy="hot-first")
+
+    def test_cfg_required(self, profiled):
+        import dataclasses
+
+        program, _, heat = profiled
+        stripped = dataclasses.replace(program, cfg=None)
+        with pytest.raises(ProgramError):
+            reorder_program(stripped, heat=heat, strategy="hot-first")

@@ -1,0 +1,97 @@
+"""Synthesizer coverage guarantees (added after deep validation caught
+unreachable leaves/methods in early workload generations)."""
+
+from repro.isa import InstrKind
+from repro.program import synthesize
+from repro.program.synth import TierSpec, WorkloadSpec
+
+
+def cpp_spec(**overrides):
+    defaults = dict(
+        name="covcpp",
+        language="c++",
+        hot=TierSpec(2, 200),
+        warm=TierSpec(3, 150, period=2),
+        cold=TierSpec(2, 150, period=4),
+        leaf_funcs=4,
+        leaf_instrs=24,
+        loop_trips=5,
+        virtual_sites=5,
+        virtual_degree=3,
+        call_density=0.02,  # deliberately sparse call sites
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestVirtualSiteQuota:
+    def test_requested_site_count_emitted(self):
+        program = synthesize(cpp_spec())
+        icalls = sum(
+            1 for k in program.image.kinds_list
+            if k == int(InstrKind.INDIRECT_CALL)
+        )
+        assert icalls == 5
+
+    def test_sites_spread_over_hot_functions(self):
+        program = synthesize(cpp_spec())
+        entries = sorted(program.function_entries.items(), key=lambda kv: kv[1])
+        bounds = {
+            name: (addr, nxt)
+            for (name, addr), (_, nxt) in zip(
+                entries, entries[1:] + [("_end", program.image.end)]
+            )
+        }
+        per_hot = {name: 0 for name in ("hot0", "hot1")}
+        for addr, _targets in program.indirect_targets.items():
+            for name in per_hot:
+                lo, hi = bounds[name]
+                if lo <= addr < hi:
+                    per_hot[name] += 1
+        # Quota 5 over 2 hot functions: a 3/2 split.
+        assert sorted(per_hot.values()) == [2, 3]
+
+    def test_every_method_dispatchable(self):
+        program = synthesize(cpp_spec())
+        methods = {
+            addr for name, addr in program.function_entries.items()
+            if name.startswith("method")
+        }
+        dispatched = {
+            target
+            for targets in program.indirect_targets.values()
+            for target in targets
+        }
+        assert methods <= dispatched
+
+    def test_site_weights_skewed_to_dominant(self):
+        program = synthesize(cpp_spec())
+        for addr, targets in program.indirect_targets.items():
+            behaviour = program.behaviours[
+                program.image.decode(addr).behaviour
+            ]
+            assert behaviour.weights is not None
+            assert behaviour.weights[0] == max(behaviour.weights)
+
+
+class TestLeafCoverage:
+    def test_all_leaves_called_even_with_sparse_sites(self):
+        spec = cpp_spec(call_density=0.0, virtual_sites=0, language="c")
+        program = synthesize(spec)
+        called = {
+            instr.target
+            for instr in program.image.iter_instructions()
+            if instr.kind is InstrKind.CALL
+        }
+        for name, addr in program.function_entries.items():
+            if name.startswith("leaf"):
+                assert addr in called, name
+
+    def test_no_duplicate_driver_calls_when_sites_abound(self):
+        """With dense call sites, the driver should not need (many)
+        coverage calls; leaves are reached through normal sites."""
+        spec = cpp_spec(call_density=0.5, virtual_sites=0, language="c")
+        program = synthesize(spec)
+        from repro.program.validate import validate_deep
+
+        assert validate_deep(program).clean

@@ -1,0 +1,149 @@
+"""Synthetic workload generation and the 13-benchmark suite."""
+
+import pytest
+
+from repro.errors import ExperimentError, ProgramError
+from repro.isa import InstrKind
+from repro.program import (
+    SUITE,
+    WORKLOAD_SPECS,
+    TierSpec,
+    WorkloadSpec,
+    build_workload,
+    get_spec,
+    synthesize,
+)
+from repro.program.workloads import FIGURE_BENCHMARKS, LANGUAGE, PAPER_REFERENCE
+from repro.trace.generator import generate_trace
+from repro.trace.stats import compute_stats
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="mini",
+        language="c",
+        hot=TierSpec(1, 120),
+        warm=TierSpec(2, 150, period=2),
+        cold=TierSpec(2, 150, period=4),
+        leaf_funcs=2,
+        leaf_instrs=24,
+        loop_trips=4,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestSynthesize:
+    def test_builds_valid_program(self):
+        program = synthesize(small_spec())
+        assert program.image.n_instructions > 300
+        assert program.entry == program.function_entries["main"]
+
+    def test_deterministic_structure(self):
+        p1 = synthesize(small_spec())
+        p2 = synthesize(small_spec())
+        assert p1.image.kinds_list == p2.image.kinds_list
+        assert p1.image.targets_list == p2.image.targets_list
+
+    def test_seed_changes_structure(self):
+        p1 = synthesize(small_spec())
+        p2 = synthesize(small_spec(structure_seed=99))
+        assert p1.image.kinds_list != p2.image.kinds_list
+
+    def test_virtual_sites_emit_indirect_calls(self):
+        spec = small_spec(name="cppish", language="c++", virtual_sites=2)
+        program = synthesize(spec)
+        kinds = program.image.kinds_list
+        assert int(InstrKind.INDIRECT_CALL) in kinds
+        assert program.indirect_targets
+
+    def test_no_virtual_no_indirect(self):
+        program = synthesize(small_spec())
+        assert int(InstrKind.INDIRECT_CALL) not in program.image.kinds_list
+
+    def test_tier_metadata(self):
+        program = synthesize(small_spec())
+        assert program.metadata["language"] == "c"
+        assert program.metadata["warm_instrs"] == 300
+
+    def test_trace_executes_all_tiers(self):
+        """The dynamic trace must actually reach warm and cold code."""
+        program = synthesize(small_spec())
+        trace = generate_trace(program, 30_000, seed=1)
+        visited = set()
+        for record in trace.records:
+            visited.add(record.start)
+        warm_entry = program.function_entries["warm0"]
+        cold_entry = program.function_entries["cold0"]
+        assert warm_entry in visited
+        assert cold_entry in visited
+
+    def test_spec_validation(self):
+        with pytest.raises(ProgramError):
+            small_spec(language="rust")
+        with pytest.raises(ProgramError):
+            small_spec(far_frac=1.5)
+        with pytest.raises(ProgramError):
+            small_spec(avg_block=0)
+        with pytest.raises(ProgramError):
+            WorkloadSpec(name="x", language="c", leaf_funcs=0)
+
+    def test_tier_validation(self):
+        with pytest.raises(ProgramError):
+            TierSpec(2, 4)  # functions too small
+        with pytest.raises(ProgramError):
+            TierSpec(-1, 100)
+        with pytest.raises(ProgramError):
+            TierSpec(2, 100, period=0)
+
+
+class TestSuite:
+    def test_thirteen_benchmarks(self):
+        assert len(SUITE) == 13
+        assert set(SUITE) == set(PAPER_REFERENCE)
+        assert set(SUITE) == set(LANGUAGE)
+
+    def test_figure_benchmarks_subset(self):
+        assert set(FIGURE_BENCHMARKS) <= set(SUITE)
+        assert len(FIGURE_BENCHMARKS) == 5
+
+    def test_language_families(self):
+        assert LANGUAGE["doduc"] == "fortran"
+        assert LANGUAGE["gcc"] == "c"
+        assert LANGUAGE["groff"] == "c++"
+        assert sum(1 for lang in LANGUAGE.values() if lang == "fortran") == 3
+        assert sum(1 for lang in LANGUAGE.values() if lang == "c") == 4
+        assert sum(1 for lang in LANGUAGE.values() if lang == "c++") == 6
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_spec("spice")
+
+    def test_specs_named_consistently(self):
+        for name, spec in WORKLOAD_SPECS.items():
+            assert spec.name == name
+
+    def test_build_workload_seed_variants(self):
+        base = build_workload("li")
+        variant = build_workload("li", seed=5)
+        assert base.image.n_instructions != 0
+        assert (
+            base.image.kinds_list != variant.image.kinds_list
+            or base.image.targets_list != variant.image.targets_list
+        )
+
+
+@pytest.mark.parametrize("name", ["doduc", "gcc", "groff"])
+class TestCalibrationBands:
+    """Loose sanity bands; the tight comparison lives in EXPERIMENTS.md."""
+
+    def test_branch_percentage_band(self, name):
+        program = build_workload(name)
+        trace = generate_trace(program, 60_000, seed=11)
+        stats = compute_stats(trace)
+        target = PAPER_REFERENCE[name]["pct_branches"]
+        assert 0.5 * target <= stats.pct_branches <= 1.6 * target
+
+    def test_footprint_exceeds_32k(self, name):
+        program = build_workload(name)
+        assert program.footprint_bytes > 32 * 1024

@@ -1,0 +1,161 @@
+"""Property-based tests over whole simulations.
+
+Random small programs are generated through the same builder API users
+would use; the engine must uphold its invariants on all of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.core.results import COMPONENTS
+from repro.program import (
+    BiasedBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+    ProgramBuilder,
+)
+from repro.trace.generator import generate_trace
+
+
+@st.composite
+def random_programs(draw):
+    """A random but valid two-function program."""
+    builder = ProgramBuilder("random")
+    main = builder.function("main")
+    n_diamonds = draw(st.integers(min_value=1, max_value=5))
+    main.block("entry", draw(st.integers(min_value=1, max_value=10)))
+    for i in range(n_diamonds):
+        kind = draw(st.sampled_from(["biased", "loop", "pattern"]))
+        if kind == "biased":
+            behaviour = BiasedBehaviour(draw(st.floats(0.0, 1.0)))
+        elif kind == "loop":
+            behaviour = LoopBehaviour(draw(st.integers(1, 12)))
+        else:
+            length = draw(st.integers(1, 6))
+            bits = draw(
+                st.lists(st.booleans(), min_size=length, max_size=length)
+            )
+            behaviour = PatternBehaviour(tuple(bits))
+        head = draw(st.integers(min_value=0, max_value=12))
+        main.cond(f"d{i}", head, target=f"j{i}", behaviour=behaviour)
+        main.block(f"e{i}", draw(st.integers(min_value=1, max_value=12)))
+        if draw(st.booleans()):
+            main.call(f"c{i}", 1, callee="leaf")
+        main.block(f"j{i}", 1)
+    main.jump("wrap", 1, target="entry")
+    leaf = builder.function("leaf")
+    leaf.ret("body", draw(st.integers(min_value=1, max_value=20)))
+    return builder.build()
+
+
+sim_configs = st.builds(
+    SimConfig,
+    policy=st.sampled_from(list(FetchPolicy)),
+    miss_penalty_cycles=st.sampled_from([5, 20]),
+    max_unresolved=st.sampled_from([1, 2, 4]),
+    prefetch=st.booleans(),
+    prefetch_variant=st.sampled_from(["tagged", "always", "on-miss"]),
+    target_prefetch=st.booleans(),
+    fill_buffers=st.sampled_from([1, 2]),
+    bus_interleave_cycles=st.sampled_from([None, 2]),
+    stream_buffers=st.sampled_from([0, 2]),
+    l2_size_bytes=st.sampled_from([None, 64 * 1024]),
+)
+
+
+class TestEngineInvariants:
+    @given(program=random_programs(), config=sim_configs,
+           seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, program, config, seed):
+        trace = generate_trace(program, 1_500, seed=seed)
+        result = simulate(program, trace, config)
+        penalties = result.penalties
+
+        # 1. Every component is non-negative; the breakdown is complete.
+        breakdown = penalties.as_dict()
+        assert set(breakdown) == set(COMPONENTS)
+        assert all(v >= 0 for v in breakdown.values())
+        assert penalties.total_slots == sum(breakdown.values())
+
+        # 2. All correct-path instructions were issued.
+        assert result.counters.instructions == trace.n_instructions
+
+        # 3. Fills never exceed misses, category by category.
+        counters = result.counters
+        assert counters.right_fills <= counters.right_misses
+        assert counters.wrong_fills <= counters.wrong_misses
+        assert counters.right_misses <= counters.right_probes
+
+        # 4. Policy-specific structure.
+        if config.policy in (FetchPolicy.ORACLE, FetchPolicy.PESSIMISTIC):
+            assert counters.wrong_fills == 0
+            assert penalties.wrong_icache == 0
+        if config.policy in (FetchPolicy.ORACLE, FetchPolicy.OPTIMISTIC):
+            assert penalties.force_resolve == 0
+        if config.policy is FetchPolicy.RESUME:
+            assert penalties.wrong_icache == 0
+        if not config.prefetch:
+            assert counters.prefetches == 0
+            if (
+                config.policy is not FetchPolicy.RESUME
+                and not config.target_prefetch
+                and config.stream_buffers == 0
+            ):
+                assert penalties.bus == 0
+        if not config.target_prefetch:
+            assert counters.target_prefetches == 0
+        if config.stream_buffers == 0:
+            assert counters.stream_hits == 0
+        if config.l2_size_bytes is None:
+            assert counters.l2_hits == 0 and counters.l2_misses == 0
+        else:
+            # Every issued fill consulted the L2 exactly once.
+            issued = (
+                counters.right_fills
+                + counters.wrong_fills
+                + counters.prefetches
+                + counters.target_prefetches
+                + counters.stream_prefetches
+            )
+            assert counters.l2_hits + counters.l2_misses == issued
+
+        # 5. The clock adds up: cycles >= pure issue time.
+        assert result.total_cycles >= counters.instructions / 4
+
+    @given(program=random_programs(), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_pessimistic_fill_equality(self, program, seed):
+        """The paper's footnote 3, as an engine property."""
+        trace = generate_trace(program, 1_500, seed=seed)
+        oracle = simulate(program, trace, SimConfig(policy=FetchPolicy.ORACLE))
+        pess = simulate(
+            program, trace, SimConfig(policy=FetchPolicy.PESSIMISTIC)
+        )
+        assert oracle.counters.right_misses == pess.counters.right_misses
+        assert oracle.counters.right_fills == pess.counters.right_fills
+
+    @given(program=random_programs(), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, program, seed):
+        trace = generate_trace(program, 1_000, seed=seed)
+        config = SimConfig(policy=FetchPolicy.RESUME, prefetch=True)
+        r1 = simulate(program, trace, config)
+        r2 = simulate(program, trace, config)
+        assert r1.penalties.as_dict() == r2.penalties.as_dict()
+        assert r1.counters.memory_accesses == r2.counters.memory_accesses
+
+
+class TestTraceInvariants:
+    @given(program=random_programs(), seed=st.integers(0, 1000),
+           n=st.integers(100, 3000))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_traces_valid(self, program, seed, n):
+        trace = generate_trace(program, n, seed=seed)
+        trace.validate()  # continuity + per-record invariants
+        assert trace.n_instructions >= n
+        image = program.image
+        for record in trace.records:
+            assert image.contains(record.start)

@@ -1,0 +1,182 @@
+"""Property-based tests for the core data structures (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch import (
+    BranchTargetBuffer,
+    CounterTable,
+    GlobalHistory,
+    GsharePHT,
+)
+from repro.cache import InstructionCache, LineOrigin
+from repro.isa import line_address, line_number, line_offset, span_lines
+from repro.memory import MemoryBus
+
+addresses = st.integers(min_value=0, max_value=2**32 - 4).map(lambda a: a & ~3)
+line_sizes = st.sampled_from([16, 32, 64, 128])
+
+
+class TestEncodingProperties:
+    @given(address=addresses, line_size=line_sizes)
+    def test_line_decomposition(self, address, line_size):
+        assert (
+            line_number(address, line_size) * line_size
+            + line_offset(address, line_size)
+            == address
+        )
+        assert line_address(address, line_size) <= address
+
+    @given(
+        address=addresses,
+        n=st.integers(min_value=1, max_value=200),
+        line_size=line_sizes,
+    )
+    def test_span_lines_contiguous(self, address, n, line_size):
+        lines = list(span_lines(address, n, line_size))
+        assert lines == list(range(lines[0], lines[-1] + 1))
+        # Span covers at least the densest packing and at most one extra
+        # line for an unaligned start.
+        per_line = line_size // 4
+        assert (n + per_line - 1) // per_line <= len(lines)
+        assert len(lines) <= (n + per_line - 1) // per_line + 1
+
+
+class TestCounterProperties:
+    @given(
+        updates=st.lists(st.booleans(), max_size=200),
+        bits=st.integers(min_value=1, max_value=4),
+    )
+    def test_counter_stays_in_range(self, updates, bits):
+        table = CounterTable(entries=4, bits=bits)
+        for taken in updates:
+            table.update(0, taken)
+            assert 0 <= table.values[0] <= (1 << bits) - 1
+
+    @given(updates=st.lists(st.booleans(), min_size=4, max_size=100))
+    def test_saturation_after_uniform_run(self, updates):
+        table = CounterTable(entries=2)
+        for _ in range(4):
+            table.update(0, True)
+        assert table.predict(0)
+        for _ in range(4):
+            table.update(1, False)
+        assert not table.predict(1)
+
+
+class TestHistoryProperties:
+    @given(
+        outcomes=st.lists(st.booleans(), max_size=64),
+        bits=st.integers(min_value=1, max_value=16),
+    )
+    def test_history_equals_masked_shift(self, outcomes, bits):
+        history = GlobalHistory(bits)
+        reference = 0
+        for outcome in outcomes:
+            history.shift_in(outcome)
+            reference = ((reference << 1) | int(outcome)) & ((1 << bits) - 1)
+        assert history.snapshot() == reference
+
+
+class TestPHTProperties:
+    @given(
+        pcs=st.lists(addresses, min_size=1, max_size=50),
+        history=st.integers(min_value=0, max_value=511),
+    )
+    def test_gshare_index_in_range(self, pcs, history):
+        pht = GsharePHT(512)
+        for pc in pcs:
+            assert 0 <= pht.index(pc, history) < 512
+
+
+class TestBTBProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(addresses, addresses), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_capacity_never_exceeded(self, ops):
+        btb = BranchTargetBuffer(entries=16, assoc=2)
+        for pc, target in ops:
+            btb.insert(pc, target)
+        resident = sum(len(ways) for ways in btb._sets)
+        assert resident <= 16
+        for ways in btb._sets:
+            assert len(ways) <= 2
+
+    @given(pc=addresses, target=addresses)
+    def test_insert_then_peek(self, pc, target):
+        btb = BranchTargetBuffer(entries=16, assoc=2)
+        btb.insert(pc, target)
+        entry = btb.peek(pc)
+        assert entry is not None
+        assert entry.target == target
+
+
+class TestCacheModelBased:
+    """Compare the set-associative cache against a reference LRU model."""
+
+    @given(
+        lines=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=1, max_size=300
+        ),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60)
+    def test_matches_reference_lru(self, lines, assoc):
+        n_sets = 16 // assoc
+        cache = InstructionCache(16 * 32, line_size=32, assoc=assoc)
+        reference: dict[int, list[int]] = {s: [] for s in range(n_sets)}
+        for line in lines:
+            set_idx = line % n_sets
+            ways = reference[set_idx]
+            model_hit = line in ways
+            real_hit = cache.probe(line)
+            assert real_hit == model_hit
+            if model_hit:
+                ways.remove(line)
+                ways.append(line)
+            else:
+                cache.fill(line, LineOrigin.DEMAND_RIGHT)
+                if len(ways) >= assoc:
+                    ways.pop(0)
+                ways.append(line)
+        model_resident = {line for ways in reference.values() for line in ways}
+        assert cache.resident_lines() == model_resident
+
+
+class TestBusProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=100,
+        )
+    )
+    def test_bus_never_overlaps(self, requests):
+        bus = MemoryBus()
+        requests = sorted(requests)  # callers issue in time order
+        previous_done = 0
+        for now, duration in requests:
+            start, done = bus.request(now, duration)
+            assert start >= now
+            assert start >= previous_done
+            assert done == start + duration
+            previous_done = done
+
+
+class TestBehaviourDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_biased_reproducible(self, seed):
+        from repro.program import BiasedBehaviour
+
+        b = BiasedBehaviour(0.5)
+        first = [b.next_outcome(random.Random(seed), 0) for _ in range(20)]
+        second = [b.next_outcome(random.Random(seed), 0) for _ in range(20)]
+        assert first == second

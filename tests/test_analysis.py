@@ -1,0 +1,113 @@
+"""Seed-replication analysis."""
+
+import pytest
+
+from repro.analysis import ClaimCheck, Summary, replicate, summarize
+from repro.config import FetchPolicy, SimConfig
+from repro.errors import ExperimentError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_ci95(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        expected = 1.96 * summary.std / 2.0
+        assert summary.ci95_half_width == pytest.approx(expected)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.ci95_half_width != summary.ci95_half_width  # NaN
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_format(self):
+        text = summarize([1.0, 2.0]).format()
+        assert "±" in text
+        assert "[1.000, 2.000]" in text
+
+
+class TestClaimCheck:
+    def test_fraction(self):
+        assert ClaimCheck("x", 3, 4).fraction == 0.75
+        assert ClaimCheck("x", 0, 0).fraction == 0.0
+
+
+class TestReplicate:
+    def test_distinct_seeds_distinct_results(self):
+        results = replicate(
+            "li", SimConfig(policy=FetchPolicy.RESUME),
+            seeds=(1, 2), trace_length=20_000, warmup=4_000,
+        )
+        assert len(results) == 2
+        assert results[0].total_ispi != results[1].total_ispi
+
+    def test_same_seed_reproduces(self):
+        a = replicate(
+            "li", SimConfig(), seeds=(7,), trace_length=15_000, warmup=3_000
+        )[0]
+        b = replicate(
+            "li", SimConfig(), seeds=(7,), trace_length=15_000, warmup=3_000
+        )[0]
+        assert a.total_ispi == b.total_ispi
+
+    def test_vary_structure_changes_program(self):
+        fixed = replicate(
+            "li", SimConfig(), seeds=(3,), trace_length=15_000, warmup=3_000
+        )[0]
+        varied = replicate(
+            "li", SimConfig(), seeds=(3,), trace_length=15_000, warmup=3_000,
+            vary_structure=True,
+        )[0]
+        assert fixed.total_ispi != varied.total_ispi
+
+    def test_seed_spread_is_moderate(self):
+        """ISPI across seeds varies by percent, not by factors."""
+        results = replicate(
+            "gcc", SimConfig(policy=FetchPolicy.RESUME),
+            seeds=(1, 2, 3), trace_length=30_000, warmup=6_000,
+        )
+        summary = summarize([r.total_ispi for r in results])
+        assert summary.std / summary.mean < 0.15
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate("li", SimConfig(), seeds=())
+
+
+class TestRobustnessExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.analysis import run_robustness
+
+        return run_robustness(
+            benchmarks=("gcc",), seeds=(5, 6, 7),
+            trace_length=30_000, warmup=6_000,
+        )
+
+    def test_structure(self, result):
+        assert result.experiment_id == "robustness"
+        assert len(result.tables) == 2
+        assert result.data["seeds"] == [5, 6, 7]
+
+    def test_claims_counted(self, result):
+        claims = result.data["claims"]
+        assert len(claims) == 4
+        for holds, total in claims.values():
+            assert total == 3  # 1 benchmark x 3 seeds
+            assert 0 <= holds <= total
+
+    def test_majority_of_claims_hold(self, result):
+        claims = result.data["claims"]
+        held = sum(holds for holds, _ in claims.values())
+        total = sum(total for _, total in claims.values())
+        assert held / total >= 0.75

@@ -1,0 +1,75 @@
+"""Trace records and trace container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import InstrKind
+from repro.trace import BlockRecord, Trace
+
+
+def record(start=0x1000, length=4, kind=InstrKind.JUMP, taken=True, next_pc=0x2000):
+    return BlockRecord(start, length, int(kind), taken, next_pc)
+
+
+class TestBlockRecord:
+    def test_derived_addresses(self):
+        r = record(start=0x1000, length=4)
+        assert r.terminator_address == 0x100C
+        assert r.fall_through == 0x1010
+
+    def test_valid_record(self):
+        record().validate()
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(TraceError):
+            record(length=0).validate()
+
+    def test_misaligned_start_rejected(self):
+        with pytest.raises(TraceError):
+            record(start=0x1002).validate()
+
+    def test_not_taken_must_fall_through(self):
+        r = BlockRecord(0x1000, 2, int(InstrKind.COND_BRANCH), False, 0x9000)
+        with pytest.raises(TraceError):
+            r.validate()
+
+    def test_not_taken_fall_through_ok(self):
+        r = BlockRecord(0x1000, 2, int(InstrKind.COND_BRANCH), False, 0x1008)
+        r.validate()
+
+    def test_taken_plain_rejected(self):
+        r = BlockRecord(0x1000, 2, int(InstrKind.PLAIN), True, 0x1008)
+        with pytest.raises(TraceError):
+            r.validate()
+
+
+class TestTrace:
+    def test_counts(self):
+        trace = Trace("p", [record(length=3), record(start=0x2000, length=5)])
+        assert trace.n_blocks == 2
+        assert trace.n_instructions == 8
+        assert len(trace) == 2
+
+    def test_iteration(self):
+        records = [record(), record(start=0x2000)]
+        trace = Trace("p", records)
+        assert list(trace) == records
+
+    def test_continuity_validated(self):
+        good = Trace(
+            "p",
+            [
+                record(start=0x1000, next_pc=0x2000),
+                record(start=0x2000, next_pc=0x3000),
+            ],
+        )
+        good.validate()
+        bad = Trace(
+            "p",
+            [
+                record(start=0x1000, next_pc=0x2000),
+                record(start=0x2400, next_pc=0x3000),
+            ],
+        )
+        with pytest.raises(TraceError):
+            bad.validate()

@@ -1,0 +1,147 @@
+"""Trace generation semantics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import InstrKind
+from repro.program import IndirectBehaviour, LoopBehaviour, ProgramBuilder
+from repro.trace import generate_trace
+from tests.conftest import make_loop_program, make_pattern_program
+
+
+class TestBasicGeneration:
+    def test_length_reached(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 1_000, seed=0)
+        assert trace.n_instructions >= 1_000
+        # Overshoot bounded by one block.
+        assert trace.n_instructions < 1_000 + 64
+
+    def test_trace_is_continuous(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 3_000, seed=0)
+        trace.validate()
+
+    def test_deterministic(self):
+        program = make_loop_program()
+        t1 = generate_trace(program, 2_000, seed=42)
+        t2 = generate_trace(program, 2_000, seed=42)
+        assert t1.records == t2.records
+
+    def test_seed_changes_stochastic_traces(self):
+        from repro.program.workloads import build_workload
+
+        program = build_workload("gcc")
+        t1 = generate_trace(program, 5_000, seed=1)
+        t2 = generate_trace(program, 5_000, seed=2)
+        assert t1.records != t2.records
+
+    def test_all_blocks_inside_image(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 2_000, seed=0)
+        image = program.image
+        for record in trace.records:
+            assert image.contains(record.start)
+            assert image.contains(record.terminator_address)
+
+    def test_bad_length(self):
+        with pytest.raises(TraceError):
+            generate_trace(make_loop_program(), 0)
+
+
+class TestControlSemantics:
+    def test_loop_structure(self):
+        """trips=10 loop: branch taken 9 times then not taken."""
+        program = make_loop_program(trips=10, body_plain=6)
+        trace = generate_trace(program, 500, seed=0)
+        cond = int(InstrKind.COND_BRANCH)
+        outcomes = [r.taken for r in trace.records if r.kind == cond]
+        # First 10 loop evaluations: 9 taken + 1 exit.
+        assert outcomes[:10] == [True] * 9 + [False]
+
+    def test_pattern_branch_directions(self):
+        program = make_pattern_program((True, False, True, True))
+        trace = generate_trace(program, 300, seed=0)
+        cond = int(InstrKind.COND_BRANCH)
+        outcomes = [r.taken for r in trace.records if r.kind == cond]
+        assert outcomes[:8] == [True, False, True, True] * 2
+
+    def test_taken_branch_goes_to_target(self):
+        program = make_pattern_program((True,))
+        trace = generate_trace(program, 100, seed=0)
+        cond = int(InstrKind.COND_BRANCH)
+        branch = next(r for r in trace.records if r.kind == cond)
+        target = program.image.decode(branch.terminator_address).target
+        assert branch.next_pc == target
+
+    def test_call_and_return(self):
+        builder = ProgramBuilder("callret")
+        main = builder.function("main")
+        main.call("c", 2, callee="leaf")
+        main.jump("w", 1, target="c")
+        leaf = builder.function("leaf")
+        leaf.ret("b", 3)
+        program = builder.build()
+        trace = generate_trace(program, 200, seed=0)
+        call = int(InstrKind.CALL)
+        ret = int(InstrKind.RETURN)
+        records = trace.records
+        call_idx = next(i for i, r in enumerate(records) if r.kind == call)
+        ret_idx = next(i for i, r in enumerate(records) if r.kind == ret)
+        assert ret_idx == call_idx + 1
+        # The return goes back to the instruction after the call.
+        assert records[ret_idx].next_pc == records[call_idx].fall_through
+
+    def test_return_with_empty_stack_restarts(self):
+        builder = ProgramBuilder("retonly")
+        main = builder.function("main")
+        main.ret("b", 3)
+        program = builder.build()
+        trace = generate_trace(program, 50, seed=0)
+        for record in trace.records:
+            if record.kind == int(InstrKind.RETURN):
+                assert record.next_pc == program.entry
+
+    def test_indirect_call_targets(self):
+        builder = ProgramBuilder("disp")
+        main = builder.function("main")
+        main.icall("d", 1, callees=["f1", "f2"], behaviour=IndirectBehaviour(2))
+        main.jump("w", 1, target="d")
+        for name in ("f1", "f2"):
+            builder.function(name).ret("b", 2)
+        program = builder.build()
+        trace = generate_trace(program, 500, seed=3)
+        icall = int(InstrKind.INDIRECT_CALL)
+        targets = {r.next_pc for r in trace.records if r.kind == icall}
+        assert targets == {
+            program.function_entries["f1"],
+            program.function_entries["f2"],
+        }
+
+    def test_runaway_recursion_detected(self):
+        builder = ProgramBuilder("rec")
+        main = builder.function("main")
+        main.call("c", 1, callee="main")
+        main.jump("w", 0, target="c")
+        program = builder.build()
+        with pytest.raises(TraceError):
+            generate_trace(program, 100_000, seed=0)
+
+
+class TestLoopBehaviourReset:
+    def test_behaviours_reset_between_runs(self):
+        program = make_loop_program(trips=7)
+        t1 = generate_trace(program, 300, seed=0)
+        t2 = generate_trace(program, 300, seed=0)
+        assert t1.records == t2.records
+
+    def test_program_reference(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 100, seed=0)
+        assert trace.program_name == program.name
+        assert trace.seed == 0
+
+    def test_loop_behaviour_used_by_fixture(self):
+        assert isinstance(
+            make_loop_program().behaviours[0], LoopBehaviour
+        )

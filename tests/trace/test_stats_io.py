@@ -1,0 +1,96 @@
+"""Trace statistics and persistence."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import compute_stats, generate_trace, load_trace, save_trace
+from tests.conftest import make_loop_program, make_pattern_program
+
+
+class TestStats:
+    def test_loop_program_stats(self):
+        program = make_loop_program(trips=10, body_plain=6)
+        trace = generate_trace(program, 2_000, seed=0)
+        stats = compute_stats(trace)
+        assert stats.n_instructions == trace.n_instructions
+        assert stats.n_blocks == trace.n_blocks
+        # One control (loop branch or wrap jump) per block.
+        assert stats.pct_branches == pytest.approx(
+            100.0 * stats.n_blocks / stats.n_instructions
+        )
+
+    def test_taken_fraction(self):
+        # Pattern (T, F): half the conditional executions taken.
+        program = make_pattern_program((True, False))
+        trace = generate_trace(program, 2_000, seed=0)
+        stats = compute_stats(trace)
+        assert stats.taken_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_footprint(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 2_000, seed=0)
+        stats = compute_stats(trace)
+        # The toy loop touches the entire (small) image.
+        assert stats.footprint_bytes <= program.image.size_bytes + 32
+        assert stats.footprint_lines >= 1
+
+    def test_kind_counts(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 2_000, seed=0)
+        stats = compute_stats(trace)
+        assert "COND_BRANCH" in stats.kind_counts
+        assert "JUMP" in stats.kind_counts
+
+    def test_static_sites(self):
+        program = make_loop_program()
+        trace = generate_trace(program, 2_000, seed=0)
+        stats = compute_stats(trace)
+        assert stats.static_cond_sites == 1
+        # Taken sites: the loop branch (taken) and the wrap jump.
+        assert stats.static_taken_sites == 2
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        program = make_loop_program()
+        trace = generate_trace(program, 1_500, seed=9)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == trace.records
+        assert loaded.program_name == trace.program_name
+        assert loaded.seed == 9
+
+    def test_none_seed_roundtrip(self, tmp_path):
+        from repro.trace import BlockRecord, Trace
+
+        trace = Trace("x", [BlockRecord(0, 1, 0, False, 4)], seed=None)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        assert load_trace(path).seed is None
+
+    def test_missing_field_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int32(1))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            version=np.int32(99),
+            program_name=np.str_("x"),
+            seed=np.int64(0),
+            starts=np.zeros(0, dtype=np.int64),
+            lengths=np.zeros(0, dtype=np.int32),
+            kinds=np.zeros(0, dtype=np.int8),
+            takens=np.zeros(0, dtype=np.bool_),
+            next_pcs=np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)

@@ -1,0 +1,76 @@
+"""Workload calibration report.
+
+Compares each synthetic benchmark against its paper targets (Tables 2/3):
+dynamic branch percentage, 8K/32K direct-mapped miss rates (Oracle policy),
+and the branch-architecture ISPI decomposition at speculation depths 1
+and 4.  Run after any change to the workload specs:
+
+    python tools/calibrate.py [benchmark ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.config import CacheConfig, FetchPolicy, SimConfig
+from repro.core.runner import SimulationRunner
+from repro.program.workloads import PAPER_REFERENCE, SUITE
+from repro.trace.stats import compute_stats
+
+
+def calibrate(names: list[str], trace_length: int = 200_000) -> None:
+    runner = SimulationRunner(trace_length=trace_length)
+    header = (
+        f"{'bench':>8} {'%br':>5}({'tgt':>4}) {'m8':>5}({'tgt':>4}) "
+        f"{'m32':>5}({'tgt':>4}) {'pht1':>5} {'pht4':>5}({'tgt':>4}) "
+        f"{'mft4':>5}({'tgt':>4}) {'bmp4':>5}({'tgt':>4}) {'foot':>5}"
+    )
+    print(header)
+    for name in names:
+        ref = PAPER_REFERENCE[name]
+        trace = runner.trace(name)
+        stats = compute_stats(trace)
+        oracle8 = SimConfig(policy=FetchPolicy.ORACLE)
+        oracle32 = replace(oracle8, cache=CacheConfig(size_bytes=32768))
+        perfect4 = SimConfig(policy=FetchPolicy.ORACLE, perfect_cache=True)
+        perfect1 = replace(perfect4, max_unresolved=1)
+        r8 = runner.run(name, oracle8)
+        r32 = runner.run(name, oracle32)
+        p4 = runner.run(name, perfect4)
+        p1 = runner.run(name, perfect1)
+        # Table 3 references for the branch columns.
+        tgt = _TABLE3[name]
+        print(
+            f"{name:>8} {stats.pct_branches:5.1f}({ref['pct_branches']:4.1f}) "
+            f"{r8.miss_rate_percent:5.2f}({ref['miss_8k']:4.2f}) "
+            f"{r32.miss_rate_percent:5.2f}({ref['miss_32k']:4.2f}) "
+            f"{p1.branch_ispi('pht_mispredict'):5.2f} "
+            f"{p4.branch_ispi('pht_mispredict'):5.2f}({tgt[0]:4.2f}) "
+            f"{p4.branch_ispi('btb_misfetch'):5.2f}({tgt[1]:4.2f}) "
+            f"{p4.branch_ispi('btb_mispredict'):5.2f}({tgt[2]:4.2f}) "
+            f"{runner.program(name).image.n_instructions * 4 // 1024:4}K"
+        )
+
+
+#: Paper Table 3: (PHT ISPI B4, BTB misfetch ISPI B4, BTB mispredict ISPI B4).
+_TABLE3 = {
+    "doduc": (0.37, 0.04, 0.00),
+    "fpppp": (0.12, 0.01, 0.00),
+    "su2cor": (0.10, 0.00, 0.00),
+    "ditroff": (0.64, 0.22, 0.00),
+    "gcc": (0.63, 0.28, 0.05),
+    "li": (0.54, 0.24, 0.04),
+    "tex": (0.36, 0.11, 0.03),
+    "cfront": (0.56, 0.34, 0.05),
+    "db++": (0.41, 0.13, 0.01),
+    "groff": (0.57, 0.38, 0.06),
+    "idl": (0.49, 0.10, 0.05),
+    "lic": (0.56, 0.27, 0.00),
+    "porky": (0.48, 0.20, 0.04),
+}
+
+
+if __name__ == "__main__":
+    chosen = sys.argv[1:] or list(SUITE)
+    calibrate(chosen)

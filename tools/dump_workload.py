@@ -1,0 +1,71 @@
+"""Inspect a synthetic workload: structure, profile, and a listing head.
+
+Usage:
+    python tools/dump_workload.py gcc
+    python tools/dump_workload.py gcc --listing 40
+    python tools/dump_workload.py --all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.isa.disasm import format_instruction
+from repro.program.reorder import function_heat
+from repro.program.workloads import PAPER_REFERENCE, SUITE, build_workload, get_spec
+from repro.trace.generator import generate_trace
+from repro.trace.stats import compute_stats
+
+
+def dump(name: str, listing: int, trace_length: int) -> None:
+    spec = get_spec(name)
+    program = build_workload(name)
+    trace = generate_trace(program, trace_length, seed=1995)
+    stats = compute_stats(trace)
+    ref = PAPER_REFERENCE[name]
+
+    print(f"== {name} ({spec.language}) ==")
+    print(spec.description)
+    print(f"  static: {program.image.n_instructions} instructions "
+          f"({program.footprint_bytes / 1024:.1f} KB), "
+          f"{len(program.function_entries)} functions, "
+          f"{len(program.behaviours)} behaviour models")
+    print(f"  tiers: hot {spec.hot.n_functions}x{spec.hot.function_instrs}, "
+          f"warm {spec.warm.n_functions}x{spec.warm.function_instrs}/"
+          f"p{spec.warm.period}, "
+          f"cold {spec.cold.n_functions}x{spec.cold.function_instrs}/"
+          f"p{spec.cold.period}")
+    print(f"  dynamic ({stats.n_instructions} instrs): "
+          f"{stats.pct_branches:.1f}% branches "
+          f"(paper {ref['pct_branches']}%), "
+          f"block len {stats.avg_block_length:.1f}, "
+          f"taken {stats.taken_fraction:.0%}, "
+          f"touched {stats.footprint_bytes / 1024:.1f} KB")
+    heat = function_heat(program, trace)
+    hottest = sorted(heat.items(), key=lambda kv: -kv[1])[:5]
+    total = sum(heat.values())
+    print("  hottest functions: " + ", ".join(
+        f"{fn} {count / total:.0%}" for fn, count in hottest
+    ))
+    if listing:
+        print(f"  first {listing} instructions:")
+        for instr in list(program.image.iter_instructions())[:listing]:
+            print(f"    {format_instruction(instr)}")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", help="benchmark names")
+    parser.add_argument("--all", action="store_true", help="dump the suite")
+    parser.add_argument("--listing", type=int, default=0,
+                        help="print the first N instructions")
+    parser.add_argument("--trace-length", type=int, default=50_000)
+    args = parser.parse_args()
+    names = list(SUITE) if args.all else (args.benchmarks or ["gcc"])
+    for name in names:
+        dump(name, args.listing, args.trace_length)
+
+
+if __name__ == "__main__":
+    main()
