@@ -51,3 +51,28 @@ def test_speed_workload_build(benchmark):
     """Synthetic-workload construction cost."""
     program = benchmark(build_workload, "li")
     assert program.image.n_instructions > 0
+
+
+def test_null_sink_overhead_budget():
+    """The observability layer must be free when disabled.
+
+    Delegates to tools/check_overhead.py: interleaved bare/null-sink
+    pairs, median pair ratio within 3%, plus a gross-regression guard
+    against the stored absolute baseline.
+    """
+    import os
+    import subprocess
+    import sys
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(root, "tools", "check_overhead.py")],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0, (
+        f"overhead check failed:\n{proc.stdout}\n{proc.stderr}"
+    )

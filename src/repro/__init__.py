@@ -40,10 +40,19 @@ from repro.errors import (
     ConfigError,
     DecodeError,
     ExperimentError,
+    ObservabilityError,
     ProgramError,
     ReproError,
     SimulationError,
     TraceError,
+)
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    Observer,
+    PhaseProfiler,
+    RingBufferSink,
 )
 from repro.program import (
     FIGURE_BENCHMARKS,
@@ -69,8 +78,15 @@ __all__ = [
     "FIGURE_BENCHMARKS",
     "FetchEngine",
     "FetchPolicy",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "ObservabilityError",
+    "Observer",
     "ParallelRunner",
+    "PhaseProfiler",
     "Program",
+    "RingBufferSink",
     "ProgramBuilder",
     "ProgramError",
     "ReproError",

@@ -391,6 +391,20 @@ class BranchUnit:
         entry = self.btb.peek(pc)
         return entry.target if entry is not None else None
 
+    # -- observability ---------------------------------------------------------
+
+    def publish_metrics(self, registry, prefix: str = "branch") -> None:
+        """Publish dynamic branch statistics into a metrics registry."""
+        stats = self.stats
+        registry.inc(f"{prefix}.conditional", stats.conditional)
+        registry.inc(f"{prefix}.unconditional", stats.unconditional)
+        registry.inc(f"{prefix}.correct", stats.correct)
+        registry.inc(f"{prefix}.pht_mispredicts", stats.pht_mispredicts)
+        registry.inc(f"{prefix}.btb_misfetches", stats.btb_misfetches)
+        registry.inc(f"{prefix}.btb_mispredicts", stats.btb_mispredicts)
+        for cause, slots in sorted(stats.penalty_slots_by_cause.items()):
+            registry.inc(f"{prefix}.penalty_slots.{cause}", slots)
+
     def reset(self) -> None:
         """Clear all predictor state and statistics."""
         self.btb.reset()

@@ -39,6 +39,7 @@ class _Way:
     tag: int
     first_ref: bool
     origin: LineOrigin
+    pf_fresh: bool = False
 
 
 @dataclass(slots=True)
@@ -52,6 +53,10 @@ class CacheStats:
     evictions: int = 0
     prefetch_hits: int = 0  # demand hits on lines whose origin is PREFETCH
     wrongpath_hits: int = 0  # demand hits on lines filled from a wrong path
+    #: First demand hit per prefetched fill (each prefetch counted once).
+    prefetch_used: int = 0
+    #: Prefetched fills displaced before any demand hit consumed them.
+    prefetch_evicted_unused: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -94,12 +99,14 @@ class InstructionCache:
             self._tags: list[int] = [-1] * n_sets
             self._first_ref: list[bool] = [False] * n_sets
             self._origins: list[LineOrigin | None] = [None] * n_sets
+            self._pf_fresh: list[bool] = [False] * n_sets
             self._sets = None
         else:
             self._sets: list[list[_Way]] | None = [[] for _ in range(n_sets)]
             self._tags = []
             self._first_ref = []
             self._origins = []
+            self._pf_fresh = []
 
     # -- lookup ---------------------------------------------------------------
 
@@ -122,6 +129,9 @@ class InstructionCache:
                 origin = self._origins[set_idx]
                 if origin is LineOrigin.PREFETCH:
                     self.stats.prefetch_hits += 1
+                    if self._pf_fresh[set_idx]:
+                        self._pf_fresh[set_idx] = False
+                        self.stats.prefetch_used += 1
                 elif origin is LineOrigin.DEMAND_WRONG:
                     self.stats.wrongpath_hits += 1
                 return True
@@ -134,6 +144,9 @@ class InstructionCache:
                 self.stats.hits += 1
                 if way.origin is LineOrigin.PREFETCH:
                     self.stats.prefetch_hits += 1
+                    if way.pf_fresh:
+                        way.pf_fresh = False
+                        self.stats.prefetch_used += 1
                 elif way.origin is LineOrigin.DEMAND_WRONG:
                     self.stats.wrongpath_hits += 1
                 return True
@@ -147,25 +160,36 @@ class InstructionCache:
         set_idx = line & self.set_mask
         tag = line >> self._set_shift
         self.stats.fills += 1
+        fresh = origin is LineOrigin.PREFETCH
         if self.assoc == 1:
             if self._tags[set_idx] != -1 and self._tags[set_idx] != tag:
                 self.stats.evictions += 1
+            if self._pf_fresh[set_idx]:
+                # The displaced (or refilled) frame held a prefetched line
+                # that no demand fetch ever consumed.
+                self.stats.prefetch_evicted_unused += 1
             self._tags[set_idx] = tag
             self._first_ref[set_idx] = True
             self._origins[set_idx] = origin
+            self._pf_fresh[set_idx] = fresh
             return
         ways = self._sets[set_idx]
         for i, way in enumerate(ways):
             if way.tag == tag:
                 # Refill of a resident line (e.g. racing prefetch): refresh.
+                if way.pf_fresh:
+                    self.stats.prefetch_evicted_unused += 1
                 way.first_ref = True
                 way.origin = origin
+                way.pf_fresh = fresh
                 ways.append(ways.pop(i))
                 return
         if len(ways) >= self.assoc:
-            ways.pop(0)
+            victim = ways.pop(0)
             self.stats.evictions += 1
-        ways.append(_Way(tag=tag, first_ref=True, origin=origin))
+            if victim.pf_fresh:
+                self.stats.prefetch_evicted_unused += 1
+        ways.append(_Way(tag=tag, first_ref=True, origin=origin, pf_fresh=fresh))
 
     # -- first-reference bit (prefetch trigger) --------------------------------
 
@@ -187,12 +211,57 @@ class InstructionCache:
                 return False
         return False
 
+    def consume_prefetch(self, line: int) -> None:
+        """Mark a resident prefetched *line* as used without counting it.
+
+        Called when a prefetched fill is consumed through a channel the
+        demand-probe accounting cannot see (an in-flight merge, a stream-
+        buffer install), so the usefulness partition counts it exactly
+        once.
+        """
+        set_idx = line & self.set_mask
+        tag = line >> self._set_shift
+        if self.assoc == 1:
+            if self._tags[set_idx] == tag:
+                self._pf_fresh[set_idx] = False
+            return
+        for way in self._sets[set_idx]:
+            if way.tag == tag:
+                way.pf_fresh = False
+                return
+
+    def fresh_prefetch_count(self) -> int:
+        """Resident prefetched lines no demand fetch has consumed yet."""
+        if self.assoc == 1:
+            return sum(self._pf_fresh)
+        return sum(
+            1 for ways in self._sets for way in ways if way.pf_fresh
+        )
+
+    # -- observability ---------------------------------------------------------
+
+    def publish_metrics(self, registry, prefix: str = "cache") -> None:
+        """Publish access statistics into a metrics registry."""
+        stats = self.stats
+        registry.inc(f"{prefix}.probes", stats.probes)
+        registry.inc(f"{prefix}.hits", stats.hits)
+        registry.inc(f"{prefix}.misses", stats.misses)
+        registry.inc(f"{prefix}.fills", stats.fills)
+        registry.inc(f"{prefix}.evictions", stats.evictions)
+        registry.inc(f"{prefix}.prefetch_hits", stats.prefetch_hits)
+        registry.inc(f"{prefix}.wrongpath_hits", stats.wrongpath_hits)
+        registry.inc(f"{prefix}.prefetch_used", stats.prefetch_used)
+        registry.inc(
+            f"{prefix}.prefetch_evicted_unused", stats.prefetch_evicted_unused
+        )
+
     def reset(self) -> None:
         """Empty the cache and clear statistics."""
         if self.assoc == 1:
             self._tags = [-1] * self.n_sets
             self._first_ref = [False] * self.n_sets
             self._origins = [None] * self.n_sets
+            self._pf_fresh = [False] * self.n_sets
         else:
             self._sets = [[] for _ in range(self.n_sets)]
         self.stats = CacheStats()

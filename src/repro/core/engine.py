@@ -39,6 +39,7 @@ from repro.cache.icache import InstructionCache, LineOrigin
 from repro.cache.l2 import SecondLevelCache
 from repro.config import FetchPolicy, SimConfig
 from repro.core.results import (
+    COMPONENTS,
     EngineCounters,
     PenaltyAccumulator,
     SimulationResult,
@@ -50,6 +51,9 @@ from repro.memory.bus import MemoryBus
 from repro.memory.pending import FillOrigin, PendingFillStation
 from repro.memory.prefetcher import NextLinePrefetcher
 from repro.memory.streambuffer import StreamBufferUnit
+from repro.obs.events import FetchStall, MissService, Redirect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
 from repro.program.program import Program
 from repro.trace.event import Trace
 
@@ -74,20 +78,47 @@ def build_branch_unit(config: SimConfig) -> BranchUnit:
 
 
 class FetchEngine:
-    """One simulation instance: program + configuration."""
+    """One simulation instance: program + configuration.
 
-    def __init__(self, program: Program, config: SimConfig) -> None:
+    With an :class:`~repro.obs.observer.Observer`, the engine emits typed
+    cycle-level events into the observer's sink (when the sink is enabled)
+    and publishes every component's counters into the observer's metrics
+    registry at the end of the run.  Observation is strictly passive: the
+    simulated timeline and all reported results are identical with or
+    without it.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: SimConfig,
+        observer: Observer | None = None,
+    ) -> None:
         self.program = program
         self.config = config
         self.policy = config.policy
         self.unit = build_branch_unit(config)
+        self.observer = observer
+        if observer is not None:
+            self._sink = observer.sink if observer.sink.enabled else None
+            # Distribution samples are buffered as raw values (list.append
+            # is several times cheaper than Histogram.observe) and folded
+            # into the registry's histograms once, at publish time.
+            self._miss_durations: list[int] | None = []
+            self._redirect_penalties: list[int] | None = []
+        else:
+            self._sink = None
+            self._miss_durations = None
+            self._redirect_penalties = None
         interleave = (
             None
             if config.bus_interleave_cycles is None
             else config.bus_interleave_cycles * config.issue_width
         )
         self.bus = MemoryBus(interleave_slots=interleave)
-        self.station = PendingFillStation(capacity=config.fill_buffers)
+        self.station = PendingFillStation(
+            capacity=config.fill_buffers, sink=self._sink
+        )
         self.l2 = (
             SecondLevelCache(
                 config.l2_size_bytes,
@@ -116,6 +147,7 @@ class FetchEngine:
                     self._fill_duration,
                     variant=config.prefetch_variant,
                     next_line_enabled=config.prefetch,
+                    sink=self._sink,
                 )
                 if config.prefetch or config.target_prefetch
                 else None
@@ -188,6 +220,10 @@ class FetchEngine:
         head = queue[0][0]
         if head > t:
             self.penalties.branch_full += head - t
+            if self._sink is not None:
+                self._sink.emit(
+                    FetchStall(t=t, cause="branch_full", slots=head - t)
+                )
             t = head
         self._apply_resolutions(t)
         return t
@@ -216,14 +252,27 @@ class FetchEngine:
             return t
         self.counters.right_misses += 1
         penalties = self.penalties
-        inflight_done = station.done_at(line)
-        if inflight_done is not None:
+        inflight = station.lookup(line)
+        if inflight is not None:
             # The very line is already in flight (wrong-path fill or
             # prefetch): wait for it instead of issuing a duplicate
             # request — the paper's resume-buffer index check.
+            inflight_done = inflight.done_at
             penalties.bus += inflight_done - t
+            if inflight.origin is FillOrigin.PREFETCH:
+                self.counters.prefetch_late += 1
+            if self._sink is not None:
+                self._sink.emit(
+                    FetchStall(
+                        t=t, cause="bus", slots=inflight_done - t, line=line
+                    )
+                )
             t = inflight_done
             station.drain(t, cache)
+            if inflight.origin is FillOrigin.PREFETCH:
+                # The merge consumed the prefetch; keep the usefulness
+                # partition from also counting a later demand hit.
+                cache.consume_prefetch(line)
             self.counters.inflight_merges += 1
             if self.prefetcher is not None:
                 self.prefetcher.on_line_fetch(line, t)
@@ -236,8 +285,20 @@ class FetchEngine:
             available_at = self.streams.probe(line, t)
             if available_at is not None:
                 penalties.rt_icache += available_at - t
+                if self._sink is not None and available_at > t:
+                    self._sink.emit(
+                        FetchStall(
+                            t=t,
+                            cause="rt_icache",
+                            slots=available_at - t,
+                            line=line,
+                        )
+                    )
                 t = available_at
                 cache.fill(line, LineOrigin.PREFETCH)
+                # A stream install is demand-consumed on arrival; it must
+                # not enter the next-line prefetch usefulness partition.
+                cache.consume_prefetch(line)
                 if self.classifier is not None:
                     self.classifier.optimistic_fill()
                 self.streams.pump(t)
@@ -256,14 +317,36 @@ class FetchEngine:
                     guard = last_resolve
             if guard > t:
                 penalties.force_resolve += guard - t
+                if self._sink is not None:
+                    self._sink.emit(
+                        FetchStall(
+                            t=t,
+                            cause="force_resolve",
+                            slots=guard - t,
+                            line=line,
+                        )
+                    )
                 t = guard
                 self._apply_resolutions(t)
         duration = self._fill_duration(line)
         start, done = self.bus.request(t, duration)
         if start > t:
             penalties.bus += start - t
+            if self._sink is not None:
+                self._sink.emit(
+                    FetchStall(t=t, cause="bus", slots=start - t, line=line)
+                )
             t = start
         penalties.rt_icache += duration
+        if self._miss_durations is not None:
+            self._miss_durations.append(duration)
+        if self._sink is not None:
+            self._sink.emit(
+                MissService(t=start, line=line, path="right", start=start, done=done)
+            )
+            self._sink.emit(
+                FetchStall(t=start, cause="rt_icache", slots=duration, line=line)
+            )
         t = done
         station.drain(t, cache)
         cache.fill(line, LineOrigin.DEMAND_RIGHT)
@@ -362,6 +445,15 @@ class FetchEngine:
                 if blocking and fills:
                     if inflight_done >= window_end:
                         penalties.wrong_icache += inflight_done - window_end
+                        if self._sink is not None and inflight_done > window_end:
+                            self._sink.emit(
+                                FetchStall(
+                                    t=window_end,
+                                    cause="wrong_icache",
+                                    slots=inflight_done - window_end,
+                                    line=line,
+                                )
+                            )
                         return inflight_done
                     cur = inflight_done
                     station.drain(cur, cache)
@@ -382,14 +474,32 @@ class FetchEngine:
                 # outstanding background fill cannot be started.
                 break
             request_at = cur + (self._decode_slots if policy is FetchPolicy.DECODE else 0)
-            _, done = self.bus.request(request_at, self._fill_duration(line))
+            duration = self._fill_duration(line)
+            start, done = self.bus.request(request_at, duration)
             counters.wrong_fills += 1
+            if self._miss_durations is not None:
+                self._miss_durations.append(duration)
+            if self._sink is not None:
+                self._sink.emit(
+                    MissService(
+                        t=start, line=line, path="wrong", start=start, done=done
+                    )
+                )
             if self.classifier is not None:
                 self.classifier.optimistic_fill()
             if blocking:
                 cache.fill(line, LineOrigin.DEMAND_WRONG)
                 if done >= window_end:
                     penalties.wrong_icache += done - window_end
+                    if self._sink is not None and done > window_end:
+                        self._sink.emit(
+                            FetchStall(
+                                t=window_end,
+                                cause="wrong_icache",
+                                slots=done - window_end,
+                                line=line,
+                            )
+                        )
                     return done
                 cur = done
                 if prefetcher is not None:
@@ -521,6 +631,23 @@ class FetchEngine:
             if result.outcome is FetchOutcome.CORRECT:
                 continue
             penalties.branch += result.penalty_slots
+            if self._redirect_penalties is not None:
+                self._redirect_penalties.append(result.penalty_slots)
+            if self._sink is not None:
+                self._sink.emit(
+                    Redirect(
+                        t=t_br,
+                        pc=term_addr,
+                        outcome=result.outcome.value,
+                        cause=result.cause.value,
+                        penalty_slots=result.penalty_slots,
+                    )
+                )
+                self._sink.emit(
+                    FetchStall(
+                        t=t_br, cause="branch", slots=result.penalty_slots
+                    )
+                )
             window_start = t_br + 1 + result.wrong_path_delay
             window_end = t_br + 1 + result.penalty_slots
             t = self._walk_wrong_path(
@@ -547,6 +674,8 @@ class FetchEngine:
             classification = self.classifier.finalize(
                 self.program.name, counters.instructions
             )
+        if self.observer is not None:
+            self._publish_metrics(self.observer.registry)
         return SimulationResult(
             program=self.program.name,
             config=self.config,
@@ -562,12 +691,87 @@ class FetchEngine:
             },
         )
 
+    def _publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish every component's counters into *registry*.
+
+        Called once at the end of a run; the names form the stable metric
+        namespace documented in ``docs/observability.md``.  The prefetch
+        usefulness partition (``useful + late + wasted == issued``) is
+        computed independently of the issue count so tests can check it as
+        a real invariant; it holds exactly for warmup-free runs (a warmup
+        reset zeroes the counters but not the caches' freshness bits).
+        """
+        counters = self.counters
+        penalties = self.penalties
+        miss_hist = registry.histogram("engine.miss_service_slots")
+        for value in self._miss_durations:
+            miss_hist.observe(value)
+        self._miss_durations.clear()
+        redirect_hist = registry.histogram("engine.redirect_penalty_slots")
+        for value in self._redirect_penalties:
+            redirect_hist.observe(value)
+        self._redirect_penalties.clear()
+        for name in COMPONENTS:
+            registry.inc(f"engine.stall_slots.{name}", getattr(penalties, name))
+        registry.inc("engine.stall_slots_total", penalties.total_slots)
+        registry.inc("engine.instructions", counters.instructions)
+        registry.inc("engine.blocks", counters.blocks)
+        registry.inc("engine.right_probes", counters.right_probes)
+        registry.inc("engine.right_misses", counters.right_misses)
+        registry.inc("engine.wrong_probes", counters.wrong_probes)
+        registry.inc("engine.wrong_misses", counters.wrong_misses)
+        registry.inc("engine.right_fills", counters.right_fills)
+        registry.inc("engine.wrong_fills", counters.wrong_fills)
+        registry.inc("engine.wrong_instructions", counters.wrong_instructions)
+        registry.inc("engine.inflight_merges", counters.inflight_merges)
+        self.unit.publish_metrics(registry)
+        self.bus.publish_metrics(registry)
+        self.station.publish_metrics(registry)
+        if self.cache is not None:
+            self.cache.publish_metrics(registry)
+        if self.prefetcher is not None and self.cache is not None:
+            self.prefetcher.publish_metrics(registry)
+            stats = self.cache.stats
+            issued = self.prefetcher.issued + self.prefetcher.target_issued
+            wasted = (
+                stats.prefetch_evicted_unused
+                + self.cache.fresh_prefetch_count()
+                + self.station.pending_prefetches()
+                + self.station.overwritten_prefetch
+            )
+            registry.inc("prefetch.issued_total", issued)
+            registry.inc("prefetch.useful", stats.prefetch_used)
+            registry.inc("prefetch.late", counters.prefetch_late)
+            registry.inc("prefetch.wasted", wasted)
+        if self.streams is not None:
+            registry.inc("stream.allocations", self.streams.allocations)
+            registry.inc("stream.prefetches", self.streams.prefetches)
+            registry.inc("stream.head_hits", self.streams.head_hits)
+        if self.l2 is not None:
+            registry.inc("l2.hits", self.l2.hits)
+            registry.inc("l2.misses", self.l2.misses)
+        if self.classifier is not None:
+            counts = self.classifier.counts
+            registry.inc("classify.both_miss", counts.both_miss)
+            registry.inc("classify.spec_pollute", counts.spec_pollute)
+            registry.inc("classify.spec_prefetch", counts.spec_prefetch)
+            registry.inc("classify.wrong_path", counts.wrong_path)
+            registry.inc("classify.optimistic_fills", counts.optimistic_fills)
+            registry.inc("classify.oracle_fills", counts.oracle_fills)
+
 
 def simulate(
     program: Program,
     trace: Trace,
     config: SimConfig,
     warmup: int = 0,
+    observer: Observer | None = None,
 ) -> SimulationResult:
-    """Build a fresh engine and run *trace* under *config*."""
-    return FetchEngine(program, config).run(trace, warmup_instructions=warmup)
+    """Build a fresh engine and run *trace* under *config*.
+
+    *observer*, when given, receives typed events (if its sink is enabled)
+    and the end-of-run metrics publication; it never changes the result.
+    """
+    return FetchEngine(program, config, observer=observer).run(
+        trace, warmup_instructions=warmup
+    )

@@ -9,7 +9,11 @@ benchmark's configurations — the same amortisation the in-process
 :class:`~repro.core.runner.SimulationRunner` gets from its caches.
 
 Determinism is preserved: a parallel sweep returns bit-identical results
-to the serial runner for the same (trace_length, seed, warmup).
+to the serial runner for the same (trace_length, seed, warmup), and — with
+``collect_metrics=True`` — a metrics registry identical to a serial
+observed sweep: each worker publishes into its own registry and the parent
+merges them in job-submission order (counter merge is commutative, so any
+order would do; the fixed order also keeps profiles deterministic).
 """
 
 from __future__ import annotations
@@ -22,23 +26,48 @@ from repro.core.engine import simulate
 from repro.core.results import SimulationResult
 from repro.core.runner import DEFAULT_TRACE_LENGTH, DEFAULT_WARMUP
 from repro.errors import ExperimentError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.profile import PhaseProfiler
+
+#: Worker payload: (results, metrics-registry dict or None, profile
+#: summary or None).  Registries cross the process boundary as plain
+#: dicts (via ``MetricsRegistry.as_dict``) to keep pickling trivial.
+_WorkerReturn = tuple[
+    list[SimulationResult],
+    dict[str, object] | None,
+    dict[str, dict[str, float]] | None,
+]
 
 
 def _run_benchmark_jobs(
-    args: tuple[str, tuple[SimConfig, ...], int, int, int],
-) -> list[SimulationResult]:
+    args: tuple[str, tuple[SimConfig, ...], int, int, int, bool],
+) -> _WorkerReturn:
     """Worker: one benchmark, many configurations (runs in a subprocess)."""
-    name, configs, trace_length, warmup, seed = args
+    name, configs, trace_length, warmup, seed, collect = args
     from repro.program.workloads import build_workload
     from repro.trace.generator import generate_trace
 
+    observer = Observer(profiler=PhaseProfiler()) if collect else None
     # Mirror SimulationRunner exactly: the runner seed perturbs both the
     # structure and the trace, so serial and parallel sweeps agree.
+    if observer is not None:
+        with observer.profiler.phase("build_program"):
+            program = build_workload(name, seed=seed)
+        with observer.profiler.phase("generate_trace"):
+            trace = generate_trace(program, trace_length, seed=seed)
+        with observer.profiler.phase("simulate"):
+            results = [
+                simulate(program, trace, config, warmup=warmup, observer=observer)
+                for config in configs
+            ]
+        return results, observer.registry.as_dict(), observer.profiler.summary()
     program = build_workload(name, seed=seed)
     trace = generate_trace(program, trace_length, seed=seed)
-    return [
+    results = [
         simulate(program, trace, config, warmup=warmup) for config in configs
     ]
+    return results, None, None
 
 
 class ParallelRunner:
@@ -47,6 +76,11 @@ class ParallelRunner:
     Presents the same sweep API; results are identical, only wall-clock
     differs.  Use for full-suite sweeps (Table 5-scale work); for single
     runs the in-process runner is cheaper.
+
+    With ``collect_metrics=True`` every worker runs under its own
+    :class:`Observer` (null event sink — events do not cross processes)
+    and the merged counters land in :attr:`metrics`, per-phase wall-clock
+    in :attr:`profile`.
     """
 
     def __init__(
@@ -55,6 +89,7 @@ class ParallelRunner:
         seed: int = 1995,
         warmup: int | None = None,
         max_workers: int | None = None,
+        collect_metrics: bool = False,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -70,12 +105,26 @@ class ParallelRunner:
         self.seed = seed
         self.warmup = warmup
         self.max_workers = max_workers
+        self.collect_metrics = collect_metrics
+        #: Merged worker metrics from the most recent ``run_jobs`` (always
+        #: a registry; empty unless ``collect_metrics``).
+        self.metrics = MetricsRegistry()
+        #: Merged worker phase profile from the most recent ``run_jobs``.
+        self.profile = PhaseProfiler()
 
     def run_jobs(
         self, jobs: Iterable[tuple[str, SimConfig]]
     ) -> list[SimulationResult]:
-        """Run ``(benchmark, config)`` jobs; results in job order."""
+        """Run ``(benchmark, config)`` jobs; results in job order.
+
+        A worker failure is re-raised as :class:`ExperimentError` naming
+        the benchmark whose jobs crashed (the original exception is
+        chained), so a sweep over dozens of configurations points straight
+        at the offending workload.
+        """
         jobs = list(jobs)
+        self.metrics = MetricsRegistry()
+        self.profile = PhaseProfiler()
         if not jobs:
             return []
         # Group by benchmark, remembering each job's original position.
@@ -89,22 +138,56 @@ class ParallelRunner:
                 self.trace_length,
                 self.warmup,
                 self.seed,
+                self.collect_metrics,
             )
             for name, entries in grouped.items()
         ]
         results: list[SimulationResult | None] = [None] * len(jobs)
+        batches: list[_WorkerReturn] = []
         if self.max_workers == 1 or len(work) == 1:
-            batches = [_run_benchmark_jobs(item) for item in work]
+            for item in work:
+                try:
+                    batches.append(_run_benchmark_jobs(item))
+                except ExperimentError:
+                    raise
+                except Exception as exc:
+                    raise self._worker_error(item[0], exc) from exc
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                batches = list(pool.map(_run_benchmark_jobs, work))
-        for (name, entries), batch in zip(grouped.items(), batches):
+                futures = [
+                    (item[0], pool.submit(_run_benchmark_jobs, item))
+                    for item in work
+                ]
+                for name, future in futures:
+                    try:
+                        batches.append(future.result())
+                    except ExperimentError:
+                        raise
+                    except Exception as exc:
+                        raise self._worker_error(name, exc) from exc
+        for (name, entries), (batch, registry_dict, profile_summary) in zip(
+            grouped.items(), batches
+        ):
             for (position, _), result in zip(entries, batch):
                 results[position] = result
+            if registry_dict is not None:
+                self.metrics.merge(MetricsRegistry.from_dict(registry_dict))
+            if profile_summary is not None:
+                self.profile.merge_summary(profile_summary)
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
             raise ExperimentError(f"jobs {missing} produced no result")
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _worker_error(name: str, exc: Exception) -> ExperimentError:
+        """Wrap a worker crash, preserving which benchmark it belongs to."""
+        error = ExperimentError(
+            f"parallel worker failed for benchmark {name!r}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        error.benchmark = name
+        return error
 
     def run_matrix(
         self,

@@ -97,6 +97,9 @@ class EngineCounters:
     wrong_instructions: int = 0
     #: Times a right-path miss found its own line already in flight.
     inflight_merges: int = 0
+    #: Right-path misses that merged with an in-flight *prefetch* — the
+    #: prefetch was issued but arrived too late to hide the whole miss.
+    prefetch_late: int = 0
 
     @property
     def memory_accesses(self) -> int:

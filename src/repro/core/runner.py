@@ -8,6 +8,7 @@ trace through fresh engines.
 
 from __future__ import annotations
 
+import contextlib
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -15,6 +16,7 @@ from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
 from repro.core.engine import simulate
 from repro.core.results import SimulationResult
 from repro.errors import ExperimentError
+from repro.obs.observer import Observer
 from repro.program.program import Program
 from repro.trace.event import Trace
 from repro.trace.generator import generate_trace
@@ -45,6 +47,7 @@ class SimulationRunner:
         trace_length: int = DEFAULT_TRACE_LENGTH,
         seed: int = 1995,
         warmup: int | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -57,8 +60,17 @@ class SimulationRunner:
         self.trace_length = trace_length
         self.seed = seed
         self.warmup = warmup
+        #: Optional observability bundle; shared by every simulation this
+        #: runner performs (metrics accumulate across runs).
+        self.observer = observer
         self._programs: dict[str, Program] = {}
         self._traces: dict[str, Trace] = {}
+
+    def _phase(self, name: str):
+        """Profiling scope for *name* (no-op without an observer/profiler)."""
+        if self.observer is not None and self.observer.profiler is not None:
+            return self.observer.profiler.phase(name, observer=self.observer)
+        return contextlib.nullcontext()
 
     # -- workload preparation ---------------------------------------------------
 
@@ -67,15 +79,18 @@ class SimulationRunner:
         if name not in self._programs:
             from repro.program.workloads import build_workload
 
-            self._programs[name] = build_workload(name, seed=self.seed)
+            with self._phase("build_program"):
+                self._programs[name] = build_workload(name, seed=self.seed)
         return self._programs[name]
 
     def trace(self, name: str) -> Trace:
         """The (cached) dynamic trace for benchmark *name*."""
         if name not in self._traces:
-            self._traces[name] = generate_trace(
-                self.program(name), self.trace_length, seed=self.seed
-            )
+            program = self.program(name)
+            with self._phase("generate_trace"):
+                self._traces[name] = generate_trace(
+                    program, self.trace_length, seed=self.seed
+                )
         return self._traces[name]
 
     def prepared(self, name: str) -> WorkloadRun:
@@ -87,9 +102,14 @@ class SimulationRunner:
     def run(self, name: str, config: SimConfig) -> SimulationResult:
         """Simulate benchmark *name* under *config* (with warmup)."""
         prepared = self.prepared(name)
-        return simulate(
-            prepared.program, prepared.trace, config, warmup=self.warmup
-        )
+        with self._phase("simulate"):
+            return simulate(
+                prepared.program,
+                prepared.trace,
+                config,
+                warmup=self.warmup,
+                observer=self.observer,
+            )
 
     def run_policies(
         self,

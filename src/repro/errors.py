@@ -35,3 +35,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was misconfigured or referenced an unknown artifact."""
+
+
+class ObservabilityError(ReproError):
+    """A metric, event sink, or profiler was used inconsistently."""

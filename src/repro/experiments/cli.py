@@ -59,6 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's artifacts (txt, csv, json, and "
         "svg for figures) into DIR",
     )
+    parser.add_argument(
+        "--trace-events",
+        default=None,
+        metavar="PATH",
+        help="stream cycle-level simulation events to PATH as JSON lines "
+        "(one typed event per line; slows simulation)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the aggregated metrics registry (plus per-phase "
+        "profile) to PATH as JSON after all experiments finish",
+    )
     return parser
 
 
@@ -102,18 +116,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    observer = None
+    if args.trace_events or args.metrics_out:
+        from repro.obs import JsonlSink, Observer, PhaseProfiler
+
+        sink = JsonlSink(args.trace_events) if args.trace_events else None
+        observer = Observer(sink=sink, profiler=PhaseProfiler())
     runner = SimulationRunner(
-        trace_length=args.trace_length, seed=args.seed, warmup=args.warmup
+        trace_length=args.trace_length,
+        seed=args.seed,
+        warmup=args.warmup,
+        observer=observer,
     )
-    for experiment_id in ids:
-        started = time.perf_counter()
-        result = run_experiment(experiment_id, runner)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
-        print()
-        if args.output_dir:
-            _save_artifacts(result, args.output_dir)
+    try:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            result = run_experiment(experiment_id, runner)
+            elapsed = time.perf_counter() - started
+            print(result.render())
+            print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+            print()
+            if args.output_dir:
+                _save_artifacts(result, args.output_dir)
+    finally:
+        if observer is not None:
+            observer.close()
+    if observer is not None:
+        if args.metrics_out:
+            from repro.report import save_metrics_json
+
+            save_metrics_json(
+                observer.registry, args.metrics_out, profile=observer.profiler
+            )
+            print(f"[metrics written to {args.metrics_out}]")
+        if args.trace_events:
+            print(
+                f"[{observer.events_emitted} events written to "
+                f"{args.trace_events}]"
+            )
     return 0
 
 

@@ -67,6 +67,11 @@ class MemoryBus:
         self.busy_wait_slots += start - now
         return start, done
 
+    def publish_metrics(self, registry, prefix: str = "bus") -> None:
+        """Publish channel traffic/occupancy counters into a registry."""
+        registry.inc(f"{prefix}.requests", self.requests)
+        registry.inc(f"{prefix}.busy_wait_slots", self.busy_wait_slots)
+
     def reset(self) -> None:
         """Clear occupancy and statistics."""
         self.busy_until = 0

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.cache.icache import InstructionCache, LineOrigin
 from repro.errors import ConfigError, SimulationError
+from repro.obs.events import FillInstall
 
 
 class FillOrigin(enum.Enum):
@@ -45,17 +46,22 @@ class PendingFillStation:
     """Background-fill buffer (resume buffer + prefetch buffer).
 
     Holds at most ``capacity`` in-flight fills (1 = the paper's design).
+    When *sink* is given, every install drained into the cache emits a
+    :class:`repro.obs.events.FillInstall` event.
     """
 
-    __slots__ = ("capacity", "_pending", "installed", "overwritten")
+    __slots__ = ("capacity", "_pending", "installed", "overwritten",
+                 "overwritten_prefetch", "sink")
 
-    def __init__(self, capacity: int = 1) -> None:
+    def __init__(self, capacity: int = 1, sink=None) -> None:
         if capacity < 1:
             raise ConfigError(f"fill station needs capacity >= 1, got {capacity}")
         self.capacity = capacity
         self._pending: list[PendingFill] = []
         self.installed = 0
         self.overwritten = 0
+        self.overwritten_prefetch = 0
+        self.sink = sink
 
     @property
     def pending(self) -> PendingFill | None:
@@ -93,6 +99,17 @@ class PendingFillStation:
                 return p.done_at
         return None
 
+    def lookup(self, line: int) -> PendingFill | None:
+        """The buffered fill for *line*, if any (completion time + origin)."""
+        for p in self._pending:
+            if p.line == line:
+                return p
+        return None
+
+    def pending_prefetches(self) -> int:
+        """Buffered fills of prefetch origin (used for end-of-run accounting)."""
+        return sum(1 for p in self._pending if p.origin is FillOrigin.PREFETCH)
+
     def start(self, line: int, done_at: int, origin: FillOrigin) -> None:
         """Begin a background fill (the bus must already be reserved)."""
         if len(self._pending) >= self.capacity:
@@ -115,6 +132,7 @@ class PendingFillStation:
         if not done:
             return []
         self._pending = [p for p in self._pending if p.done_at > now]
+        sink = self.sink
         for fill in done:
             origin = (
                 LineOrigin.PREFETCH
@@ -123,6 +141,12 @@ class PendingFillStation:
             )
             cache.fill(fill.line, origin)
             self.installed += 1
+            if sink is not None:
+                sink.emit(
+                    FillInstall(
+                        t=fill.done_at, line=fill.line, origin=fill.origin.value
+                    )
+                )
         return done
 
     def discard(self, line: int | None = None) -> None:
@@ -134,14 +158,26 @@ class PendingFillStation:
         """
         if line is None:
             self.overwritten += len(self._pending)
+            self.overwritten_prefetch += self.pending_prefetches()
             self._pending.clear()
             return
         before = len(self._pending)
+        dropped = [p for p in self._pending if p.line == line]
         self._pending = [p for p in self._pending if p.line != line]
         self.overwritten += before - len(self._pending)
+        self.overwritten_prefetch += sum(
+            1 for p in dropped if p.origin is FillOrigin.PREFETCH
+        )
+
+    def publish_metrics(self, registry, prefix: str = "station") -> None:
+        """Publish fill-station statistics into a metrics registry."""
+        registry.inc(f"{prefix}.installed", self.installed)
+        registry.inc(f"{prefix}.overwritten", self.overwritten)
+        registry.inc(f"{prefix}.overwritten_prefetch", self.overwritten_prefetch)
 
     def reset(self) -> None:
         """Clear the station and statistics."""
         self._pending.clear()
         self.installed = 0
         self.overwritten = 0
+        self.overwritten_prefetch = 0

@@ -34,6 +34,7 @@ from repro.cache.icache import InstructionCache
 from repro.errors import ConfigError
 from repro.memory.bus import MemoryBus
 from repro.memory.pending import FillOrigin, PendingFillStation
+from repro.obs.events import PrefetchIssue
 
 #: Valid next-line trigger variants.
 VARIANTS = ("tagged", "always", "on-miss", "fetchahead")
@@ -62,6 +63,7 @@ class NextLinePrefetcher:
         "issued",
         "target_issued",
         "suppressed",
+        "sink",
     )
 
     def __init__(
@@ -72,6 +74,7 @@ class NextLinePrefetcher:
         penalty_slots: FillDuration,
         variant: str = "tagged",
         next_line_enabled: bool = True,
+        sink=None,
     ) -> None:
         if variant not in VARIANTS:
             raise ConfigError(
@@ -86,10 +89,11 @@ class NextLinePrefetcher:
         self.issued = 0
         self.target_issued = 0
         self.suppressed = 0
+        self.sink = sink
 
     # -- shared issue path -----------------------------------------------------
 
-    def _try_issue(self, candidate: int, now: int) -> bool:
+    def _try_issue(self, candidate: int, now: int, kind: str = "next_line") -> bool:
         """Issue a prefetch of *candidate* if resources allow."""
         self.station.drain(now, self.cache)
         if self.cache.contains(candidate) or self.station.matches(candidate):
@@ -100,6 +104,10 @@ class NextLinePrefetcher:
             return False
         _, done = self.bus.request(now, self.fill_duration(candidate))
         self.station.start(candidate, done, FillOrigin.PREFETCH)
+        if self.sink is not None:
+            self.sink.emit(
+                PrefetchIssue(t=now, line=candidate, kind=kind, done=done)
+            )
         return True
 
     # -- next-line triggers ------------------------------------------------------
@@ -134,8 +142,14 @@ class NextLinePrefetcher:
 
     def prefetch_target(self, line: int, now: int) -> None:
         """Prefetch the line holding a branch's not-followed arm."""
-        if self._try_issue(line, now):
+        if self._try_issue(line, now, kind="target"):
             self.target_issued += 1
+
+    def publish_metrics(self, registry, prefix: str = "prefetch") -> None:
+        """Publish prefetch trigger/issue counters into a registry."""
+        registry.inc(f"{prefix}.issued", self.issued)
+        registry.inc(f"{prefix}.target_issued", self.target_issued)
+        registry.inc(f"{prefix}.suppressed", self.suppressed)
 
     def reset(self) -> None:
         """Clear statistics (cache/bus/station are reset by their owners)."""

@@ -1,0 +1,67 @@
+"""The observer: the bundle the engine is instrumented against.
+
+An :class:`Observer` ties together the three observability facilities:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` that the engine and every
+  hardware model publish named counters/histograms into;
+* an :class:`~repro.obs.events.EventSink` receiving the typed cycle-level
+  event stream (``NullSink`` by default — metrics without events);
+* optionally a :class:`~repro.obs.profile.PhaseProfiler` the runners wrap
+  their phases with.
+
+Passing ``observer=None`` (the default everywhere) disables the layer
+completely; the engine then takes its original fast path.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventSink, NullSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler
+
+
+class Observer:
+    """Bundle of metrics registry + event sink + optional profiler."""
+
+    __slots__ = ("registry", "sink", "profiler")
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
+    ) -> None:
+        self.sink: EventSink = sink if sink is not None else NullSink()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.profiler = profiler
+
+    @property
+    def events_enabled(self) -> bool:
+        """True when the sink actually wants events."""
+        return self.sink.enabled
+
+    @property
+    def events_emitted(self) -> int:
+        """Events emitted through the sink so far."""
+        return self.sink.emitted
+
+    def metrics_dict(self) -> dict[str, object]:
+        """Deterministic snapshot of the metrics registry."""
+        return self.registry.as_dict()
+
+    def close(self) -> None:
+        """Flush/close the sink (file sinks need this)."""
+        self.sink.close()
+
+    def __enter__(self) -> Observer:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Observer(sink={type(self.sink).__name__}, "
+            f"metrics={len(self.registry)}, "
+            f"profiler={'on' if self.profiler is not None else 'off'})"
+        )

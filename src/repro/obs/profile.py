@@ -1,0 +1,93 @@
+"""Lightweight phase profiling for the simulation runners.
+
+A :class:`PhaseProfiler` accumulates per-phase wall-clock time, call
+counts, and (when an observer is supplied) the number of events emitted
+during the phase.  The runners wrap their natural phases — workload
+construction, trace generation, simulation — so a sweep ends with a
+summary like::
+
+    {"build_program":  {"calls": 2, "seconds": 0.41, "events": 0},
+     "generate_trace": {"calls": 2, "seconds": 0.38, "events": 0},
+     "simulate":       {"calls": 10, "seconds": 4.20, "events": 81234}}
+
+Wall-clock numbers are inherently nondeterministic, so profiles live
+*outside* the :class:`~repro.obs.metrics.MetricsRegistry` and never
+participate in determinism or golden comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock and event-count totals per named phase."""
+
+    __slots__ = ("_phases",)
+
+    def __init__(self) -> None:
+        # name -> [calls, seconds, events]
+        self._phases: dict[str, list[float]] = {}
+
+    @contextmanager
+    def phase(
+        self, name: str, observer: Observer | None = None
+    ) -> Iterator[None]:
+        """Measure one entry into phase *name* (re-entrant, additive)."""
+        events_before = observer.events_emitted if observer is not None else 0
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            events = (
+                observer.events_emitted - events_before
+                if observer is not None
+                else 0
+            )
+            self.record(name, elapsed, events=events)
+
+    def record(
+        self, name: str, seconds: float, events: int = 0, calls: int = 1
+    ) -> None:
+        """Fold one measurement (or a merged summary entry) into *name*."""
+        stat = self._phases.get(name)
+        if stat is None:
+            self._phases[name] = [calls, seconds, events]
+        else:
+            stat[0] += calls
+            stat[1] += seconds
+            stat[2] += events
+
+    def merge_summary(self, summary: dict[str, dict[str, float]]) -> None:
+        """Fold a :meth:`summary` dict (e.g. from a worker) into this one."""
+        for name, stat in summary.items():
+            self.record(
+                name,
+                float(stat.get("seconds", 0.0)),
+                events=int(stat.get("events", 0)),
+                calls=int(stat.get("calls", 1)),
+            )
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-phase totals, sorted by phase name (JSON-ready)."""
+        return {
+            name: {
+                "calls": int(stat[0]),
+                "seconds": stat[1],
+                "events": int(stat[2]),
+            }
+            for name, stat in sorted(self._phases.items())
+        }
+
+    def total_seconds(self) -> float:
+        return sum(stat[1] for stat in self._phases.values())
+
+    def __repr__(self) -> str:
+        return f"PhaseProfiler({len(self._phases)} phases)"

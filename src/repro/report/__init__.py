@@ -16,14 +16,18 @@ from repro.report.format import Table, mean
 from repro.report.json_export import (
     experiment_to_dict,
     experiment_to_json,
+    metrics_to_dict,
     save_experiment_json,
+    save_metrics_json,
 )
 from repro.report.svg import render_stacked_bars_svg, save_breakdown_svg
 
 __all__ = [
     "experiment_to_dict",
     "experiment_to_json",
+    "metrics_to_dict",
     "save_experiment_json",
+    "save_metrics_json",
     "COMPONENT_GLYPHS",
     "LEGEND",
     "StackedBarChart",

@@ -57,3 +57,24 @@ def save_experiment_json(result, path: str | os.PathLike[str]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(experiment_to_json(result))
         handle.write("\n")
+
+
+def metrics_to_dict(registry, profile=None) -> dict[str, Any]:
+    """Convert a :class:`MetricsRegistry` (and optional profiler) to JSON.
+
+    The ``metrics`` mapping is the registry's deterministic ``as_dict``
+    form — counters as integers, histograms as typed sub-objects — so two
+    identical runs produce byte-identical exports (the golden-snapshot
+    tests rely on this).
+    """
+    payload: dict[str, Any] = {"metrics": _jsonable(registry.as_dict())}
+    if profile is not None:
+        payload["profile"] = _jsonable(profile.summary())
+    return payload
+
+
+def save_metrics_json(registry, path: str | os.PathLike[str], profile=None) -> None:
+    """Write a metrics registry (and optional profile) to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(metrics_to_dict(registry, profile), indent=2))
+        handle.write("\n")

@@ -1,0 +1,67 @@
+"""Golden-snapshot regression: metrics JSON per policy.
+
+Each golden under tests/goldens/ is the ``MetricsRegistry.as_dict``
+snapshot of one small fixed-seed, warmup-free run (spec lives in
+tools/regen_metrics_goldens.py — benchmark, trace length, seed, config
+are all defined there so the tool and this test can never drift apart).
+
+On an intentional behaviour change, regenerate with::
+
+    PYTHONPATH=src python tools/regen_metrics_goldens.py
+
+and review the diff before committing.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.config import ALL_POLICIES
+
+_TOOL_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "..", "tools", "regen_metrics_goldens.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "regen_metrics_goldens", _TOOL_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return _load_tool()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+def test_metrics_match_golden(tool, policy):
+    path = tool.golden_path(policy)
+    assert os.path.exists(path), (
+        f"missing golden {path}; generate it with "
+        "`PYTHONPATH=src python tools/regen_metrics_goldens.py`"
+    )
+    with open(path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    actual = tool.golden_metrics(policy)
+    # JSON round-trip the fresh run so both sides have identical types
+    # (tuples -> lists inside histogram payloads).
+    actual = json.loads(json.dumps(actual))
+    assert actual == golden, (
+        f"metrics drifted from golden for {policy.name}; if the change is "
+        "intentional, regenerate with "
+        "`PYTHONPATH=src python tools/regen_metrics_goldens.py`"
+    )
+
+
+@pytest.mark.slow
+def test_goldens_cover_every_policy(tool):
+    for policy in ALL_POLICIES:
+        assert os.path.exists(tool.golden_path(policy))

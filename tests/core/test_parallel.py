@@ -92,3 +92,54 @@ class TestRunMatrix:
     def test_all_policies_default(self, parallel):
         matrix = parallel.run_matrix(("li",), SimConfig())
         assert set(matrix["li"]) == set(ALL_POLICIES)
+
+
+class TestWorkerErrorWrapping:
+    """A worker crash must surface as ExperimentError naming the benchmark."""
+
+    @staticmethod
+    def _poisoned_config():
+        # A frozen SimConfig that passes the constructor but detonates in
+        # the worker when FetchEngine builds its prefetcher.
+        config = SimConfig(prefetch=True)
+        object.__setattr__(config, "prefetch_variant", "bogus")
+        return config
+
+    def test_pool_path_wraps_and_names_benchmark(self):
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=7, max_workers=2
+        )
+        jobs = [("li", SimConfig()), ("doduc", self._poisoned_config())]
+        with pytest.raises(ExperimentError, match="doduc") as info:
+            runner.run_jobs(jobs)
+        assert info.value.benchmark == "doduc"
+        assert info.value.__cause__ is not None
+
+    def test_in_process_path_wraps_too(self):
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=7, max_workers=1
+        )
+        with pytest.raises(ExperimentError, match="li") as info:
+            runner.run_jobs([("li", self._poisoned_config())])
+        assert info.value.benchmark == "li"
+
+
+class TestCollectMetrics:
+    def test_disabled_by_default(self, parallel):
+        parallel.run_jobs([("li", SimConfig())])
+        assert len(parallel.metrics) == 0
+
+    def test_collects_when_enabled(self):
+        runner = ParallelRunner(
+            trace_length=TRACE,
+            warmup=WARMUP,
+            seed=7,
+            max_workers=2,
+            collect_metrics=True,
+        )
+        results = runner.run_jobs(
+            [("li", SimConfig()), ("doduc", SimConfig())]
+        )
+        total = sum(r.counters.instructions for r in results)
+        assert runner.metrics.value("engine.instructions") == total
+        assert runner.profile.summary()["simulate"]["calls"] == 2

@@ -44,3 +44,74 @@ class TestMain:
         assert "Table 2" in out
         assert "doduc" in out
         assert "regenerated" in out
+
+
+class TestObservabilityFlags:
+    def test_parser_accepts_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "table5",
+                "--trace-events", str(tmp_path / "ev.jsonl"),
+                "--metrics-out", str(tmp_path / "m.json"),
+            ]
+        )
+        assert args.trace_events.endswith("ev.jsonl")
+        assert args.metrics_out.endswith("m.json")
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.trace_events is None
+        assert args.metrics_out is None
+
+    @pytest.mark.slow
+    def test_metrics_and_events_written(self, tmp_path, capsys):
+        import json
+
+        events_path = str(tmp_path / "events.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        code = main(
+            [
+                "table3",
+                "--trace-length", "8000",
+                "--warmup", "0",
+                "--trace-events", events_path,
+                "--metrics-out", metrics_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics written" in out
+        with open(metrics_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        metrics = payload["metrics"]
+        assert metrics["engine.instructions"] > 0
+        assert sum(
+            v for k, v in metrics.items()
+            if k.startswith("engine.stall_slots.")
+        ) == metrics["engine.stall_slots_total"]
+        assert payload["profile"]["simulate"]["calls"] >= 1
+
+        from repro.obs.events import read_jsonl_events
+
+        events = read_jsonl_events(events_path)
+        assert events, "expected a non-empty event stream"
+
+    @pytest.mark.slow
+    def test_metrics_without_events(self, tmp_path):
+        import json
+
+        metrics_path = str(tmp_path / "metrics.json")
+        code = main(
+            [
+                "table2",
+                "--trace-length", "8000",
+                "--warmup", "1000",
+                "--metrics-out", metrics_path,
+            ]
+        )
+        assert code == 0
+        with open(metrics_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # table2 never simulates: registry is empty but the file is valid
+        assert payload["metrics"] == {}
+        assert "build_program" in payload["profile"]

@@ -1,0 +1,78 @@
+"""Phase profiler and the Observer bundle."""
+
+from repro.obs.events import FetchStall, NullSink, RingBufferSink
+from repro.obs.observer import Observer
+from repro.obs.profile import PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_phase_accumulates(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            pass
+        with profiler.phase("work"):
+            pass
+        summary = profiler.summary()
+        assert summary["work"]["calls"] == 2
+        assert summary["work"]["seconds"] >= 0.0
+        assert summary["work"]["events"] == 0
+
+    def test_phase_counts_events_via_observer(self):
+        observer = Observer(sink=RingBufferSink())
+        profiler = PhaseProfiler()
+        with profiler.phase("sim", observer=observer):
+            observer.sink.emit(FetchStall(t=0, cause="bus", slots=1))
+            observer.sink.emit(FetchStall(t=1, cause="bus", slots=1))
+        assert profiler.summary()["sim"]["events"] == 2
+
+    def test_phase_records_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("broken"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert profiler.summary()["broken"]["calls"] == 1
+
+    def test_record_and_merge_summary(self):
+        a = PhaseProfiler()
+        a.record("sim", 1.0, events=10)
+        b = PhaseProfiler()
+        b.record("sim", 2.0, events=5, calls=3)
+        b.record("trace", 0.5)
+        a.merge_summary(b.summary())
+        summary = a.summary()
+        assert summary["sim"] == {"calls": 4, "seconds": 3.0, "events": 15}
+        assert summary["trace"]["calls"] == 1
+        assert a.total_seconds() == 3.5
+
+    def test_summary_sorted(self):
+        profiler = PhaseProfiler()
+        profiler.record("z", 0.1)
+        profiler.record("a", 0.1)
+        assert list(profiler.summary()) == ["a", "z"]
+
+
+class TestObserver:
+    def test_defaults(self):
+        observer = Observer()
+        assert isinstance(observer.sink, NullSink)
+        assert observer.events_enabled is False
+        assert observer.events_emitted == 0
+        assert observer.profiler is None
+        assert observer.metrics_dict() == {}
+
+    def test_ring_sink_enabled(self):
+        observer = Observer(sink=RingBufferSink())
+        assert observer.events_enabled is True
+
+    def test_context_manager_closes_sink(self, tmp_path):
+        from repro.obs.events import JsonlSink
+
+        path = str(tmp_path / "events.jsonl")
+        with Observer(sink=JsonlSink(path)) as observer:
+            observer.sink.emit(FetchStall(t=0, cause="bus", slots=1))
+        # handle closed; file readable
+        from repro.obs.events import read_jsonl_events
+
+        assert len(read_jsonl_events(path)) == 1

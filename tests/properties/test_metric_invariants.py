@@ -1,0 +1,150 @@
+"""Property-based tests of the published metric invariants.
+
+Random programs and configurations; every warmup-free observed run must
+satisfy the accounting partitions the observability layer documents:
+
+* stall-cause counters sum to the total stall cycles;
+* ``prefetch.useful + prefetch.late + prefetch.wasted == prefetch.issued_total``;
+* the lockstep miss classification partitions the engine's miss counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.engine import simulate
+from repro.core.results import COMPONENTS
+from repro.obs import Observer, RingBufferSink
+from repro.obs.events import FetchStall
+from repro.program import (
+    BiasedBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+    ProgramBuilder,
+)
+from repro.trace.generator import generate_trace
+
+
+@st.composite
+def random_programs(draw):
+    """A random but valid single-function diamond/loop program."""
+    builder = ProgramBuilder("random")
+    main = builder.function("main")
+    n_diamonds = draw(st.integers(min_value=1, max_value=4))
+    main.block("entry", draw(st.integers(min_value=1, max_value=10)))
+    for i in range(n_diamonds):
+        kind = draw(st.sampled_from(["biased", "loop", "pattern"]))
+        if kind == "biased":
+            behaviour = BiasedBehaviour(draw(st.floats(0.0, 1.0)))
+        elif kind == "loop":
+            behaviour = LoopBehaviour(draw(st.integers(1, 12)))
+        else:
+            length = draw(st.integers(1, 6))
+            bits = draw(
+                st.lists(st.booleans(), min_size=length, max_size=length)
+            )
+            behaviour = PatternBehaviour(tuple(bits))
+        main.cond(
+            f"d{i}",
+            draw(st.integers(min_value=1, max_value=12)),
+            target=f"j{i}",
+            behaviour=behaviour,
+        )
+        main.block(f"t{i}", draw(st.integers(min_value=1, max_value=8)))
+        main.block(f"j{i}", draw(st.integers(min_value=1, max_value=8)))
+    main.jump("wrap", 1, target="entry")
+    return builder.build()
+
+
+@st.composite
+def observed_runs(draw):
+    """(program, trace, config) for a small warmup-free observed run."""
+    program = draw(random_programs())
+    n = draw(st.integers(min_value=200, max_value=2_000))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    trace = generate_trace(program, n, seed=seed)
+    policy = draw(st.sampled_from(ALL_POLICIES))
+    config = SimConfig(
+        policy=policy,
+        prefetch=draw(st.booleans()),
+        target_prefetch=draw(st.booleans()),
+        prefetch_variant=draw(
+            st.sampled_from(["tagged", "always", "on-miss", "fetchahead"])
+        ),
+    )
+    return program, trace, config
+
+
+@given(observed_runs())
+@settings(max_examples=40, deadline=None)
+def test_stall_counters_sum_to_total(run):
+    program, trace, config = run
+    observer = Observer()
+    simulate(program, trace, config, observer=observer)
+    registry = observer.registry
+    assert sum(
+        registry.value(f"engine.stall_slots.{name}") for name in COMPONENTS
+    ) == registry.value("engine.stall_slots_total")
+
+
+@given(observed_runs())
+@settings(max_examples=40, deadline=None)
+def test_prefetch_outcomes_partition_issues(run):
+    program, trace, config = run
+    observer = Observer()
+    simulate(program, trace, config, observer=observer)
+    registry = observer.registry
+    issued = registry.value("prefetch.issued_total")
+    useful = registry.value("prefetch.useful")
+    late = registry.value("prefetch.late")
+    wasted = registry.value("prefetch.wasted")
+    assert useful + late + wasted == issued
+    if not (config.prefetch or config.target_prefetch):
+        assert issued == 0
+
+
+@given(observed_runs())
+@settings(max_examples=30, deadline=None)
+def test_miss_classification_partitions_misses(run):
+    program, trace, _ = run
+    config = SimConfig(policy=FetchPolicy.OPTIMISTIC, classify=True)
+    observer = Observer()
+    result = simulate(program, trace, config, observer=observer)
+    registry = observer.registry
+    assert (
+        registry.value("classify.both_miss")
+        + registry.value("classify.spec_pollute")
+        == result.counters.right_misses
+    )
+    assert registry.value("classify.wrong_path") == result.counters.wrong_misses
+    # fills the shadow Oracle performed can never exceed Optimistic's
+    # right-path probes
+    assert registry.value("classify.oracle_fills") <= result.counters.right_probes
+
+
+@given(observed_runs())
+@settings(max_examples=25, deadline=None)
+def test_stall_events_sum_to_penalties(run):
+    program, trace, config = run
+    sink = RingBufferSink(capacity=1_000_000)
+    result = simulate(
+        program, trace, config, observer=Observer(sink=sink)
+    )
+    by_cause = dict.fromkeys(COMPONENTS, 0)
+    for event in sink.of_type(FetchStall):
+        by_cause[event.cause] += event.slots
+    assert by_cause == result.penalties.as_dict()
+
+
+@given(observed_runs())
+@settings(max_examples=25, deadline=None)
+def test_observation_is_passive(run):
+    program, trace, config = run
+    bare = simulate(program, trace, config)
+    watched = simulate(
+        program,
+        trace,
+        config,
+        observer=Observer(sink=RingBufferSink(capacity=1_000_000)),
+    )
+    assert watched == bare

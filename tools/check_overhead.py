@@ -1,0 +1,186 @@
+"""Null-sink overhead check for the observability layer.
+
+Measures engine throughput (instructions/second) on the gcc workload in
+two modes — ``observer=None`` (the uninstrumented fast path) and
+``Observer()`` with the default NullSink — and asserts that
+
+* the instrumented-but-disabled mode is within ``--tolerance`` (default
+  3%) of the uninstrumented mode, and
+* the uninstrumented mode has not regressed more than ``--tolerance``
+  against the stored pre-change baseline
+  (benchmarks/results/overhead_baseline.json).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_overhead.py
+    PYTHONPATH=src python tools/check_overhead.py --update-baseline
+
+The benchmark harness runs this as a subprocess (see
+benchmarks/bench_engine_speed.py), so `pytest benchmarks/` enforces the
+budget too.  Throughput is best-of-N wall-clock, which is machine
+dependent: refresh the baseline with ``--update-baseline`` when moving to
+new hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import FetchPolicy, SimConfig  # noqa: E402
+from repro.core.engine import simulate  # noqa: E402
+from repro.obs import Observer  # noqa: E402
+from repro.program.workloads import build_workload  # noqa: E402
+from repro.trace.generator import generate_trace  # noqa: E402
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "benchmarks", "results", "overhead_baseline.json",
+)
+
+#: The measured configurations: the cheapest policy and the heaviest one.
+CONFIGS = {
+    "oracle": SimConfig(policy=FetchPolicy.ORACLE),
+    "resume_prefetch": SimConfig(policy=FetchPolicy.RESUME, prefetch=True),
+}
+
+TRACE_LENGTH = 100_000
+SEED = 3
+
+
+def _one_rate(program, trace, config, observer) -> float:
+    """Instructions/second for a single run."""
+    started = time.perf_counter()
+    result = simulate(program, trace, config, observer=observer)
+    elapsed = time.perf_counter() - started
+    return result.counters.instructions / elapsed
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def measure(repeats: int) -> dict[str, dict[str, float]]:
+    """Throughput per config, with and without a null-sink observer.
+
+    Bare and null-sink runs are *interleaved* and compared pairwise: the
+    reported ratio is the median of per-pair ratios, which cancels the
+    machine-wide throughput drift (CPU frequency, co-tenants) that makes
+    absolute best-of-N numbers jump by tens of percent between
+    invocations.
+    """
+    program = build_workload("gcc")
+    trace = generate_trace(program, TRACE_LENGTH, seed=SEED)
+    out: dict[str, dict[str, float]] = {}
+    for name, config in CONFIGS.items():
+        bare_rates: list[float] = []
+        null_rates: list[float] = []
+        ratios: list[float] = []
+        for _ in range(repeats):
+            bare = _one_rate(program, trace, config, None)
+            null = _one_rate(program, trace, config, Observer())
+            bare_rates.append(bare)
+            null_rates.append(null)
+            ratios.append(null / bare)
+        out[name] = {
+            "bare": _median(bare_rates),
+            "null_sink": _median(null_rates),
+            "ratio": _median(ratios),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.03,
+        help="allowed fractional slowdown (default 0.03 = 3%%)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=9,
+        help="interleaved bare/null-sink measurement pairs (default 9; "
+        "the median pair ratio needs several samples to be stable on "
+        "shared machines)",
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown vs the stored absolute baseline "
+        "(default 0.20; wall-clock across invocations is far noisier than "
+        "the interleaved pair ratio, so this guards only gross regressions)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="store the bare throughput as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rates = measure(args.repeats)
+    failures: list[str] = []
+
+    for name, rate in rates.items():
+        ratio = rate["ratio"]
+        print(
+            f"{name:>16}: bare {rate['bare']:>10.0f} i/s | "
+            f"null-sink {rate['null_sink']:>10.0f} i/s | "
+            f"median pair ratio {ratio:.4f}"
+        )
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: null-sink path is {(1.0 - ratio) * 100:.1f}% slower "
+                f"than observer=None (budget {args.tolerance * 100:.0f}%)"
+            )
+
+    if args.update_baseline:
+        baseline = {name: round(rate["bare"]) for name, rate in rates.items()}
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {baseline}")
+        return 0
+
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for name, reference in baseline.items():
+            if name not in rates:
+                continue
+            ratio = rates[name]["bare"] / reference
+            print(f"{name:>16}: vs stored baseline {reference} i/s: {ratio:.4f}")
+            if ratio < 1.0 - args.baseline_tolerance:
+                failures.append(
+                    f"{name}: bare engine is {(1.0 - ratio) * 100:.1f}% slower "
+                    f"than the stored baseline ({reference} i/s); if the "
+                    "machine changed, refresh with --update-baseline"
+                )
+    else:
+        print(f"no stored baseline at {BASELINE_PATH}; skipping that check")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("overhead check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

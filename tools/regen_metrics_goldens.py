@@ -1,0 +1,80 @@
+"""Regenerate the golden metrics snapshots under tests/goldens/.
+
+One small, fixed-seed, warmup-free run per fetch policy; the deterministic
+``MetricsRegistry.as_dict`` snapshot is written as pretty-printed JSON.
+The regression test (tests/core/test_golden_metrics.py) replays the same
+spec and compares byte-for-byte.
+
+Regenerate (only after an intentional behaviour change) with:
+
+    PYTHONPATH=src python tools/regen_metrics_goldens.py
+
+and review the diff before committing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import ALL_POLICIES, FetchPolicy, SimConfig  # noqa: E402
+from repro.core.engine import simulate  # noqa: E402
+from repro.core.runner import SimulationRunner  # noqa: E402
+from repro.obs import Observer  # noqa: E402
+
+#: The golden run spec.  Warmup must stay 0: the prefetch partition
+#: invariant is exact only for warmup-free runs.
+BENCHMARK = "li"
+TRACE_LENGTH = 8_000
+SEED = 42
+WARMUP = 0
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "tests", "goldens"
+)
+
+
+def golden_config(policy: FetchPolicy) -> SimConfig:
+    """The configuration snapshotted for *policy*."""
+    return SimConfig(policy=policy, prefetch=True)
+
+
+def golden_metrics(policy: FetchPolicy) -> dict:
+    """Run the golden spec for *policy* and return the metrics snapshot."""
+    runner = SimulationRunner(
+        trace_length=TRACE_LENGTH, warmup=WARMUP, seed=SEED
+    )
+    run = runner.prepared(BENCHMARK)
+    observer = Observer()
+    simulate(
+        run.program,
+        run.trace,
+        golden_config(policy),
+        warmup=WARMUP,
+        observer=observer,
+    )
+    return observer.metrics_dict()
+
+
+def golden_path(policy: FetchPolicy) -> str:
+    return os.path.join(GOLDEN_DIR, f"metrics_{policy.name.lower()}.json")
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for policy in ALL_POLICIES:
+        path = golden_path(policy)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(golden_metrics(policy), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
