@@ -59,6 +59,7 @@ class BranchTargetBuffer:
         self.assoc = assoc
         self.n_sets = n_sets
         self.set_mask = n_sets - 1
+        self._tag_shift = n_sets.bit_length() - 1
         self.counter_max = (1 << counter_bits) - 1
         self.counter_threshold = 1 << (counter_bits - 1)
         self.counter_init = self.counter_threshold  # weakly taken: it was taken once
@@ -72,8 +73,7 @@ class BranchTargetBuffer:
 
     def _locate(self, pc: int) -> tuple[list[BTBEntry], int]:
         word = pc // INSTRUCTION_SIZE
-        set_idx = word & self.set_mask
-        return self._sets[set_idx], word >> self.n_sets.bit_length() - 1
+        return self._sets[word & self.set_mask], word >> self._tag_shift
 
     def lookup(self, pc: int) -> BTBEntry | None:
         """Probe for *pc*; a hit refreshes LRU and returns the entry."""

@@ -150,8 +150,7 @@ class BranchUnit:
             if btb_entry is not None:
                 return self.btb.counter_predicts_taken(btb_entry), None
             return self.static_fallback.predict(pc, static_target), None
-        taken, idx = self.pht.predict(pc, self.history.snapshot())
-        return taken, idx
+        return self.pht.predict(pc, self.history.value)
 
     # -- the main classification entry point ---------------------------------
 

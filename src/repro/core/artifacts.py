@@ -1,0 +1,164 @@
+"""Persistent on-disk cache of built programs and generated traces.
+
+Sweeps re-build the same synthetic programs and re-generate the same
+traces in every process that runs them — serial runners, every parallel
+worker, every benchmark invocation.  Both artifacts are pure functions of
+their inputs (``build_workload`` is deterministic; a trace is determined
+by ``(program, n_instructions, seed)`` and the generation algorithm), so
+they can be cached on disk across processes *and* process generations.
+
+Layout (one directory per keyed artifact pair)::
+
+    <cache_dir>/v<CACHE_FORMAT_VERSION>/<workload>/<key>/
+        program.pkl   # pickled Program
+        trace.npz     # trace/io.py npz format
+
+where ``<key>`` is ``t<trace_length>-s<seed>-g<GENERATOR_VERSION>``.
+Invalidation is by construction: any input that could change the bytes is
+part of the path, so a bumped ``GENERATOR_VERSION`` or a different
+``(trace_length, seed)`` simply misses and regenerates.  Nothing is ever
+reused across a format bump.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers can
+share one cache directory: the worst case under a race is building the
+same artifact twice, never reading a half-written one.  Corrupt entries
+(truncated files, unpicklable programs) are treated as misses and
+overwritten, not errors.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.errors import ExperimentError, TraceError
+from repro.program.program import Program
+from repro.trace.event import Trace
+from repro.trace.generator import GENERATOR_VERSION, generate_trace
+from repro.trace.io import load_trace, save_trace
+
+#: On-disk layout version.  Bump when the file formats or the key scheme
+#: change; old trees are simply never read again.
+CACHE_FORMAT_VERSION = 1
+
+_PROGRAM_FILE = "program.pkl"
+_TRACE_FILE = "trace.npz"
+
+
+class ArtifactCache:
+    """Filesystem cache of ``(workload, trace_length, seed)`` artifacts.
+
+    The cache is safe to share between concurrent processes and to keep
+    across sessions.  A disabled cache (``ArtifactCache(None)``) is a
+    no-op passthrough, so callers never need to branch.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike[str] | None) -> None:
+        self.root: Path | None = None if cache_dir is None else Path(cache_dir)
+
+    @property
+    def enabled(self) -> bool:
+        """True when a cache directory was configured."""
+        return self.root is not None
+
+    # -- keying -------------------------------------------------------------
+
+    def entry_dir(self, workload: str, trace_length: int, seed: int) -> Path:
+        """Directory holding the artifacts for one key (may not exist)."""
+        if self.root is None:
+            raise ExperimentError("artifact cache is disabled (no cache_dir)")
+        if not workload or "/" in workload or workload.startswith("."):
+            raise ExperimentError(f"unsafe workload name {workload!r}")
+        key = f"t{trace_length}-s{seed}-g{GENERATOR_VERSION}"
+        return self.root / f"v{CACHE_FORMAT_VERSION}" / workload / key
+
+    # -- lookup -------------------------------------------------------------
+
+    def load(
+        self, workload: str, trace_length: int, seed: int
+    ) -> tuple[Program, Trace] | None:
+        """The cached (program, trace) pair, or ``None`` on any miss.
+
+        A corrupt or partially-deleted entry is a miss: simulation
+        correctness never depends on cache contents, so the only sane
+        response to damage is to regenerate.
+        """
+        if self.root is None:
+            return None
+        entry = self.entry_dir(workload, trace_length, seed)
+        try:
+            with open(entry / _PROGRAM_FILE, "rb") as fh:
+                program = pickle.load(fh)
+            trace = load_trace(entry / _TRACE_FILE)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, TraceError):
+            # AttributeError/ImportError: pickles from an older code
+            # revision whose classes moved; treat as stale, not fatal.
+            return None
+        if not isinstance(program, Program) or program.name != workload:
+            return None
+        if trace.program_name != workload or trace.seed != seed:
+            return None
+        if trace.n_instructions < trace_length:
+            return None
+        return program, trace
+
+    # -- store --------------------------------------------------------------
+
+    def store(
+        self, workload: str, trace_length: int, seed: int,
+        program: Program, trace: Trace,
+    ) -> None:
+        """Persist *program* and *trace* under their key (atomic)."""
+        if self.root is None:
+            return
+        entry = self.entry_dir(workload, trace_length, seed)
+        entry.mkdir(parents=True, exist_ok=True)
+        _atomic_write(entry / _PROGRAM_FILE, pickle.dumps(program, protocol=4))
+        # The suffix must end in ".npz" or np.savez would append one and
+        # write to a different path than the one we rename.
+        fd, tmp = tempfile.mkstemp(dir=entry, suffix=".tmp.npz")
+        try:
+            os.close(fd)
+            save_trace(trace, tmp)
+            os.replace(tmp, entry / _TRACE_FILE)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # -- the one-call convenience used by the runners -----------------------
+
+    def get_or_build(
+        self, workload: str, trace_length: int, seed: int
+    ) -> tuple[Program, Trace]:
+        """Cached (program, trace), building + storing on a miss.
+
+        *seed* seeds both the workload build and the trace generation,
+        matching :class:`~repro.core.runner.SimulationRunner`'s use.
+        """
+        cached = self.load(workload, trace_length, seed)
+        if cached is not None:
+            return cached
+        from repro.program.workloads import build_workload
+
+        program = build_workload(workload, seed=seed)
+        trace = generate_trace(program, n_instructions=trace_length, seed=seed)
+        self.store(workload, trace_length, seed, program, trace)
+        return program, trace
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write *payload* to *path* via a same-directory temp file + rename."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise

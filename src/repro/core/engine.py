@@ -61,6 +61,14 @@ _PLAIN = int(InstrKind.PLAIN)
 _COND = int(InstrKind.COND_BRANCH)
 _CALL = int(InstrKind.CALL)
 
+#: Enum instances indexed by raw kind value, so the hot loop resolves a
+#: trace record's kind without an ``InstrKind(...)`` constructor call.
+_KIND_FROM_INT = tuple(InstrKind(value) for value in range(len(InstrKind)))
+
+_CORRECT = FetchOutcome.CORRECT
+_ORIGIN_RIGHT = LineOrigin.DEMAND_RIGHT
+_ORIGIN_PREFETCH = LineOrigin.PREFETCH
+
 
 def build_branch_unit(config: SimConfig) -> BranchUnit:
     """Construct the branch unit described by *config*."""
@@ -173,6 +181,11 @@ class FetchEngine:
         )
         self.penalties = PenaltyAccumulator()
         self.counters = EngineCounters()
+        # Prefetches issued before the warmup boundary but still live at
+        # the reset (fresh in the cache or in flight in the station).
+        # They are counted into prefetch.issued_total at publish time so
+        # the usefulness partition stays exact across a warmup reset.
+        self._carried_prefetches = 0
         # Unresolved conditional branches, in fetch order:
         # (resolve_at_slot, pht_index, actual_taken, branch_pc).
         self._unresolved: deque[tuple[int, int | None, bool, int]] = deque()
@@ -185,8 +198,21 @@ class FetchEngine:
         self._max_unresolved = config.max_unresolved
         self._fetchahead = (
             config.fetchahead_distance
-            if config.prefetch and config.prefetch_variant == "fetchahead"
+            if self.prefetcher is not None
+            and config.prefetch
+            and config.prefetch_variant == "fetchahead"
             else 0
+        )
+        # Hot-loop fast path eligibility: the common direct-mapped
+        # configuration with no lockstep classifier and no stream buffers
+        # can inline the all-hits case of _fetch_right_line (see
+        # _issue_run).  Purely an optimisation — results are bit-identical
+        # either way (tests/core/test_engine_fast_path.py).
+        self._fast_path = (
+            self.cache is not None
+            and self.cache.assoc == 1
+            and self.classifier is None
+            and self.streams is None
         )
 
     def _fill_duration(self, line: int) -> int:
@@ -364,13 +390,71 @@ class FetchEngine:
         return t
 
     def _issue_run(self, pc: int, n: int, t: int) -> int:
-        """Issue *n* sequential correct-path instructions starting at *pc*."""
+        """Issue *n* sequential correct-path instructions starting at *pc*.
+
+        The run is consumed in per-line chunks (per-block arithmetic, not
+        per-instruction dispatch).  Under the fast-path configuration
+        (direct-mapped cache, no classifier, no stream buffers) a hit with
+        an idle fill station is handled inline — replicating the
+        bookkeeping of :meth:`InstructionCache.probe` and
+        :meth:`_fetch_right_line` exactly — so the dominant all-hits case
+        costs a tag compare and a few counter increments per line instead
+        of a method-call chain.  Misses and in-flight fills always take
+        the full :meth:`_fetch_right_line` path.
+        """
+        cache = self.cache
+        if cache is None:
+            # Perfect cache: every probe hits instantly and no unit below
+            # fetch is modelled, so the run issues back-to-back.
+            return t + n
         per_line = self._per_line
         shift = self._line_shift
         fetchahead = self._fetchahead
+        idx = pc // INSTRUCTION_SIZE
+        if self._fast_path:
+            counters = self.counters
+            stats = cache.stats
+            tags = cache._tags
+            origins = cache._origins
+            pf_fresh = cache._pf_fresh
+            set_mask = cache.set_mask
+            set_shift = cache._set_shift
+            pending = self.station._pending  # identity-stable (pending.py)
+            prefetcher = self.prefetcher
+            while n > 0:
+                line = pc >> shift
+                in_line = per_line - idx % per_line
+                chunk = in_line if in_line < n else n
+                set_idx = line & set_mask
+                if not pending and tags[set_idx] == line >> set_shift:
+                    # Inlined InstructionCache.probe() hit path plus the
+                    # engine-side hit bookkeeping of _fetch_right_line.
+                    stats.probes += 1
+                    stats.hits += 1
+                    counters.right_probes += 1
+                    origin = origins[set_idx]
+                    if origin is not _ORIGIN_RIGHT:
+                        if origin is _ORIGIN_PREFETCH:
+                            stats.prefetch_hits += 1
+                            if pf_fresh[set_idx]:
+                                pf_fresh[set_idx] = False
+                                stats.prefetch_used += 1
+                        else:
+                            stats.wrongpath_hits += 1
+                    if prefetcher is not None:
+                        prefetcher.on_line_fetch(line, t)
+                else:
+                    t = self._fetch_right_line(line, t)
+                if fetchahead and in_line - chunk < fetchahead:
+                    prefetcher.on_line_end_near(line, t)
+                t += chunk
+                pc += chunk * INSTRUCTION_SIZE
+                idx += chunk
+                n -= chunk
+            return t
         while n > 0:
             line = pc >> shift
-            in_line = per_line - (pc // INSTRUCTION_SIZE) % per_line
+            in_line = per_line - idx % per_line
             chunk = in_line if in_line < n else n
             t = self._fetch_right_line(line, t)
             if fetchahead and in_line - chunk < fetchahead:
@@ -379,6 +463,7 @@ class FetchEngine:
                 self.prefetcher.on_line_end_near(line, t)
             t += chunk
             pc += chunk * INSTRUCTION_SIZE
+            idx += chunk
             n -= chunk
         return t
 
@@ -530,10 +615,22 @@ class FetchEngine:
         up); only the measured counters restart.  This mirrors the paper's
         effectively-warm measurements (its traces are billions of
         instructions, so compulsory misses are negligible there).
+
+        Prefetches issued during warmup that are still live at the reset
+        (fresh lines in the cache, in-flight fills in the station) will be
+        judged useful/late/wasted *after* the boundary, so their count is
+        snapshotted here and folded into ``prefetch.issued_total`` at
+        publish time — otherwise the usefulness partition would overflow
+        its issue count for every warmed-up run.
         """
         self.penalties = PenaltyAccumulator()
         self.counters = EngineCounters()
         self.unit.stats = type(self.unit.stats)()
+        if self.prefetcher is not None and self.cache is not None:
+            self._carried_prefetches = (
+                self.cache.fresh_prefetch_count()
+                + self.station.pending_prefetches()
+            )
         if self.cache is not None:
             self.cache.stats = type(self.cache.stats)()
         if self.prefetcher is not None:
@@ -546,6 +643,11 @@ class FetchEngine:
             self.l2.reset_stats()
         self.bus.requests = 0
         self.bus.busy_wait_slots = 0
+        # Station fill statistics restart with the measurement window (the
+        # pending fills themselves are architectural state and survive).
+        self.station.installed = 0
+        self.station.overwritten = 0
+        self.station.overwritten_prefetch = 0
 
     # -- the main loop ------------------------------------------------------------
 
@@ -575,8 +677,26 @@ class FetchEngine:
         counters = self.counters
         penalties = self.penalties
         unit = self.unit
+        predict = unit.predict
+        issue_run = self._issue_run
         resolve_slots = self._resolve_slots
         unresolved = self._unresolved
+        max_unresolved = self._max_unresolved
+        target_prefetch = self.config.target_prefetch and self.prefetcher is not None
+        # Locals for the inlined single-instruction terminator issue (the
+        # same fast path as _issue_run; see there for the invariants).
+        cache = self.cache
+        prefetcher = self.prefetcher
+        shift = self._line_shift
+        fast_term = self._fast_path and not self._fetchahead
+        if fast_term:
+            stats = cache.stats
+            tags = cache._tags
+            origins = cache._origins
+            pf_fresh = cache._pf_fresh
+            set_mask = cache.set_mask
+            set_shift = cache._set_shift
+            pending = self.station._pending  # identity-stable (pending.py)
         warm_left = warmup_instructions
         t = 0
         for record in trace.records:
@@ -587,27 +707,59 @@ class FetchEngine:
                     self._reset_measurement()
                     counters = self.counters
                     penalties = self.penalties
+                    if fast_term:
+                        stats = cache.stats
             counters.blocks += 1
             counters.instructions += length
             if kind == _COND:
                 if length > 1:
-                    t = self._issue_run(start, length - 1, t)
-                t = self._depth_gate(t)
+                    t = issue_run(start, length - 1, t)
+                # _depth_gate, inlined for the common not-full case.
+                if unresolved:
+                    if unresolved[0][0] <= t:
+                        self._apply_resolutions(t)
+                    if len(unresolved) >= max_unresolved:
+                        t = self._depth_gate(t)
                 term_addr = start + (length - 1) * INSTRUCTION_SIZE
-                t = self._issue_run(term_addr, 1, t)
+                line = term_addr >> shift
+                if (
+                    fast_term
+                    and not pending
+                    and tags[line & set_mask] == line >> set_shift
+                ):
+                    # Inlined _issue_run fast path for the lone terminator.
+                    set_idx = line & set_mask
+                    stats.probes += 1
+                    stats.hits += 1
+                    counters.right_probes += 1
+                    origin = origins[set_idx]
+                    if origin is not _ORIGIN_RIGHT:
+                        if origin is _ORIGIN_PREFETCH:
+                            stats.prefetch_hits += 1
+                            if pf_fresh[set_idx]:
+                                pf_fresh[set_idx] = False
+                                stats.prefetch_used += 1
+                        else:
+                            stats.wrongpath_hits += 1
+                    if prefetcher is not None:
+                        prefetcher.on_line_fetch(line, t)
+                    t += 1
+                else:
+                    t = issue_run(term_addr, 1, t)
             else:
-                t = self._issue_run(start, length, t)
+                t = issue_run(start, length, t)
+                if kind == _PLAIN:
+                    continue
                 term_addr = start + (length - 1) * INSTRUCTION_SIZE
-            if kind == _PLAIN:
-                continue
             t_br = t - 1
-            self._apply_resolutions(t_br)
+            if unresolved and unresolved[0][0] <= t_br:
+                self._apply_resolutions(t_br)
             ctrl_idx = (term_addr - base) // INSTRUCTION_SIZE
             raw_target = targets[ctrl_idx]
             static_target = None if raw_target < 0 else raw_target
             fall = term_addr + INSTRUCTION_SIZE
-            result = unit.predict(
-                term_addr, InstrKind(kind), static_target, taken, next_pc, fall
+            result = predict(
+                term_addr, _KIND_FROM_INT[kind], static_target, taken, next_pc, fall
             )
             if kind == _CALL:
                 unit.notify_call(fall)
@@ -616,8 +768,7 @@ class FetchEngine:
                     (t_br + resolve_slots, result.pht_index, taken, term_addr)
                 )
                 if (
-                    self.config.target_prefetch
-                    and self.prefetcher is not None
+                    target_prefetch
                     and static_target is not None
                     and result.predicted_taken is not None
                 ):
@@ -628,7 +779,7 @@ class FetchEngine:
                     self.prefetcher.prefetch_target(
                         alt >> self._line_shift, t_br + 1
                     )
-            if result.outcome is FetchOutcome.CORRECT:
+            if result.outcome is _CORRECT:
                 continue
             penalties.branch += result.penalty_slots
             if self._redirect_penalties is not None:
@@ -698,8 +849,9 @@ class FetchEngine:
         namespace documented in ``docs/observability.md``.  The prefetch
         usefulness partition (``useful + late + wasted == issued``) is
         computed independently of the issue count so tests can check it as
-        a real invariant; it holds exactly for warmup-free runs (a warmup
-        reset zeroes the counters but not the caches' freshness bits).
+        a real invariant; prefetches still live across a warmup reset are
+        counted into the issue side (see :meth:`_reset_measurement`), so
+        the partition is exact for warmed-up runs too.
         """
         counters = self.counters
         penalties = self.penalties
@@ -732,7 +884,11 @@ class FetchEngine:
         if self.prefetcher is not None and self.cache is not None:
             self.prefetcher.publish_metrics(registry)
             stats = self.cache.stats
-            issued = self.prefetcher.issued + self.prefetcher.target_issued
+            issued = (
+                self.prefetcher.issued
+                + self.prefetcher.target_issued
+                + self._carried_prefetches
+            )
             wasted = (
                 stats.prefetch_evicted_unused
                 + self.cache.fresh_prefetch_count()

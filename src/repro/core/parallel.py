@@ -41,32 +41,41 @@ _WorkerReturn = tuple[
 
 
 def _run_benchmark_jobs(
-    args: tuple[str, tuple[SimConfig, ...], int, int, int, bool],
+    args: tuple[str, tuple[SimConfig, ...], int, int, int, bool, str | None],
 ) -> _WorkerReturn:
     """Worker: one benchmark, many configurations (runs in a subprocess)."""
-    name, configs, trace_length, warmup, seed, collect = args
+    name, configs, trace_length, warmup, seed, collect, cache_dir = args
+    from repro.core.artifacts import ArtifactCache
     from repro.program.workloads import build_workload
     from repro.trace.generator import generate_trace
 
     observer = Observer(profiler=PhaseProfiler()) if collect else None
+    profiler = observer.profiler if observer is not None else PhaseProfiler()
     # Mirror SimulationRunner exactly: the runner seed perturbs both the
-    # structure and the trace, so serial and parallel sweeps agree.
-    if observer is not None:
-        with observer.profiler.phase("build_program"):
+    # structure and the trace, so serial and parallel sweeps agree; the
+    # shared on-disk artifact cache (atomic writes) lets every worker of
+    # every sweep skip the build/generate phases after the first process.
+    artifacts = ArtifactCache(cache_dir)
+    pair = None
+    if artifacts.enabled:
+        with profiler.phase("artifact_cache"):
+            pair = artifacts.load(name, trace_length, seed)
+    if pair is not None:
+        program, trace = pair
+    else:
+        with profiler.phase("build_program"):
             program = build_workload(name, seed=seed)
-        with observer.profiler.phase("generate_trace"):
+        with profiler.phase("generate_trace"):
             trace = generate_trace(program, trace_length, seed=seed)
-        with observer.profiler.phase("simulate"):
-            results = [
-                simulate(program, trace, config, warmup=warmup, observer=observer)
-                for config in configs
-            ]
-        return results, observer.registry.as_dict(), observer.profiler.summary()
-    program = build_workload(name, seed=seed)
-    trace = generate_trace(program, trace_length, seed=seed)
-    results = [
-        simulate(program, trace, config, warmup=warmup) for config in configs
-    ]
+        if artifacts.enabled:
+            artifacts.store(name, trace_length, seed, program, trace)
+    with profiler.phase("simulate"):
+        results = [
+            simulate(program, trace, config, warmup=warmup, observer=observer)
+            for config in configs
+        ]
+    if observer is not None:
+        return results, observer.registry.as_dict(), profiler.summary()
     return results, None, None
 
 
@@ -90,6 +99,7 @@ class ParallelRunner:
         warmup: int | None = None,
         max_workers: int | None = None,
         collect_metrics: bool = False,
+        cache_dir: str | None = None,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -106,6 +116,9 @@ class ParallelRunner:
         self.warmup = warmup
         self.max_workers = max_workers
         self.collect_metrics = collect_metrics
+        #: Shared persistent artifact cache directory handed to every
+        #: worker (``None`` disables caching).
+        self.cache_dir = cache_dir
         #: Merged worker metrics from the most recent ``run_jobs`` (always
         #: a registry; empty unless ``collect_metrics``).
         self.metrics = MetricsRegistry()
@@ -139,6 +152,7 @@ class ParallelRunner:
                 self.warmup,
                 self.seed,
                 self.collect_metrics,
+                self.cache_dir,
             )
             for name, entries in grouped.items()
         ]
@@ -165,10 +179,17 @@ class ParallelRunner:
                         raise
                     except Exception as exc:
                         raise self._worker_error(name, exc) from exc
+        # strict=: a lost or duplicated worker batch must fail loudly here,
+        # not surface later as a None result or silently-dropped configs.
         for (name, entries), (batch, registry_dict, profile_summary) in zip(
-            grouped.items(), batches
+            grouped.items(), batches, strict=True
         ):
-            for (position, _), result in zip(entries, batch):
+            if len(batch) != len(entries):
+                raise ExperimentError(
+                    f"worker for benchmark {name!r} returned {len(batch)} "
+                    f"results for {len(entries)} configurations"
+                )
+            for (position, _), result in zip(entries, batch, strict=True):
                 results[position] = result
             if registry_dict is not None:
                 self.metrics.merge(MetricsRegistry.from_dict(registry_dict))

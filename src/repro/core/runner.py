@@ -13,6 +13,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.artifacts import ArtifactCache
 from repro.core.engine import simulate
 from repro.core.results import SimulationResult
 from repro.errors import ExperimentError
@@ -48,6 +49,7 @@ class SimulationRunner:
         seed: int = 1995,
         warmup: int | None = None,
         observer: Observer | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -63,8 +65,15 @@ class SimulationRunner:
         #: Optional observability bundle; shared by every simulation this
         #: runner performs (metrics accumulate across runs).
         self.observer = observer
-        self._programs: dict[str, Program] = {}
-        self._traces: dict[str, Trace] = {}
+        #: Optional persistent artifact cache shared across processes
+        #: (``None`` disables it; see ``repro.core.artifacts``).
+        self.artifacts = ArtifactCache(cache_dir)
+        # In-memory memos.  The keys repeat the runner attributes each
+        # artifact actually depends on, so mutating ``runner.seed`` or
+        # ``runner.trace_length`` between runs can never replay a stale
+        # program or trace (it used to: the old keys were the bare name).
+        self._programs: dict[tuple[str, int], Program] = {}
+        self._traces: dict[tuple[str, int, int], Trace] = {}
 
     def _phase(self, name: str):
         """Profiling scope for *name* (no-op without an observer/profiler)."""
@@ -76,26 +85,46 @@ class SimulationRunner:
 
     def program(self, name: str) -> Program:
         """The (cached) synthetic program for benchmark *name*."""
-        if name not in self._programs:
+        key = (name, self.seed)
+        if key not in self._programs:
             from repro.program.workloads import build_workload
 
             with self._phase("build_program"):
-                self._programs[name] = build_workload(name, seed=self.seed)
-        return self._programs[name]
+                self._programs[key] = build_workload(name, seed=self.seed)
+        return self._programs[key]
 
     def trace(self, name: str) -> Trace:
-        """The (cached) dynamic trace for benchmark *name*."""
-        if name not in self._traces:
+        """The (cached) dynamic trace for benchmark *name*.
+
+        With an artifact cache configured, a persisted (program, trace)
+        pair satisfies the request without building anything; a miss
+        builds as before and persists the pair for the next process.
+        """
+        key = (name, self.trace_length, self.seed)
+        if key not in self._traces:
+            if self.artifacts.enabled:
+                with self._phase("artifact_cache"):
+                    pair = self.artifacts.load(name, self.trace_length, self.seed)
+                if pair is not None:
+                    self._programs[(name, self.seed)], self._traces[key] = pair
+                    return self._traces[key]
             program = self.program(name)
             with self._phase("generate_trace"):
-                self._traces[name] = generate_trace(
+                self._traces[key] = generate_trace(
                     program, self.trace_length, seed=self.seed
                 )
-        return self._traces[name]
+            if self.artifacts.enabled:
+                self.artifacts.store(
+                    name, self.trace_length, self.seed, program, self._traces[key]
+                )
+        return self._traces[key]
 
     def prepared(self, name: str) -> WorkloadRun:
         """Program and trace for *name*, building them if needed."""
-        return WorkloadRun(program=self.program(name), trace=self.trace(name))
+        # Trace first: an artifact-cache hit satisfies the program memo
+        # too, so program() must not run (and rebuild) before it.
+        trace = self.trace(name)
+        return WorkloadRun(program=self.program(name), trace=trace)
 
     # -- simulation -------------------------------------------------------------
 

@@ -53,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=1995, help="trace seed (default 1995)"
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact cache: built programs and generated "
+        "traces are stored under DIR keyed by (workload, trace length, "
+        "seed, generator version) and reused by later runs (safe to share "
+        "between concurrent processes)",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         metavar="DIR",
@@ -127,6 +136,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         warmup=args.warmup,
         observer=observer,
+        cache_dir=args.cache_dir,
     )
     try:
         for experiment_id in ids:

@@ -131,7 +131,10 @@ class PendingFillStation:
         done = [p for p in self._pending if p.done_at <= now]
         if not done:
             return []
-        self._pending = [p for p in self._pending if p.done_at > now]
+        # Slice-assign so the list object is stable: the engine's fast
+        # path holds a reference to it as its cheap "anything in flight?"
+        # emptiness probe.
+        self._pending[:] = [p for p in self._pending if p.done_at > now]
         sink = self.sink
         for fill in done:
             origin = (
@@ -163,7 +166,7 @@ class PendingFillStation:
             return
         before = len(self._pending)
         dropped = [p for p in self._pending if p.line == line]
-        self._pending = [p for p in self._pending if p.line != line]
+        self._pending[:] = [p for p in self._pending if p.line != line]
         self.overwritten += before - len(self._pending)
         self.overwritten_prefetch += sum(
             1 for p in dropped if p.origin is FillOrigin.PREFETCH

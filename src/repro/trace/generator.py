@@ -21,6 +21,13 @@ from repro.program.behaviour import IndirectBehaviour
 from repro.program.program import Program
 from repro.trace.event import BlockRecord, Trace
 
+#: Version of the generation algorithm.  Bump whenever a change here (or
+#: in the behaviour models / workload definitions) can alter the trace a
+#: given ``(program, seed, n_instructions)`` produces: the artifact cache
+#: (:mod:`repro.core.artifacts`) keys cached programs and traces on this,
+#: so stale on-disk artifacts are invalidated instead of silently reused.
+GENERATOR_VERSION = 1
+
 #: Bits of global outcome history exposed to CorrelatedBehaviour models.
 _HISTORY_BITS = 16
 _HISTORY_MASK = (1 << _HISTORY_BITS) - 1

@@ -124,6 +124,34 @@ class TestWorkerErrorWrapping:
         assert info.value.benchmark == "li"
 
 
+class TestBatchIntegrity:
+    """A worker returning the wrong number of results must fail loudly.
+
+    Regression: the result-scatter loop used unguarded zips, so a short
+    batch silently truncated and surfaced later as a bogus 'produced no
+    result' (or not at all with a duplicated batch)."""
+
+    def test_short_batch_detected(self, monkeypatch):
+        from repro.core import parallel as parallel_mod
+
+        real = parallel_mod._run_benchmark_jobs
+
+        def short(args):
+            results, registry, profile = real(args)
+            return results[:-1], registry, profile
+
+        monkeypatch.setattr(parallel_mod, "_run_benchmark_jobs", short)
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=7, max_workers=1
+        )
+        jobs = [
+            ("li", SimConfig(policy=FetchPolicy.ORACLE)),
+            ("li", SimConfig(policy=FetchPolicy.RESUME)),
+        ]
+        with pytest.raises(ExperimentError, match="li.*1 results for 2"):
+            runner.run_jobs(jobs)
+
+
 class TestCollectMetrics:
     def test_disabled_by_default(self, parallel):
         parallel.run_jobs([("li", SimConfig())])

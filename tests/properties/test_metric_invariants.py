@@ -1,17 +1,19 @@
 """Property-based tests of the published metric invariants.
 
-Random programs and configurations; every warmup-free observed run must
-satisfy the accounting partitions the observability layer documents:
+Random programs and configurations; every observed run must satisfy the
+accounting partitions the observability layer documents:
 
 * stall-cause counters sum to the total stall cycles;
-* ``prefetch.useful + prefetch.late + prefetch.wasted == prefetch.issued_total``;
+* ``prefetch.useful + prefetch.late + prefetch.wasted == prefetch.issued_total``
+  — including for set-associative caches and for runs with a warmup reset
+  (prefetches still live across the reset are carried into the issue side);
 * the lockstep miss classification partitions the engine's miss counts.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.config import ALL_POLICIES, CacheConfig, FetchPolicy, SimConfig
 from repro.core.engine import simulate
 from repro.core.results import COMPONENTS
 from repro.obs import Observer, RingBufferSink
@@ -57,8 +59,14 @@ def random_programs(draw):
 
 
 @st.composite
-def observed_runs(draw):
-    """(program, trace, config) for a small warmup-free observed run."""
+def observed_runs(draw, warmup=False):
+    """(program, trace, config, warmup) for a small observed run.
+
+    With ``warmup=True`` a nonzero warmup prefix (up to half the trace) is
+    drawn, exercising the mid-run measurement reset; otherwise warmup is 0.
+    Cache associativity is drawn from {1, 2, 4} so both the direct-mapped
+    fast arrays and the generic way-list code paths are covered.
+    """
     program = draw(random_programs())
     n = draw(st.integers(min_value=200, max_value=2_000))
     seed = draw(st.integers(min_value=0, max_value=2**16))
@@ -66,21 +74,25 @@ def observed_runs(draw):
     policy = draw(st.sampled_from(ALL_POLICIES))
     config = SimConfig(
         policy=policy,
+        cache=CacheConfig(assoc=draw(st.sampled_from([1, 2, 4]))),
         prefetch=draw(st.booleans()),
         target_prefetch=draw(st.booleans()),
         prefetch_variant=draw(
             st.sampled_from(["tagged", "always", "on-miss", "fetchahead"])
         ),
     )
-    return program, trace, config
+    warmup_instructions = (
+        draw(st.integers(min_value=1, max_value=n // 2)) if warmup else 0
+    )
+    return program, trace, config, warmup_instructions
 
 
 @given(observed_runs())
 @settings(max_examples=40, deadline=None)
 def test_stall_counters_sum_to_total(run):
-    program, trace, config = run
+    program, trace, config, warmup = run
     observer = Observer()
-    simulate(program, trace, config, observer=observer)
+    simulate(program, trace, config, warmup=warmup, observer=observer)
     registry = observer.registry
     assert sum(
         registry.value(f"engine.stall_slots.{name}") for name in COMPONENTS
@@ -90,9 +102,9 @@ def test_stall_counters_sum_to_total(run):
 @given(observed_runs())
 @settings(max_examples=40, deadline=None)
 def test_prefetch_outcomes_partition_issues(run):
-    program, trace, config = run
+    program, trace, config, warmup = run
     observer = Observer()
-    simulate(program, trace, config, observer=observer)
+    simulate(program, trace, config, warmup=warmup, observer=observer)
     registry = observer.registry
     issued = registry.value("prefetch.issued_total")
     useful = registry.value("prefetch.useful")
@@ -103,10 +115,47 @@ def test_prefetch_outcomes_partition_issues(run):
         assert issued == 0
 
 
+@given(observed_runs(warmup=True))
+@settings(max_examples=40, deadline=None)
+def test_prefetch_partition_survives_warmup_reset(run):
+    """The partition stays exact across a mid-run measurement reset.
+
+    Prefetches issued during warmup but still live at the reset (fresh
+    lines, in-flight fills) are judged after the boundary; the engine
+    carries their count into ``prefetch.issued_total`` so the equation
+    balances (regression: it previously overflowed for warmed-up runs).
+    """
+    program, trace, config, warmup = run
+    observer = Observer()
+    simulate(program, trace, config, warmup=warmup, observer=observer)
+    registry = observer.registry
+    issued = registry.value("prefetch.issued_total")
+    assert (
+        registry.value("prefetch.useful")
+        + registry.value("prefetch.late")
+        + registry.value("prefetch.wasted")
+        == issued
+    )
+    if not (config.prefetch or config.target_prefetch):
+        assert issued == 0
+
+
+@given(observed_runs(warmup=True))
+@settings(max_examples=25, deadline=None)
+def test_stall_counters_sum_to_total_with_warmup(run):
+    program, trace, config, warmup = run
+    observer = Observer()
+    simulate(program, trace, config, warmup=warmup, observer=observer)
+    registry = observer.registry
+    assert sum(
+        registry.value(f"engine.stall_slots.{name}") for name in COMPONENTS
+    ) == registry.value("engine.stall_slots_total")
+
+
 @given(observed_runs())
 @settings(max_examples=30, deadline=None)
 def test_miss_classification_partitions_misses(run):
-    program, trace, _ = run
+    program, trace, _, _ = run
     config = SimConfig(policy=FetchPolicy.OPTIMISTIC, classify=True)
     observer = Observer()
     result = simulate(program, trace, config, observer=observer)
@@ -125,7 +174,7 @@ def test_miss_classification_partitions_misses(run):
 @given(observed_runs())
 @settings(max_examples=25, deadline=None)
 def test_stall_events_sum_to_penalties(run):
-    program, trace, config = run
+    program, trace, config, _ = run
     sink = RingBufferSink(capacity=1_000_000)
     result = simulate(
         program, trace, config, observer=Observer(sink=sink)
@@ -139,7 +188,7 @@ def test_stall_events_sum_to_penalties(run):
 @given(observed_runs())
 @settings(max_examples=25, deadline=None)
 def test_observation_is_passive(run):
-    program, trace, config = run
+    program, trace, config, _ = run
     bare = simulate(program, trace, config)
     watched = simulate(
         program,

@@ -1,0 +1,106 @@
+"""Trace npz persistence: round-trips and hostile-input hardening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.program.workloads import build_workload
+from repro.trace.event import BlockRecord, Trace
+from repro.trace.generator import generate_trace
+from repro.trace.io import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(build_workload("li"), n_instructions=5_000, seed=3)
+
+
+class TestRoundTrip:
+    def test_records_and_metadata_survive(self, trace, tmp_path):
+        path = tmp_path / "li.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.program_name == trace.program_name
+        assert loaded.seed == trace.seed
+        assert loaded.records == trace.records
+        assert all(isinstance(r, BlockRecord) for r in loaded.records)
+        # Plain Python scalars, not numpy ones: the engine does arithmetic
+        # with these on every block.
+        first = loaded.records[0]
+        assert type(first.start) is int
+        assert type(first.taken) is bool
+
+    def test_none_seed_survives(self, tmp_path):
+        original = Trace(
+            program_name="t",
+            records=[BlockRecord(0, 2, 0, False, 8)],
+            seed=None,
+        )
+        path = tmp_path / "t.npz"
+        save_trace(original, path)
+        assert load_trace(path).seed is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace(program_name="t", records=[], seed=0), path)
+        loaded = load_trace(path)
+        assert loaded.records == []
+        assert loaded.n_instructions == 0
+
+
+class TestHostileInputs:
+    """Every failure mode raises TraceError, never a raw numpy/zip error."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_archive(self, trace, tmp_path):
+        path = tmp_path / "cut.npz"
+        save_trace(trace, path)
+        payload = path.read_bytes()
+        for frac in (2, 4, 10):
+            path.write_bytes(payload[: len(payload) // frac])
+            with pytest.raises(TraceError):
+                load_trace(path)
+
+    def test_missing_field(self, trace, tmp_path):
+        path = tmp_path / "short.npz"
+        np.savez_compressed(
+            path,
+            version=np.int32(1),
+            program_name=np.str_("t"),
+            seed=np.int64(0),
+            starts=np.zeros(1, dtype=np.int64),
+            # lengths/kinds/takens/next_pcs absent
+        )
+        with pytest.raises(TraceError, match="missing field"):
+            load_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(path, version=np.int32(999))
+        with pytest.raises(TraceError, match="version 999"):
+            load_trace(path)
+
+    def test_ragged_columns(self, tmp_path):
+        path = tmp_path / "ragged.npz"
+        np.savez_compressed(
+            path,
+            version=np.int32(1),
+            program_name=np.str_("t"),
+            seed=np.int64(0),
+            starts=np.zeros(3, dtype=np.int64),
+            lengths=np.ones(2, dtype=np.int32),
+            kinds=np.zeros(3, dtype=np.int8),
+            takens=np.zeros(3, dtype=np.bool_),
+            next_pcs=np.zeros(3, dtype=np.int64),
+        )
+        with pytest.raises(TraceError, match="ragged"):
+            load_trace(path)

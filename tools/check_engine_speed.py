@@ -1,0 +1,98 @@
+"""Engine hot-loop speed guard.
+
+Re-measures serial engine throughput (same protocol as the trajectory
+emitter in ``benchmarks/bench_engine_speed.py``: gcc, 200k instructions,
+best-of-N) and fails if any measured configuration is more than
+``--tolerance`` (default 10%) slower than the ``serial_ips`` numbers
+recorded in ``BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_engine_speed.py
+    PYTHONPATH=src python tools/check_engine_speed.py --tolerance 0.2
+
+Refresh the stored numbers by re-emitting the trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py
+
+Wall-clock throughput is machine dependent: re-emit when moving to new
+hardware rather than loosening the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+sys.path.insert(0, _ROOT)
+
+BASELINE_PATH = os.path.join(_ROOT, "BENCH_engine.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown vs BENCH_engine.json "
+        "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=7,
+        help="serial measurement repeats, best-of (default 7)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_PATH,
+        metavar="PATH",
+        help="trajectory file to guard against (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"no baseline at {args.baseline}; emit it first:\n"
+            "    PYTHONPATH=src python benchmarks/bench_engine_speed.py",
+            file=sys.stderr,
+        )
+        return 2
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)["serial_ips"]
+
+    from benchmarks.bench_engine_speed import _serial_rates
+
+    rates = _serial_rates(repeats=args.repeats)
+    failures = []
+    for name, reference in sorted(baseline.items()):
+        measured = rates.get(name)
+        if measured is None:
+            continue
+        ratio = measured / reference
+        print(
+            f"{name:>16}: {measured:>10,} i/s vs stored {reference:>10,} i/s "
+            f"({ratio:.3f}x)"
+        )
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: engine is {(1.0 - ratio) * 100:.1f}% slower than "
+                f"BENCH_engine.json ({reference:,} i/s); if this slowdown is "
+                "intended (or the machine changed), re-emit the trajectory "
+                "with: PYTHONPATH=src python benchmarks/bench_engine_speed.py"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("engine speed check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
