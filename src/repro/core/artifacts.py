@@ -32,6 +32,7 @@ import contextlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 
 from repro.errors import ExperimentError, TraceError
@@ -58,11 +59,16 @@ class ArtifactCache:
 
     def __init__(self, cache_dir: str | os.PathLike[str] | None) -> None:
         self.root: Path | None = None if cache_dir is None else Path(cache_dir)
+        #: Stores that failed with an OS-level error (full disk, read-only
+        #: directory, ...).  The first failure disables the cache for the
+        #: rest of the run — a sweep must never die for its cache.
+        self.store_failures = 0
+        self._disabled = False
 
     @property
     def enabled(self) -> bool:
-        """True when a cache directory was configured."""
-        return self.root is not None
+        """True when a cache directory was configured and still healthy."""
+        return self.root is not None and not self._disabled
 
     # -- keying -------------------------------------------------------------
 
@@ -86,7 +92,7 @@ class ArtifactCache:
         correctness never depends on cache contents, so the only sane
         response to damage is to regenerate.
         """
-        if self.root is None:
+        if self.root is None or self._disabled:
             return None
         entry = self.entry_dir(workload, trace_length, seed)
         try:
@@ -112,23 +118,41 @@ class ArtifactCache:
         self, workload: str, trace_length: int, seed: int,
         program: Program, trace: Trace,
     ) -> None:
-        """Persist *program* and *trace* under their key (atomic)."""
-        if self.root is None:
+        """Persist *program* and *trace* under their key (atomic).
+
+        OS-level write failures (disk full, read-only directory) degrade
+        gracefully: a warning is emitted, ``store_failures`` is counted,
+        and the cache is disabled for the remainder of the run — the
+        sweep itself continues uncached rather than aborting.
+        """
+        if self.root is None or self._disabled:
             return
-        entry = self.entry_dir(workload, trace_length, seed)
-        entry.mkdir(parents=True, exist_ok=True)
-        _atomic_write(entry / _PROGRAM_FILE, pickle.dumps(program, protocol=4))
-        # The suffix must end in ".npz" or np.savez would append one and
-        # write to a different path than the one we rename.
-        fd, tmp = tempfile.mkstemp(dir=entry, suffix=".tmp.npz")
         try:
-            os.close(fd)
-            save_trace(trace, tmp)
-            os.replace(tmp, entry / _TRACE_FILE)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+            entry = self.entry_dir(workload, trace_length, seed)
+            entry.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                entry / _PROGRAM_FILE, pickle.dumps(program, protocol=4)
+            )
+            # The suffix must end in ".npz" or np.savez would append one
+            # and write to a different path than the one we rename.
+            fd, tmp = tempfile.mkstemp(dir=entry, suffix=".tmp.npz")
+            try:
+                os.close(fd)
+                save_trace(trace, tmp)
+                os.replace(tmp, entry / _TRACE_FILE)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        except OSError as exc:
+            self.store_failures += 1
+            self._disabled = True
+            warnings.warn(
+                f"artifact cache disabled for this run: storing "
+                f"{workload!r} failed: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- the one-call convenience used by the runners -----------------------
 

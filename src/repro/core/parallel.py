@@ -1,4 +1,4 @@
-"""Multi-process simulation sweeps.
+"""Multi-process simulation sweeps with fault-tolerant execution.
 
 Experiment sweeps are embarrassingly parallel across benchmarks (each
 (program, trace) pair is independent), and the pure-Python engine is
@@ -8,27 +8,67 @@ and generates its trace once, then replays it through all of that
 benchmark's configurations — the same amortisation the in-process
 :class:`~repro.core.runner.SimulationRunner` gets from its caches.
 
-Determinism is preserved: a parallel sweep returns bit-identical results
-to the serial runner for the same (trace_length, seed, warmup), and — with
-``collect_metrics=True`` — a metrics registry identical to a serial
-observed sweep: each worker publishes into its own registry and the parent
-merges them in job-submission order (counter merge is commutative, so any
-order would do; the fixed order also keeps profiles deterministic).
+Long sweeps must survive partial failure.  The runner therefore layers
+fault tolerance over the pool:
+
+* **Retry with bounded deterministic exponential backoff** — *transient*
+  failures (``BrokenProcessPool``, OS-level worker death, watchdog
+  timeouts, injected transient faults) requeue the failed batch up to
+  ``retries`` times, sleeping ``min(backoff_base * 2**(attempt-1),
+  backoff_cap)`` between attempts.  Library errors (:class:`ReproError`)
+  and unknown exceptions are *deterministic* — retrying cannot help, so
+  they fail fast (or are skipped, below).
+* **Watchdog timeouts** — with ``job_timeout`` set, a batch still
+  running when the deadline passes is killed (the whole pool is torn
+  down, since a pool cannot kill one worker) and requeued against its
+  retry budget; completed batches from the same round are kept.
+* **Pool rebuild** — a broken pool is discarded and rebuilt; only
+  unfinished batches are resubmitted.
+* **Graceful degradation** — with ``on_error="skip"``, a batch that
+  exhausts its budget (or fails deterministically) is recorded in
+  :attr:`failures` as a structured :class:`SweepFailure` and its cells
+  become :class:`MissingResult` placeholders instead of aborting the
+  sweep.
+* **Checkpoint/resume** — with ``checkpoint_dir`` set, every completed
+  ``(benchmark, config)`` cell is journalled; a restarted sweep reuses
+  journalled cells bit-identically (see :mod:`repro.core.checkpoint`).
+
+Retries, timeouts, skips, pool rebuilds, and checkpoint activity are
+published as ``sweep.*`` / ``checkpoint.*`` counters in :attr:`metrics`.
+
+Determinism is preserved: with no faults injected, a parallel sweep
+returns bit-identical results to the serial runner for the same
+(trace_length, seed, warmup), and — with ``collect_metrics=True`` — a
+metrics registry identical to a serial observed sweep (counter merge is
+commutative, so retries and completion order cannot perturb it).  With
+faults injected, a *recovered* sweep is still bit-identical: faults fire
+at phase boundaries and failed attempts publish nothing, so only the new
+``sweep.*`` counters differ.
 """
 
 from __future__ import annotations
 
+import contextlib
+import time
+from collections import deque
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
 
 from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
+from repro.core.checkpoint import CheckpointJournal
 from repro.core.engine import simulate
-from repro.core.results import SimulationResult
+from repro.core.faults import is_transient
+from repro.core.results import MissingResult, SimulationResult, SweepFailure
 from repro.core.runner import DEFAULT_TRACE_LENGTH, DEFAULT_WARMUP
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, JobTimeoutError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer
 from repro.obs.profile import PhaseProfiler
+
+#: Injectable sleep (tests stub this out to keep backoff assertions fast).
+_sleep = time.sleep
 
 #: Worker payload: (results, metrics-registry dict or None, profile
 #: summary or None).  Registries cross the process boundary as plain
@@ -40,12 +80,17 @@ _WorkerReturn = tuple[
 ]
 
 
-def _run_benchmark_jobs(
-    args: tuple[str, tuple[SimConfig, ...], int, int, int, bool, str | None],
-) -> _WorkerReturn:
-    """Worker: one benchmark, many configurations (runs in a subprocess)."""
-    name, configs, trace_length, warmup, seed, collect, cache_dir = args
+def _run_benchmark_jobs(args) -> _WorkerReturn:
+    """Worker: one benchmark, many configurations (runs in a subprocess).
+
+    *args* is ``(name, configs, trace_length, warmup, seed, collect,
+    cache_dir, fault_plan)``; the trailing fault plan may be ``None``
+    (production) or a :class:`~repro.core.faults.FaultPlan` (chaos
+    testing), which is consulted at every phase boundary.
+    """
+    name, configs, trace_length, warmup, seed, collect, cache_dir, plan = args
     from repro.core.artifacts import ArtifactCache
+    from repro.core.faults import corrupt_entry
     from repro.program.workloads import build_workload
     from repro.trace.generator import generate_trace
 
@@ -58,25 +103,65 @@ def _run_benchmark_jobs(
     artifacts = ArtifactCache(cache_dir)
     pair = None
     if artifacts.enabled:
+        if plan is not None:
+            spec = plan.fire("cache_load", name)
+            if spec is not None and spec.kind == "corrupt":
+                corrupt_entry(artifacts.entry_dir(name, trace_length, seed))
         with profiler.phase("artifact_cache"):
             pair = artifacts.load(name, trace_length, seed)
     if pair is not None:
         program, trace = pair
     else:
+        if plan is not None:
+            plan.fire("build", name)
         with profiler.phase("build_program"):
             program = build_workload(name, seed=seed)
+        if plan is not None:
+            plan.fire("generate", name)
         with profiler.phase("generate_trace"):
             trace = generate_trace(program, trace_length, seed=seed)
         if artifacts.enabled:
+            if plan is not None:
+                plan.fire("cache_store", name)
             artifacts.store(name, trace_length, seed, program, trace)
+    if plan is not None:
+        plan.fire("simulate", name)
     with profiler.phase("simulate"):
         results = [
             simulate(program, trace, config, warmup=warmup, observer=observer)
             for config in configs
         ]
     if observer is not None:
+        if plan is not None and plan.fired_soft:
+            observer.registry.inc("faults.injected", plan.fired_soft)
+        if artifacts.store_failures:
+            observer.registry.inc(
+                "artifacts.store_failures", artifacts.store_failures
+            )
         return results, observer.registry.as_dict(), profiler.summary()
     return results, None, None
+
+
+@dataclass
+class _Batch:
+    """One benchmark's unfinished work and its retry bookkeeping."""
+
+    name: str
+    entries: list[tuple[int, SimConfig]]
+    attempts: int = 0
+    next_delay: float = 0.0
+
+    def payload(self, runner: ParallelRunner):
+        return (
+            self.name,
+            tuple(config for _, config in self.entries),
+            runner.trace_length,
+            runner.warmup,
+            runner.seed,
+            runner.collect_metrics,
+            runner.cache_dir,
+            runner.fault_plan,
+        )
 
 
 class ParallelRunner:
@@ -90,6 +175,15 @@ class ParallelRunner:
     :class:`Observer` (null event sink — events do not cross processes)
     and the merged counters land in :attr:`metrics`, per-phase wall-clock
     in :attr:`profile`.
+
+    Fault tolerance is configured per-runner: ``retries`` transient
+    re-attempts per batch with deterministic exponential backoff,
+    ``job_timeout`` seconds of watchdog per pooled round,
+    ``on_error="skip"`` to degrade failed cells to
+    :class:`MissingResult` (recorded in :attr:`failures`), and
+    ``checkpoint_dir`` for crash-resumable journalling.  ``fault_plan``
+    injects deterministic failures for chaos testing (see
+    :mod:`repro.core.faults`).
     """
 
     def __init__(
@@ -100,6 +194,13 @@ class ParallelRunner:
         max_workers: int | None = None,
         collect_metrics: bool = False,
         cache_dir: str | None = None,
+        retries: int = 2,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        job_timeout: float | None = None,
+        on_error: str = "raise",
+        checkpoint_dir: str | None = None,
+        fault_plan=None,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -111,6 +212,16 @@ class ParallelRunner:
             )
         if max_workers is not None and max_workers < 1:
             raise ExperimentError(f"max_workers must be >= 1: {max_workers}")
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0: {retries}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ExperimentError("backoff must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ExperimentError(f"job_timeout must be > 0: {job_timeout}")
+        if on_error not in ("raise", "skip"):
+            raise ExperimentError(
+                f"on_error must be 'raise' or 'skip': {on_error!r}"
+            )
         self.trace_length = trace_length
         self.seed = seed
         self.warmup = warmup
@@ -119,86 +230,265 @@ class ParallelRunner:
         #: Shared persistent artifact cache directory handed to every
         #: worker (``None`` disables caching).
         self.cache_dir = cache_dir
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.job_timeout = job_timeout
+        self.on_error = on_error
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_plan = fault_plan
         #: Merged worker metrics from the most recent ``run_jobs`` (always
-        #: a registry; empty unless ``collect_metrics``).
+        #: a registry; empty unless ``collect_metrics`` or the sweep
+        #: needed fault-tolerance machinery, whose ``sweep.*`` counters
+        #: always publish).
         self.metrics = MetricsRegistry()
         #: Merged worker phase profile from the most recent ``run_jobs``.
         self.profile = PhaseProfiler()
+        #: Structured failure report from the most recent ``run_jobs``
+        #: (non-empty only under ``on_error="skip"``).
+        self.failures: list[SweepFailure] = []
+
+    # -- fault-tolerant execution -------------------------------------------
 
     def run_jobs(
         self, jobs: Iterable[tuple[str, SimConfig]]
     ) -> list[SimulationResult]:
         """Run ``(benchmark, config)`` jobs; results in job order.
 
-        A worker failure is re-raised as :class:`ExperimentError` naming
-        the benchmark whose jobs crashed (the original exception is
-        chained), so a sweep over dozens of configurations points straight
-        at the offending workload.
+        A worker failure is retried (transient causes) up to ``retries``
+        times, then re-raised as :class:`ExperimentError` naming the
+        benchmark whose jobs crashed (the original exception is chained)
+        — or, under ``on_error="skip"``, recorded in :attr:`failures`
+        with the affected cells returned as :class:`MissingResult`.
         """
         jobs = list(jobs)
         self.metrics = MetricsRegistry()
         self.profile = PhaseProfiler()
+        self.failures = []
         if not jobs:
             return []
-        # Group by benchmark, remembering each job's original position.
-        grouped: dict[str, list[tuple[int, SimConfig]]] = {}
-        for position, (name, config) in enumerate(jobs):
-            grouped.setdefault(name, []).append((position, config))
-        work = [
-            (
-                name,
-                tuple(config for _, config in entries),
-                self.trace_length,
-                self.warmup,
-                self.seed,
-                self.collect_metrics,
-                self.cache_dir,
-            )
-            for name, entries in grouped.items()
-        ]
+        journal = CheckpointJournal(self.checkpoint_dir)
         results: list[SimulationResult | None] = [None] * len(jobs)
-        batches: list[_WorkerReturn] = []
-        if self.max_workers == 1 or len(work) == 1:
-            for item in work:
-                try:
-                    batches.append(_run_benchmark_jobs(item))
-                except ExperimentError:
-                    raise
-                except Exception as exc:
-                    raise self._worker_error(item[0], exc) from exc
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [
-                    (item[0], pool.submit(_run_benchmark_jobs, item))
-                    for item in work
-                ]
-                for name, future in futures:
-                    try:
-                        batches.append(future.result())
-                    except ExperimentError:
-                        raise
-                    except Exception as exc:
-                        raise self._worker_error(name, exc) from exc
-        # strict=: a lost or duplicated worker batch must fail loudly here,
-        # not surface later as a None result or silently-dropped configs.
-        for (name, entries), (batch, registry_dict, profile_summary) in zip(
-            grouped.items(), batches, strict=True
-        ):
-            if len(batch) != len(entries):
-                raise ExperimentError(
-                    f"worker for benchmark {name!r} returned {len(batch)} "
-                    f"results for {len(entries)} configurations"
+        # Satisfy journalled cells first (checkpoint/resume), then group
+        # the remainder by benchmark, remembering original positions.
+        grouped: dict[str, _Batch] = {}
+        for position, (name, config) in enumerate(jobs):
+            if journal.enabled:
+                hit = journal.load(
+                    name, config, self.trace_length, self.warmup, self.seed
                 )
-            for (position, _), result in zip(entries, batch, strict=True):
-                results[position] = result
-            if registry_dict is not None:
-                self.metrics.merge(MetricsRegistry.from_dict(registry_dict))
-            if profile_summary is not None:
-                self.profile.merge_summary(profile_summary)
-        missing = [i for i, r in enumerate(results) if r is None]
+                if hit is not None:
+                    results[position] = hit
+                    self.metrics.inc("checkpoint.hits")
+                    continue
+            batch = grouped.get(name)
+            if batch is None:
+                batch = grouped[name] = _Batch(name=name, entries=[])
+            batch.entries.append((position, config))
+        batches = list(grouped.values())
+        if batches:
+            if self.max_workers == 1 or len(batches) == 1:
+                self._run_in_process(batches, results, journal)
+            else:
+                self._run_pooled(batches, results, journal)
+        missing = [
+            i for i, r in enumerate(results) if r is None
+        ]
         if missing:  # pragma: no cover - defensive
             raise ExperimentError(f"jobs {missing} produced no result")
         return results  # type: ignore[return-value]
+
+    def _run_in_process(
+        self,
+        batches: Sequence[_Batch],
+        results: list,
+        journal: CheckpointJournal,
+    ) -> None:
+        """Single-process path (``max_workers=1`` or one batch).
+
+        Same retry/skip semantics as the pooled path, minus the watchdog
+        (an in-process batch cannot be killed from outside; use the pool
+        or the serial runner's signal-based watchdog for that).
+        """
+        queue: deque[_Batch] = deque(batches)
+        while queue:
+            batch = queue.popleft()
+            self._pause_before_retry(batch)
+            try:
+                ret = _run_benchmark_jobs(batch.payload(self))
+            except Exception as exc:
+                self._register_failure(batch, exc, queue, results)
+                continue
+            self._complete_batch(batch, ret, results, journal)
+
+    def _run_pooled(
+        self,
+        batches: Sequence[_Batch],
+        results: list,
+        journal: CheckpointJournal,
+    ) -> None:
+        """Pool path: submit rounds, watchdog each round, rebuild on damage."""
+        queue: deque[_Batch] = deque(batches)
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
+            while queue:
+                round_batches = list(queue)
+                queue.clear()
+                delay = max(b.next_delay for b in round_batches)
+                if delay > 0:
+                    _sleep(delay)
+                for batch in round_batches:
+                    batch.next_delay = 0.0
+                futures = [
+                    (batch, pool.submit(_run_benchmark_jobs, batch.payload(self)))
+                    for batch in round_batches
+                ]
+                done, _ = wait(
+                    [future for _, future in futures],
+                    timeout=self.job_timeout,
+                    return_when=FIRST_EXCEPTION
+                    if self.on_error == "raise" and self.retries == 0
+                    else "ALL_COMPLETED",
+                )
+                # Process finished batches first: a fail-fast raise must
+                # happen before any still-running future could be
+                # mislabelled as hung below.
+                rebuild = False
+                for batch, future in futures:
+                    if future not in done:
+                        continue
+                    try:
+                        ret = future.result()
+                    except Exception as exc:
+                        rebuild = rebuild or isinstance(exc, BrokenExecutor)
+                        self._register_failure(batch, exc, queue, results)
+                        continue
+                    self._complete_batch(batch, ret, results, journal)
+                hung: list[_Batch] = []
+                for batch, future in futures:
+                    if future in done:
+                        continue
+                    if future.cancel():
+                        # Never started (queued behind a hung worker):
+                        # requeue at no cost to the batch's retry budget.
+                        queue.append(batch)
+                    else:
+                        hung.append(batch)
+                if hung:
+                    self.metrics.inc("sweep.timeouts", len(hung))
+                    rebuild = True
+                    for batch in hung:
+                        timeout_exc = JobTimeoutError(
+                            f"batch for benchmark {batch.name!r} exceeded "
+                            f"job_timeout={self.job_timeout}s and was killed"
+                        )
+                        self._register_failure(
+                            batch, timeout_exc, queue, results
+                        )
+                if rebuild:
+                    # A broken or watchdog-killed pool can strand workers;
+                    # tear it down hard and start fresh for the requeue.
+                    self._terminate_pool(pool)
+                    if queue:
+                        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                        self.metrics.inc("sweep.pool_rebuilds")
+        except BaseException:
+            # Fail-fast exit (or interrupt): cancel outstanding work so a
+            # failed sweep does not keep burning cores behind the raise.
+            self._terminate_pool(pool)
+            raise
+        else:
+            self._terminate_pool(pool)
+
+    # -- shared bookkeeping --------------------------------------------------
+
+    def _pause_before_retry(self, batch: _Batch) -> None:
+        if batch.next_delay > 0:
+            _sleep(batch.next_delay)
+            batch.next_delay = 0.0
+
+    def _register_failure(
+        self,
+        batch: _Batch,
+        exc: Exception,
+        queue: deque,
+        results: list,
+    ) -> None:
+        """Retry, skip, or raise for one failed batch attempt."""
+        batch.attempts += 1
+        transient = is_transient(exc)
+        if transient and batch.attempts <= self.retries:
+            batch.next_delay = min(
+                self.backoff_base * (2 ** (batch.attempts - 1)),
+                self.backoff_cap,
+            )
+            self.metrics.inc("sweep.retries")
+            queue.append(batch)
+            return
+        if self.on_error == "skip":
+            self.failures.append(
+                SweepFailure(
+                    benchmark=batch.name,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=batch.attempts,
+                    transient=transient,
+                    cells=len(batch.entries),
+                )
+            )
+            self.metrics.inc("sweep.skipped_cells", len(batch.entries))
+            for position, config in batch.entries:
+                results[position] = MissingResult(
+                    program=batch.name, config=config
+                )
+            return
+        if isinstance(exc, ExperimentError):
+            raise exc
+        raise self._worker_error(batch.name, exc) from exc
+
+    def _complete_batch(
+        self,
+        batch: _Batch,
+        ret: _WorkerReturn,
+        results: list,
+        journal: CheckpointJournal,
+    ) -> None:
+        """Scatter one finished batch into the result list (+ journal)."""
+        batch_results, registry_dict, profile_summary = ret
+        # strict=: a lost or duplicated worker result must fail loudly
+        # here, not surface later as a None result or dropped configs.
+        if len(batch_results) != len(batch.entries):
+            raise ExperimentError(
+                f"worker for benchmark {batch.name!r} returned "
+                f"{len(batch_results)} results for {len(batch.entries)} "
+                f"configurations"
+            )
+        for (position, config), result in zip(
+            batch.entries, batch_results, strict=True
+        ):
+            results[position] = result
+            if journal.enabled:
+                journal.store(
+                    batch.name, config, self.trace_length, self.warmup,
+                    self.seed, result,
+                )
+                self.metrics.inc("checkpoint.stores")
+        if registry_dict is not None:
+            self.metrics.merge(MetricsRegistry.from_dict(registry_dict))
+        if profile_summary is not None:
+            self.profile.merge_summary(profile_summary)
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down hard: cancel queued work, kill live workers."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for proc in list(processes.values()):
+            with contextlib.suppress(Exception):
+                proc.join(timeout=5)
 
     @staticmethod
     def _worker_error(name: str, exc: Exception) -> ExperimentError:

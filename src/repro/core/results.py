@@ -189,3 +189,131 @@ class SimulationResult:
             f"miss={self.miss_rate_percent:.2f}% "
             f"mem={self.counters.memory_accesses}"
         )
+
+
+# -- graceful degradation -----------------------------------------------------
+
+_NAN = float("nan")
+
+
+class _MissingStats:
+    """Attribute sink standing in for counters/stats of a failed cell.
+
+    Every attribute reads as NaN, so any metric derived from a missing
+    result is NaN too — which the report layer renders as an empty table
+    cell, an empty CSV field, and JSON ``null``.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> float:
+        if name.startswith("__"):  # keep pickling/copy protocols sane
+            raise AttributeError(name)
+        return _NAN
+
+    def __getitem__(self, key: str) -> float:
+        return _NAN
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: _NAN for name in COMPONENTS}
+
+
+@dataclass(frozen=True)
+class MissingResult:
+    """Placeholder for a sweep cell that failed under ``on_error="skip"``.
+
+    Duck-types the metric surface of :class:`SimulationResult` (every
+    number is NaN) so experiments render failed cells as *missing*
+    entries instead of aborting the whole sweep.  The structured story of
+    what went wrong lives in the runner's ``failures`` list as
+    :class:`SweepFailure` records, not here.
+    """
+
+    program: str
+    config: SimConfig
+    #: Discriminator for callers that want to test explicitly.
+    missing: bool = True
+
+    @property
+    def penalties(self) -> _MissingStats:
+        return _MissingStats()
+
+    @property
+    def counters(self) -> _MissingStats:
+        return _MissingStats()
+
+    @property
+    def branch_stats(self) -> _MissingStats:
+        return _MissingStats()
+
+    @property
+    def cache_stats(self) -> _MissingStats:
+        return _MissingStats()
+
+    @property
+    def classification(self) -> _MissingStats:
+        return _MissingStats()
+
+    @property
+    def metadata(self) -> dict[str, object]:
+        return {"missing": True}
+
+    def ispi(self, component: str) -> float:
+        return _NAN
+
+    @property
+    def total_ispi(self) -> float:
+        return _NAN
+
+    def ispi_breakdown(self) -> dict[str, float]:
+        return {name: _NAN for name in COMPONENTS}
+
+    @property
+    def miss_rate_percent(self) -> float:
+        return _NAN
+
+    @property
+    def total_cycles(self) -> float:
+        return _NAN
+
+    def branch_ispi(self, cause: str) -> float:
+        return _NAN
+
+    def summary(self) -> str:
+        return (
+            f"{self.program:>8} {self.config.policy.label:<6} "
+            f"(missing: cell failed and was skipped)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepFailure:
+    """One failed sweep cell/batch: the structured failure-report entry."""
+
+    benchmark: str
+    error_type: str
+    message: str
+    attempts: int
+    transient: bool
+    #: How many (benchmark, config) cells this failure covers.
+    cells: int = 1
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form for the CLI failure report."""
+        return {
+            "benchmark": self.benchmark,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "transient": self.transient,
+            "cells": self.cells,
+        }
+
+    def describe(self) -> str:
+        """One human-readable report line."""
+        kind = "transient" if self.transient else "deterministic"
+        return (
+            f"{self.benchmark}: {self.error_type} ({kind}, "
+            f"{self.attempts} attempt(s), {self.cells} cell(s) skipped): "
+            f"{self.message}"
+        )

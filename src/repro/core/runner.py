@@ -4,23 +4,48 @@ Experiments sweep many configurations over the same benchmarks; building a
 program and generating its trace dominates setup cost, so the runner memo-
 izes both per ``(workload, n_instructions, seed)`` and replays the cached
 trace through fresh engines.
+
+The runner also carries the serial half of the fault-tolerant sweep
+layer (the parallel half lives in :mod:`repro.core.parallel`): per-cell
+retry with bounded deterministic exponential backoff, a signal-based
+watchdog (``job_timeout``), graceful degradation (``on_error="skip"``
+turns failed cells into :class:`MissingResult` placeholders recorded in
+:attr:`failures`), checkpoint/resume through a
+:class:`~repro.core.checkpoint.CheckpointJournal`, and deterministic
+fault injection for chaos testing (see :mod:`repro.core.faults`).
+Incidents publish ``sweep.*`` / ``checkpoint.*`` counters and
+:class:`~repro.obs.events.SweepIncident` events through the observer.
 """
 
 from __future__ import annotations
 
 import contextlib
-from collections.abc import Iterable, Sequence
+import time
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
 from repro.core.artifacts import ArtifactCache
+from repro.core.checkpoint import CheckpointJournal
 from repro.core.engine import simulate
-from repro.core.results import SimulationResult
-from repro.errors import ExperimentError
+from repro.core.faults import FaultPlan, corrupt_entry, is_transient
+from repro.core.results import MissingResult, SimulationResult, SweepFailure
+from repro.errors import ExperimentError, JobTimeoutError
+from repro.obs.events import SweepIncident
 from repro.obs.observer import Observer
 from repro.program.program import Program
 from repro.trace.event import Trace
 from repro.trace.generator import generate_trace
+
+#: Counter name per incident kind (see ``docs/robustness.md``).
+_INCIDENT_COUNTERS = {
+    "retry": "sweep.retries",
+    "timeout": "sweep.timeouts",
+    "skip": "sweep.skipped_cells",
+    "checkpoint_hit": "checkpoint.hits",
+    "cache_store_failure": "artifacts.store_failures",
+    "fault_injected": "faults.injected",
+}
 
 #: Default dynamic trace length per benchmark.  The paper traces full runs
 #: (10^7..10^9 instructions); intensive metrics converge far earlier for
@@ -50,6 +75,13 @@ class SimulationRunner:
         warmup: int | None = None,
         observer: Observer | None = None,
         cache_dir: str | None = None,
+        retries: int = 2,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        job_timeout: float | None = None,
+        on_error: str = "raise",
+        checkpoint_dir: str | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -58,6 +90,16 @@ class SimulationRunner:
         if not 0 <= warmup < trace_length:
             raise ExperimentError(
                 f"warmup {warmup} must lie in [0, trace_length={trace_length})"
+            )
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0: {retries}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ExperimentError("backoff must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ExperimentError(f"job_timeout must be > 0: {job_timeout}")
+        if on_error not in ("raise", "skip"):
+            raise ExperimentError(
+                f"on_error must be 'raise' or 'skip': {on_error!r}"
             )
         self.trace_length = trace_length
         self.seed = seed
@@ -68,6 +110,24 @@ class SimulationRunner:
         #: Optional persistent artifact cache shared across processes
         #: (``None`` disables it; see ``repro.core.artifacts``).
         self.artifacts = ArtifactCache(cache_dir)
+        #: Transient-failure retry budget per cell, with deterministic
+        #: exponential backoff ``min(base * 2**(n-1), cap)`` seconds.
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Per-cell watchdog (seconds); enforced via ``SIGALRM`` where
+        #: available (POSIX main thread), otherwise ignored.
+        self.job_timeout = job_timeout
+        #: ``"raise"`` aborts on a failed cell; ``"skip"`` records it in
+        #: :attr:`failures` and returns a :class:`MissingResult`.
+        self.on_error = on_error
+        #: Crash-resumable journal of completed cells (no-op when
+        #: ``checkpoint_dir`` is ``None``; see ``repro.core.checkpoint``).
+        self.checkpoint = CheckpointJournal(checkpoint_dir)
+        #: Deterministic fault-injection plan (chaos testing only).
+        self.fault_plan = fault_plan
+        #: Structured failure report (``on_error="skip"`` cells).
+        self.failures: list[SweepFailure] = []
         # In-memory memos.  The keys repeat the runner attributes each
         # artifact actually depends on, so mutating ``runner.seed`` or
         # ``runner.trace_length`` between runs can never replay a stale
@@ -81,6 +141,80 @@ class SimulationRunner:
             return self.observer.profiler.phase(name, observer=self.observer)
         return contextlib.nullcontext()
 
+    # -- fault-tolerance plumbing -----------------------------------------------
+
+    def _incident(
+        self, kind: str, benchmark: str, detail: str = "", attempt: int = 0
+    ) -> None:
+        """Publish one sweep incident as a counter (+ event when traced)."""
+        if self.observer is None:
+            return
+        self.observer.registry.inc(_INCIDENT_COUNTERS[kind])
+        if self.observer.events_enabled:
+            self.observer.sink.emit(
+                SweepIncident(
+                    t=0, benchmark=benchmark, kind=kind,
+                    detail=detail, attempt=attempt,
+                )
+            )
+
+    def _fire(self, phase: str, name: str) -> None:
+        """Consult the fault plan at one phase boundary (no-op without one)."""
+        if self.fault_plan is None:
+            return
+        spec = self.fault_plan.fire(phase, name)
+        if spec is None:
+            return
+        self._incident("fault_injected", name, detail=f"{spec.phase}:{spec.kind}")
+        if (
+            spec.kind == "corrupt"
+            and phase == "cache_load"
+            and self.artifacts.enabled
+        ):
+            corrupt_entry(
+                self.artifacts.entry_dir(name, self.trace_length, self.seed)
+            )
+
+    @contextlib.contextmanager
+    def _watchdog(self, name: str) -> Iterator[None]:
+        """Raise :class:`JobTimeoutError` if the body outlives ``job_timeout``.
+
+        Signal-based (``SIGALRM``), so it works even while the pure-Python
+        engine is busy; silently inactive off the POSIX main thread.  Any
+        outer alarm (e.g. a test-harness deadline) is restored with its
+        remaining time on exit.
+        """
+        if self.job_timeout is None:
+            yield
+            return
+        import signal
+        import threading
+
+        if (
+            not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise JobTimeoutError(
+                f"benchmark {name!r} exceeded job_timeout="
+                f"{self.job_timeout}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        started = time.monotonic()
+        old_delay, _ = signal.setitimer(signal.ITIMER_REAL, self.job_timeout)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+            if old_delay:
+                remaining = old_delay - (time.monotonic() - started)
+                signal.setitimer(signal.ITIMER_REAL, max(remaining, 0.001))
+
     # -- workload preparation ---------------------------------------------------
 
     def program(self, name: str) -> Program:
@@ -89,6 +223,7 @@ class SimulationRunner:
         if key not in self._programs:
             from repro.program.workloads import build_workload
 
+            self._fire("build", name)
             with self._phase("build_program"):
                 self._programs[key] = build_workload(name, seed=self.seed)
         return self._programs[key]
@@ -103,20 +238,29 @@ class SimulationRunner:
         key = (name, self.trace_length, self.seed)
         if key not in self._traces:
             if self.artifacts.enabled:
+                self._fire("cache_load", name)
                 with self._phase("artifact_cache"):
                     pair = self.artifacts.load(name, self.trace_length, self.seed)
                 if pair is not None:
                     self._programs[(name, self.seed)], self._traces[key] = pair
                     return self._traces[key]
             program = self.program(name)
+            self._fire("generate", name)
             with self._phase("generate_trace"):
                 self._traces[key] = generate_trace(
                     program, self.trace_length, seed=self.seed
                 )
             if self.artifacts.enabled:
+                self._fire("cache_store", name)
+                before = self.artifacts.store_failures
                 self.artifacts.store(
                     name, self.trace_length, self.seed, program, self._traces[key]
                 )
+                if self.artifacts.store_failures > before:
+                    self._incident(
+                        "cache_store_failure", name,
+                        detail="artifact cache disabled for this run",
+                    )
         return self._traces[key]
 
     def prepared(self, name: str) -> WorkloadRun:
@@ -129,16 +273,85 @@ class SimulationRunner:
     # -- simulation -------------------------------------------------------------
 
     def run(self, name: str, config: SimConfig) -> SimulationResult:
-        """Simulate benchmark *name* under *config* (with warmup)."""
-        prepared = self.prepared(name)
-        with self._phase("simulate"):
-            return simulate(
-                prepared.program,
-                prepared.trace,
-                config,
-                warmup=self.warmup,
-                observer=self.observer,
+        """Simulate benchmark *name* under *config* (with warmup).
+
+        The fault-tolerant cell executor: a journalled result satisfies
+        the cell outright (checkpoint/resume); otherwise the cell runs
+        under the watchdog with up to ``retries`` transient re-attempts,
+        and a final failure either raises (``on_error="raise"``) or
+        degrades to a :class:`MissingResult` recorded in
+        :attr:`failures` (``on_error="skip"``).
+
+        Faults fire at phase boundaries only (never mid-simulation), so
+        a retried attempt re-publishes nothing twice and recovered runs
+        stay bit-identical to undisturbed ones.
+        """
+        if self.checkpoint.enabled:
+            hit = self.checkpoint.load(
+                name, config, self.trace_length, self.warmup, self.seed
             )
+            if hit is not None:
+                self._incident("checkpoint_hit", name)
+                return hit
+        attempts = 0
+        while True:
+            try:
+                with self._watchdog(name):
+                    prepared = self.prepared(name)
+                    self._fire("simulate", name)
+                    with self._phase("simulate"):
+                        result = simulate(
+                            prepared.program,
+                            prepared.trace,
+                            config,
+                            warmup=self.warmup,
+                            observer=self.observer,
+                        )
+                break
+            except Exception as exc:
+                attempts += 1
+                transient = is_transient(exc)
+                if transient and attempts <= self.retries:
+                    if isinstance(exc, JobTimeoutError):
+                        self._incident(
+                            "timeout", name, detail=str(exc), attempt=attempts
+                        )
+                    delay = min(
+                        self.backoff_base * (2 ** (attempts - 1)),
+                        self.backoff_cap,
+                    )
+                    self._incident(
+                        "retry", name,
+                        detail=f"{type(exc).__name__}: {exc}",
+                        attempt=attempts,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if self.on_error == "skip":
+                    self.failures.append(
+                        SweepFailure(
+                            benchmark=name,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempts,
+                            transient=transient,
+                        )
+                    )
+                    self._incident(
+                        "skip", name,
+                        detail=f"{type(exc).__name__}: {exc}",
+                        attempt=attempts,
+                    )
+                    return MissingResult(program=name, config=config)
+                raise
+        if self.checkpoint.enabled:
+            self.checkpoint.store(
+                name, config, self.trace_length, self.warmup, self.seed, result
+            )
+            if self.observer is not None:
+                self.observer.registry.inc("checkpoint.stores")
+        return result
 
     def run_policies(
         self,

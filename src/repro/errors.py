@@ -39,3 +39,38 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """A metric, event sink, or profiler was used inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal was misconfigured or misused."""
+
+
+class JobTimeoutError(ReproError):
+    """A sweep job exceeded its watchdog deadline.
+
+    Classified as *transient* by the fault-tolerant sweep layer (unlike
+    every other :class:`ReproError`): a hung worker is killed and the
+    batch is requeued until its retry budget runs out.
+    """
+
+
+class InjectedFault(Exception):
+    """A failure raised on purpose by :mod:`repro.core.faults`.
+
+    Deliberately *not* a :class:`ReproError`: injected faults impersonate
+    external failures (worker death, flaky I/O), which the retry
+    classifier in :mod:`repro.core.parallel` treats differently from
+    library errors.  ``transient`` mirrors that split: ``True`` means the
+    sweep layer should retry, ``False`` models a deterministic simulation
+    bug that must fail fast.
+    """
+
+    def __init__(self, message: str, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+    def __reduce__(self):
+        # Exceptions pickle by (class, args) alone; without this a
+        # non-transient fault crossing the process-pool boundary would
+        # silently revert to the transient default and get retried.
+        return (type(self), (self.args[0], self.transient))

@@ -16,6 +16,7 @@ import time
 from collections.abc import Sequence
 
 from repro.core.runner import DEFAULT_TRACE_LENGTH, SimulationRunner
+from repro.errors import ExperimentError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
@@ -82,6 +83,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the aggregated metrics registry (plus per-phase "
         "profile) to PATH as JSON after all experiments finish",
     )
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-run a sweep cell up to N times after a transient failure "
+        "(worker crash, timeout, corrupted cache entry) with bounded "
+        "exponential backoff; deterministic failures never retry "
+        "(default %(default)s)",
+    )
+    fault.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per sweep cell; a cell that exceeds it is "
+        "killed and treated as a transient failure (default: no timeout)",
+    )
+    fault.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help="after retries are exhausted: 'raise' aborts the experiment, "
+        "'skip' records the failure, leaves the cell blank in tables/CSV/"
+        "JSON, and keeps going (default %(default)s)",
+    )
+    fault.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal each completed (benchmark, config) result under DIR; "
+        "re-running with the same DIR resumes, replaying finished cells "
+        "from the journal instead of simulating them again",
+    )
+    fault.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPECS",
+        help="comma-separated fault specs 'phase:kind[:benchmark"
+        "[:invocation[:seconds]]]' (phases: build, generate, cache_load, "
+        "cache_store, simulate; kinds: crash, bug, exit, delay, corrupt) "
+        "injected deterministically — for testing the fault-tolerance "
+        "machinery itself",
+    )
+    fault.add_argument(
+        "--fault-state",
+        default=None,
+        metavar="DIR",
+        help="shared state directory for --inject-faults one-shot "
+        "bookkeeping (default: a fresh temporary directory)",
+    )
     return parser
 
 
@@ -104,8 +157,38 @@ def _save_artifacts(result, directory: str) -> None:
     if result.charts:
         try:
             save_breakdown_svg(result, base + ".svg")
-        except ExperimentError:
-            pass
+        except (ExperimentError, OSError) as exc:
+            print(
+                f"warning: svg export failed for {result.experiment_id}: {exc}",
+                file=sys.stderr,
+            )
+
+
+def _report_failures(runner, output_dir: str | None) -> None:
+    """Print the structured failure report; also save it under *output_dir*."""
+    if not runner.failures:
+        return
+    cells = sum(f.cells for f in runner.failures)
+    print(
+        f"warning: {cells} sweep cell(s) skipped after errors:",
+        file=sys.stderr,
+    )
+    for failure in runner.failures:
+        print(f"  - {failure.describe()}", file=sys.stderr)
+    if output_dir:
+        import json
+        import os
+
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, "failures.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                [failure.as_dict() for failure in runner.failures],
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(f"[failure report written to {path}]", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -131,26 +214,49 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         sink = JsonlSink(args.trace_events) if args.trace_events else None
         observer = Observer(sink=sink, profiler=PhaseProfiler())
-    runner = SimulationRunner(
-        trace_length=args.trace_length,
-        seed=args.seed,
-        warmup=args.warmup,
-        observer=observer,
-        cache_dir=args.cache_dir,
-    )
     try:
-        for experiment_id in ids:
-            started = time.perf_counter()
-            result = run_experiment(experiment_id, runner)
-            elapsed = time.perf_counter() - started
-            print(result.render())
-            print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
-            print()
-            if args.output_dir:
-                _save_artifacts(result, args.output_dir)
-    finally:
-        if observer is not None:
-            observer.close()
+        fault_plan = None
+        if args.inject_faults:
+            import tempfile
+
+            from repro.core.faults import FaultPlan
+
+            state_dir = args.fault_state or tempfile.mkdtemp(
+                prefix="repro-faults-"
+            )
+            fault_plan = FaultPlan.parse(args.inject_faults, state_dir)
+        runner = SimulationRunner(
+            trace_length=args.trace_length,
+            seed=args.seed,
+            warmup=args.warmup,
+            observer=observer,
+            cache_dir=args.cache_dir,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            on_error=args.on_error,
+            checkpoint_dir=args.checkpoint,
+            fault_plan=fault_plan,
+        )
+        try:
+            for experiment_id in ids:
+                started = time.perf_counter()
+                result = run_experiment(experiment_id, runner)
+                elapsed = time.perf_counter() - started
+                print(result.render())
+                print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+                print()
+                if args.output_dir:
+                    _save_artifacts(result, args.output_dir)
+        finally:
+            if observer is not None:
+                observer.close()
+        _report_failures(runner, args.output_dir)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     if observer is not None:
         if args.metrics_out:
             from repro.report import save_metrics_json

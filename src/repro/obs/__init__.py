@@ -6,6 +6,7 @@ the invariants the test suite enforces over them.
 
 from repro.obs.events import (
     EVENT_TYPES,
+    INCIDENT_KINDS,
     STALL_CAUSES,
     Event,
     EventSink,
@@ -17,6 +18,7 @@ from repro.obs.events import (
     PrefetchIssue,
     Redirect,
     RingBufferSink,
+    SweepIncident,
     event_from_dict,
     event_to_dict,
     read_jsonl_events,
@@ -35,6 +37,7 @@ __all__ = [
     "DEFAULT_BOUNDS",
     "EVENT_TYPES",
     "Event",
+    "INCIDENT_KINDS",
     "EventSink",
     "FetchStall",
     "FillInstall",
@@ -49,6 +52,7 @@ __all__ = [
     "Redirect",
     "RingBufferSink",
     "STALL_CAUSES",
+    "SweepIncident",
     "event_from_dict",
     "event_to_dict",
     "read_jsonl_events",

@@ -90,12 +90,46 @@ class FillInstall:
     origin: str  # FillOrigin value
 
 
-Event = FetchStall | MissService | Redirect | PrefetchIssue | FillInstall
+#: Sweep-incident kinds emitted by the fault-tolerant runners.
+INCIDENT_KINDS = (
+    "retry",
+    "timeout",
+    "skip",
+    "checkpoint_hit",
+    "cache_store_failure",
+    "fault_injected",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepIncident:
+    """The fault-tolerance layer acted on a sweep cell/batch.
+
+    Sweep-level rather than cycle-level: ``t`` is always 0 (incidents
+    happen between simulations, not inside them).  ``kind`` is one of
+    :data:`INCIDENT_KINDS`; ``attempt`` counts the failed attempts so far
+    for retry/timeout/skip incidents.
+    """
+
+    t: int
+    benchmark: str
+    kind: str
+    detail: str = ""
+    attempt: int = 0
+
+
+Event = (
+    FetchStall | MissService | Redirect | PrefetchIssue | FillInstall
+    | SweepIncident
+)
 
 #: Event classes by their serialised ``type`` name.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
-    for cls in (FetchStall, MissService, Redirect, PrefetchIssue, FillInstall)
+    for cls in (
+        FetchStall, MissService, Redirect, PrefetchIssue, FillInstall,
+        SweepIncident,
+    )
 }
 
 

@@ -216,6 +216,21 @@ class MetricsRegistry:
                 )
         return self
 
+    def diff(self, other: MetricsRegistry) -> dict[str, tuple[Any, Any]]:
+        """Metric names whose values differ, as ``{name: (mine, theirs)}``.
+
+        A metric present on one side only compares against ``None``.
+        Used by the robustness suite to assert that a fault-injected
+        sweep's registry differs from a clean sweep's only in the
+        ``sweep.*`` / ``checkpoint.*`` / ``faults.*`` counters.
+        """
+        mine, theirs = self.as_dict(), other.as_dict()
+        return {
+            name: (mine.get(name), theirs.get(name))
+            for name in sorted(set(mine) | set(theirs))
+            if mine.get(name) != theirs.get(name)
+        }
+
     def as_dict(self) -> dict[str, Any]:
         """Deterministic plain-data snapshot (sorted names, ints only)."""
         return {name: self._metrics[name].as_value() for name in self.names()}

@@ -9,9 +9,19 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 import os
 
 from repro.report.format import Table
+
+
+def _csv_cell(cell):
+    """Missing cells (None or NaN, from skipped sweep cells) export empty."""
+    if cell is None:
+        return ""
+    if isinstance(cell, float) and math.isnan(cell):
+        return ""
+    return cell
 
 
 def table_to_csv(table: Table) -> str:
@@ -22,7 +32,7 @@ def table_to_csv(table: Table) -> str:
     for row in table.rows:
         if all(cell == "---" for cell in row):
             continue
-        writer.writerow(["" if cell is None else cell for cell in row])
+        writer.writerow([_csv_cell(cell) for cell in row])
     return buffer.getvalue()
 
 

@@ -9,6 +9,7 @@ component breakdown, in the paper's stacking order.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -52,7 +53,9 @@ class StackedBarChart:
 
     def _auto_scale(self) -> float:
         totals = [
-            sum(b.values()) for _, b in self.bars if b
+            total
+            for _, b in self.bars
+            if b and not math.isnan(total := sum(b.values()))
         ]
         longest = max(totals, default=0.0)
         if longest <= 0:
@@ -68,6 +71,11 @@ class StackedBarChart:
         for label, breakdown in self.bars:
             if not breakdown:
                 lines.append("")
+                continue
+            # A NaN breakdown marks a missing (skipped) sweep cell:
+            # draw an empty bar rather than crash on round(nan).
+            if any(math.isnan(v) for v in breakdown.values()):
+                lines.append(f"{label.rjust(width)} | (missing)")
                 continue
             segments = []
             for component in COMPONENTS:

@@ -7,6 +7,7 @@ consistent style.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -40,6 +41,10 @@ class Table:
         if cell is None:
             return ""
         if isinstance(cell, float):
+            # NaN marks a missing cell (a sweep cell skipped under
+            # on_error="skip"): render as empty, like None.
+            if math.isnan(cell):
+                return ""
             return self.float_format.format(cell)
         return str(cell)
 

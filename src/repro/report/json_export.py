@@ -8,6 +8,7 @@ plus the rendered tables, for downstream analysis pipelines.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Any
 
@@ -18,6 +19,10 @@ def _jsonable(value: Any) -> Any:
         return {str(key): _jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):
         return [_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        # NaN marks a missing (skipped) sweep cell; strict JSON has no
+        # NaN/Infinity, so missing entries export as null.
+        return None
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     # Enums, dataclasses, anything else: fall back to a string.

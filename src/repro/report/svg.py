@@ -9,6 +9,7 @@ figure's text output.
 from __future__ import annotations
 
 import html
+import math
 import os
 from collections.abc import Mapping, Sequence
 
@@ -57,7 +58,11 @@ def render_stacked_bars_svg(
             if unknown:
                 raise ExperimentError(f"unknown components {sorted(unknown)}")
             bars.append((f"{group_label} {bar_label}".strip(), breakdown))
-    totals = [sum(b.values()) for _, b in bars if b is not None]
+    totals = [
+        total
+        for _, b in bars
+        if b is not None and not math.isnan(total := sum(b.values()))
+    ]
     if not totals:
         raise ExperimentError("no bars to render")
     longest = max(totals) or 1.0
@@ -94,6 +99,14 @@ def render_stacked_bars_svg(
             f'<text x="{_LABEL_WIDTH - 6}" y="{y + _BAR_HEIGHT - 4}" '
             f'text-anchor="end">{_esc(label)}</text>'
         )
+        # NaN marks a missing (skipped) sweep cell: annotate, no bar.
+        if any(math.isnan(v) for v in breakdown.values()):
+            parts.append(
+                f'<text x="{_LABEL_WIDTH + 6}" y="{y + _BAR_HEIGHT - 4}" '
+                f'fill="#888">(missing)</text>'
+            )
+            y += _BAR_HEIGHT + _BAR_GAP
+            continue
         x = float(_LABEL_WIDTH)
         for component in COMPONENTS:
             value = breakdown.get(component, 0.0)

@@ -18,6 +18,7 @@ from repro.obs.events import (
     PrefetchIssue,
     Redirect,
     RingBufferSink,
+    SweepIncident,
     event_from_dict,
     event_to_dict,
     read_jsonl_events,
@@ -30,6 +31,7 @@ SAMPLES = (
     Redirect(t=9, pc=4096, outcome="mispredict", cause="pht_mispredict", penalty_slots=16),
     PrefetchIssue(t=2, line=8, kind="next_line", done=22),
     FillInstall(t=30, line=8, origin="prefetch"),
+    SweepIncident(t=0, benchmark="li", kind="retry", detail="InjectedFault", attempt=1),
 )
 
 

@@ -1,0 +1,33 @@
+"""Per-test deadline for the robustness suite.
+
+These tests exercise hang/kill/retry paths, so a bug here wedges the
+whole test run rather than failing it.  ``pytest-timeout`` is not
+available in this environment; the stdlib equivalent is
+``faulthandler.dump_traceback_later``, which arms a watchdog *thread*
+that dumps every stack and hard-exits the process when the deadline
+passes.  Being thread-based (not ``SIGALRM``-based), it cannot collide
+with the serial runner's signal watchdog under test.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+
+import pytest
+
+#: Generous per-test deadline: the slowest test here (kill + resume of a
+#: real sweep via subprocesses) finishes in a few seconds; anything near
+#: the deadline is a genuine hang.
+DEADLINE_SECONDS = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _test_deadline():
+    if not hasattr(faulthandler, "dump_traceback_later"):  # pragma: no cover
+        yield
+        return
+    faulthandler.dump_traceback_later(DEADLINE_SECONDS, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

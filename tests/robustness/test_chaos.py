@@ -1,0 +1,132 @@
+"""Chaos suite: faulted sweeps must recover *bit-identically*.
+
+The headline property of the fault-tolerance layer: a parallel sweep
+bombarded with recoverable faults (worker crashes, hard exits, delays,
+cache corruption) returns exactly the results of a fault-free serial
+sweep, and its merged metrics differ from a clean observed sweep only in
+the new fault-tolerance counters.
+"""
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.parallel import ParallelRunner
+from repro.core.runner import SimulationRunner
+from repro.obs import Observer
+
+TRACE = 3_000
+WARMUP = 600
+SEED = 7
+
+JOBS = [
+    ("li", SimConfig(policy=FetchPolicy.ORACLE)),
+    ("li", SimConfig(policy=FetchPolicy.RESUME)),
+    ("doduc", SimConfig(policy=FetchPolicy.ORACLE)),
+    ("doduc", SimConfig(policy=FetchPolicy.PESSIMISTIC)),
+]
+
+#: The only metrics a recovered sweep may add relative to a clean one.
+FAULT_TOLERANCE_COUNTERS = {
+    "sweep.retries",
+    "sweep.timeouts",
+    "sweep.skipped_cells",
+    "sweep.pool_rebuilds",
+    "checkpoint.hits",
+    "checkpoint.stores",
+    "artifacts.store_failures",
+    "faults.injected",
+}
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Fault-free serial sweep with an observer (results + metrics)."""
+    observer = Observer()
+    runner = SimulationRunner(
+        trace_length=TRACE, warmup=WARMUP, seed=SEED, observer=observer
+    )
+    results = [runner.run(name, config) for name, config in JOBS]
+    return results, observer.registry
+
+
+def _assert_results_identical(faulted, reference):
+    for mine, theirs in zip(faulted, reference, strict=True):
+        assert mine.program == theirs.program
+        assert mine.penalties.as_dict() == theirs.penalties.as_dict()
+        assert mine.counters.instructions == theirs.counters.instructions
+        assert mine.counters.right_misses == theirs.counters.right_misses
+        assert mine.total_ispi == theirs.total_ispi
+        assert mine.ispi_breakdown() == theirs.ispi_breakdown()
+
+
+class TestChaos:
+    def test_faulted_parallel_matches_clean_serial(
+        self, tmp_path, serial_reference
+    ):
+        """Crash + exit + delay + corruption across phases: full recovery."""
+        reference, clean_registry = serial_reference
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(phase="simulate", kind="crash", benchmark="li"),
+                FaultSpec(phase="build", kind="exit", benchmark="doduc"),
+                FaultSpec(phase="generate", kind="delay", seconds=0.01),
+                FaultSpec(phase="cache_load", kind="corrupt", benchmark="li"),
+            ],
+            state_dir=str(tmp_path / "faults"),
+        )
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=SEED, max_workers=2,
+            collect_metrics=True, cache_dir=str(tmp_path / "cache"),
+            retries=3, backoff_base=0.0, fault_plan=plan,
+        )
+        results = runner.run_jobs(JOBS)
+        _assert_results_identical(results, reference)
+        assert plan.fired_total() >= 3  # the chaos actually happened
+        assert runner.metrics.value("sweep.retries") >= 1
+        # Metrics: identical modulo the new fault-tolerance counters.
+        differing = set(clean_registry.diff(runner.metrics))
+        assert differing <= FAULT_TOLERANCE_COUNTERS, (
+            f"fault recovery perturbed simulation metrics: "
+            f"{sorted(differing - FAULT_TOLERANCE_COUNTERS)}"
+        )
+
+    def test_seeded_chaos_recovers(self, tmp_path, serial_reference):
+        """A pseudo-random (but reproducible) plan of recoverable faults."""
+        reference, _ = serial_reference
+        plan = FaultPlan.seeded(
+            1995,
+            str(tmp_path / "faults"),
+            benchmarks=("li", "doduc"),
+            n_faults=5,
+        )
+        runner = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=SEED, max_workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            retries=5, backoff_base=0.0, fault_plan=plan,
+        )
+        _assert_results_identical(runner.run_jobs(JOBS), reference)
+
+    def test_faulted_checkpointed_resume_matches(
+        self, tmp_path, serial_reference
+    ):
+        """Faults during the first pass, resume on the second: still
+        bit-identical, and the resume replays from the journal."""
+        reference, _ = serial_reference
+        checkpoint = str(tmp_path / "ckpt")
+        plan = FaultPlan(
+            faults=[FaultSpec(phase="simulate", kind="crash", times=2)],
+            state_dir=str(tmp_path / "faults"),
+        )
+        first = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=SEED, max_workers=2,
+            retries=3, backoff_base=0.0, checkpoint_dir=checkpoint,
+            fault_plan=plan,
+        )
+        _assert_results_identical(first.run_jobs(JOBS), reference)
+        second = ParallelRunner(
+            trace_length=TRACE, warmup=WARMUP, seed=SEED, max_workers=2,
+            checkpoint_dir=checkpoint,
+        )
+        _assert_results_identical(second.run_jobs(JOBS), reference)
+        assert second.metrics.value("checkpoint.hits") == len(JOBS)

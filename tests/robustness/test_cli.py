@@ -1,0 +1,134 @@
+"""CLI fault-tolerance surface: flags, exit codes, failure report."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cli import _save_artifacts, build_parser, main
+
+
+class TestParser:
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.retries == 2
+        assert args.job_timeout is None
+        assert args.on_error == "raise"
+        assert args.checkpoint is None
+        assert args.inject_faults is None
+        assert args.fault_state is None
+
+    def test_fault_tolerance_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "table5",
+                "--retries", "5",
+                "--job-timeout", "30",
+                "--on-error", "skip",
+                "--checkpoint", str(tmp_path / "ckpt"),
+                "--inject-faults", "simulate:crash:li",
+                "--fault-state", str(tmp_path / "faults"),
+            ]
+        )
+        assert args.retries == 5
+        assert args.job_timeout == 30.0
+        assert args.on_error == "skip"
+        assert args.checkpoint.endswith("ckpt")
+        assert args.inject_faults == "simulate:crash:li"
+
+    def test_on_error_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table5", "--on-error", "explode"])
+
+
+class TestExitCodes:
+    def test_experiment_error_exits_2_cleanly(self, capsys):
+        assert main(["table2", "--retries", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_fault_spec_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["table2", "--inject-faults", "warp:melt",
+             "--fault-state", str(tmp_path)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_error_during_run_exits_2(self, capsys, monkeypatch):
+        def explode(experiment_id, runner):
+            raise ExperimentError("simulated sweep abort")
+
+        monkeypatch.setattr(
+            "repro.experiments.cli.run_experiment", explode
+        )
+        assert main(["table2", "--trace-length", "2000"]) == 2
+        assert "simulated sweep abort" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        def interrupt(experiment_id, runner):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.experiments.cli.run_experiment", interrupt
+        )
+        assert main(["table2", "--trace-length", "2000"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestSkipModeEndToEnd:
+    @pytest.mark.slow
+    def test_failure_report_and_blank_cells(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "table5",
+                "--trace-length", "2000",
+                "--on-error", "skip",
+                "--retries", "0",
+                "--inject-faults", "simulate:bug:gcc",
+                "--fault-state", str(tmp_path / "faults"),
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped after errors" in captured.err
+        assert "gcc" in captured.err
+        with open(out_dir / "failures.json", encoding="utf-8") as handle:
+            failures = json.load(handle)
+        assert failures[0]["benchmark"] == "gcc"
+        assert failures[0]["error_type"] == "InjectedFault"
+        assert failures[0]["transient"] is False
+        # The JSON export carries null (not NaN) for the missing cell.
+        with open(out_dir / "table5.json", encoding="utf-8") as handle:
+            json.load(handle)
+
+
+class TestSvgWarning:
+    def test_svg_failure_warns_instead_of_silence(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.errors import ExperimentError as Err
+
+        def refuse(result, path):
+            raise Err("no component breakdowns")
+
+        monkeypatch.setattr("repro.report.save_breakdown_svg", refuse)
+
+        class FakeResult:
+            experiment_id = "fake"
+            title = "Fake"
+            paper_ref = ""
+            notes = ""
+            data = {}
+            tables = []
+            charts = ["something"]
+
+            def render(self):
+                return "fake output"
+
+        _save_artifacts(FakeResult(), str(tmp_path))
+        err = capsys.readouterr().err
+        assert "warning" in err and "svg export failed" in err

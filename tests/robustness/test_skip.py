@@ -1,0 +1,95 @@
+"""Graceful degradation: MissingResult and missing-cell rendering."""
+
+import json
+import math
+
+from repro.config import SimConfig
+from repro.core.results import COMPONENTS, MissingResult, SweepFailure
+from repro.report.csv_export import table_to_csv
+from repro.report.figures import StackedBarChart
+from repro.report.format import Table
+from repro.report.json_export import _jsonable
+from repro.report.svg import render_stacked_bars_svg
+
+NAN = float("nan")
+
+
+class TestMissingResult:
+    def test_metric_surface_is_nan(self):
+        result = MissingResult(program="li", config=SimConfig())
+        assert result.missing
+        assert math.isnan(result.total_ispi)
+        assert math.isnan(result.miss_rate_percent)
+        assert math.isnan(result.total_cycles)
+        assert math.isnan(result.ispi("branch"))
+        assert math.isnan(result.branch_ispi("mispredict"))
+        assert math.isnan(result.penalties.branch)
+        assert math.isnan(result.counters.right_misses)
+        breakdown = result.ispi_breakdown()
+        assert set(breakdown) == set(COMPONENTS)
+        assert all(math.isnan(v) for v in breakdown.values())
+
+    def test_summary_renders(self):
+        text = MissingResult(program="li", config=SimConfig()).summary()
+        assert "li" in text
+
+
+class TestMissingCellRendering:
+    def _table(self):
+        table = Table(headers=("Program", "ISPI"))
+        table.add_row("li", 1.25)
+        table.add_row("gcc", NAN)
+        return table
+
+    def test_text_table_blank(self):
+        lines = self._table().render().splitlines()
+        gcc = next(line for line in lines if "gcc" in line)
+        assert gcc.split() == ["gcc"]  # the NaN cell rendered empty
+
+    def test_csv_blank(self):
+        rows = table_to_csv(self._table()).splitlines()
+        assert rows[2] == "gcc,"
+
+    def test_json_null(self):
+        payload = _jsonable({"ispi": NAN, "ok": 1.5, "inf": float("inf")})
+        assert json.loads(json.dumps(payload)) == {
+            "ispi": None, "ok": 1.5, "inf": None,
+        }
+
+    def test_ascii_chart_missing_bar(self):
+        chart = StackedBarChart("fig")
+        chart.add_bar("li oracle", {"branch": 0.5})
+        chart.add_bar("gcc oracle", {name: NAN for name in COMPONENTS})
+        text = chart.render()
+        assert "(missing)" in text
+        assert "0.50" in text  # the healthy bar still renders
+
+    def test_svg_missing_bar(self):
+        svg = render_stacked_bars_svg(
+            "fig",
+            [
+                ("li", [("oracle", {"branch": 0.5})]),
+                ("gcc", [("oracle", {name: NAN for name in COMPONENTS})]),
+            ],
+        )
+        assert "(missing)" in svg
+        assert "nan" not in svg
+
+
+class TestSweepFailure:
+    def test_round_trip_and_describe(self):
+        failure = SweepFailure(
+            benchmark="gcc",
+            error_type="InjectedFault",
+            message="boom",
+            attempts=3,
+            transient=True,
+            cells=5,
+        )
+        assert failure.as_dict()["cells"] == 5
+        line = failure.describe()
+        assert "gcc" in line and "transient" in line and "3 attempt" in line
+        assert "deterministic" in failure.__class__(
+            benchmark="li", error_type="X", message="m",
+            attempts=1, transient=False,
+        ).describe()
