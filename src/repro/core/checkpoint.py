@@ -183,4 +183,4 @@ class CheckpointJournal:
         base = self.root / f"v{CHECKPOINT_FORMAT_VERSION}"
         if not base.is_dir():
             return 0
-        return sum(1 for _ in base.glob("*/*.pkl"))
+        return sum(1 for _ in sorted(base.glob("*/*.pkl")))

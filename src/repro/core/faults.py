@@ -260,7 +260,7 @@ class FaultPlan:
     def fired_total(self) -> int:
         """Faults fired so far across *all* processes (marker-file truth)."""
         return sum(
-            1 for p in Path(self.state_dir).iterdir()
+            1 for p in sorted(Path(self.state_dir).iterdir())
             if p.name.startswith("fired-")
         )
 

@@ -1,0 +1,96 @@
+"""Small AST utilities shared by the simlint rules.
+
+The rules care about *which fully-qualified callable* an expression
+refers to — ``t.time()`` after ``import time as t`` must be recognised
+as ``time.time``.  :func:`import_aliases` builds the local-name → origin
+map for a module and :func:`resolve_call` applies it to a call's dotted
+name.  Everything here is syntactic: no imports are executed and no
+types are inferred, which keeps the linter safe to run on broken or
+hostile trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map each locally-bound import name to its dotted origin.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from random
+    import random`` yields ``{"random": "random.random"}``.  Relative
+    imports keep their leading dots, which by construction never match a
+    banned absolute name.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                origin = alias.name if alias.asname else alias.name.partition(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return aliases
+
+
+def resolve_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of *node* under the import *aliases*."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, dot, rest = name.partition(".")
+    origin = aliases.get(head, head)
+    return origin + dot + rest if rest else origin
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last path component of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding each node with its ancestor chain."""
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = parents + (node,)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+
+
+def is_builtin_exception(name: str) -> bool:
+    """Whether *name* is a builtin exception type."""
+    obj = getattr(builtins, name, None)
+    return isinstance(obj, type) and issubclass(obj, BaseException)
+
+
+def looks_like_exception(name: str) -> bool:
+    """Name-shape heuristic for exception classes."""
+    return name.endswith(("Error", "Exception", "Fault", "Warning", "Interrupt"))

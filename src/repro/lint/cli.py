@@ -1,0 +1,113 @@
+"""``python -m repro.lint`` — the simlint command-line interface.
+
+Exit codes follow the experiments-CLI convention:
+
+* ``0`` — no gating findings (warnings may still have been printed);
+* ``1`` — at least one error-severity finding (or an unparseable file);
+* ``2`` — the linter itself failed (bad flags, broken config, crash).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.lint.registry import all_rules, known_rule_ids
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: repo-aware static analysis enforcing determinism, "
+            "process-boundary, and taxonomy invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "repo root anchoring [tool.simlint] config, the event/error "
+            "registries, and relative paths (default: nearest pyproject)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.id}  {rule.name:<18} [{rule.default_severity}]  "
+            f"{rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on bad usage, 0 on --help: keep its code but
+        # normalise unexpected values to the internal-error convention.
+        code = exc.code if isinstance(exc.code, int) else 2
+        return code if code in (0, 2) else 2
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select: tuple[str, ...] | None = None
+    if args.select is not None:
+        select = tuple(
+            part.strip() for part in args.select.split(",") if part.strip()
+        )
+        unknown = sorted(set(select) - set(known_rule_ids()))
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(known_rule_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        result = run_lint(args.paths, root=args.root, select=select)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return result.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The unit of lint output: a :class:`Finding` pinned to file/line/col.
+
+Findings are deliberately plain, hashable data — the runner produces
+them, suppression filters drop them, and reporters render them, with no
+behaviour hiding in between.  Severities form a tiny ordered scale:
+``error`` findings gate the build (CLI exit code 1), ``warning``
+findings are reported but do not fail the gate, and a rule configured
+``off`` never runs at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Recognised severities, from most to least gating.
+SEVERITIES = ("error", "warning", "off")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Stable rule identifier, e.g. ``"SIM001"``.
+    rule: str
+    #: Human-oriented rule slug, e.g. ``"determinism"``.
+    name: str
+    #: ``"error"`` or ``"warning"`` (``"off"`` rules emit nothing).
+    severity: str
+    #: Path as given to the runner (repo-relative when possible).
+    path: str
+    #: 1-based line number.
+    line: int
+    #: 0-based column offset (matches :mod:`ast` node offsets).
+    col: int
+    #: One-sentence description of the violation.
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

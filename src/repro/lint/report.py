@@ -1,0 +1,77 @@
+"""Text and JSON reporters for lint results.
+
+The text form is for humans at a terminal (one ``path:line:col`` line
+per finding, grouped naturally by the sort order, with a one-line
+summary).  The JSON form is a stable machine schema consumed by the
+gate tooling and asserted structurally in ``tests/lint``::
+
+    {
+      "version": 1,
+      "files_checked": 87,
+      "suppressed": 2,
+      "findings": [
+        {"rule": "SIM001", "name": "determinism", "severity": "error",
+         "path": "src/repro/core/engine.py", "line": 12, "col": 8,
+         "message": "..."},
+        ...
+      ],
+      "parse_errors": [{"path": "...", "message": "..."}],
+      "summary": {"errors": 1, "warnings": 0, "by_rule": {"SIM001": 1}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.runner import LintResult
+
+#: Schema version of the JSON report (bump on breaking changes).
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report, one line per finding plus a summary."""
+    lines = []
+    for path, message in result.parse_errors:
+        lines.append(f"{path}: parse error: {message}")
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.severity} {finding.rule} ({finding.name}): "
+            f"{finding.message}"
+        )
+    errors, warnings = len(result.errors), len(result.warnings)
+    summary = (
+        f"{result.files_checked} file(s) checked: "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    if result.parse_errors:
+        summary += f", {len(result.parse_errors)} unparseable"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report (schema above, stable key order)."""
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in result.parse_errors
+        ],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "by_rule": {rule: by_rule[rule] for rule in sorted(by_rule)},
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

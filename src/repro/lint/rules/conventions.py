@@ -1,0 +1,109 @@
+"""SIM005 / SIM009: metric-name and event-type registration conventions.
+
+The robustness suite asserts that a fault-injected sweep differs from a
+clean one *only* in the fault-tolerance counters — an assertion written
+as namespace prefixes (``sweep.*``, ``checkpoint.*``, ``faults.*``).  A
+counter published under a typo'd or unregistered namespace silently
+escapes those assertions and every dashboard grouped by prefix.  SIM005
+therefore requires each string-literal metric name passed to
+``.inc()`` / ``.counter()`` / ``.histogram()`` / ``.value()`` to carry a
+namespace from the registered set (``[tool.simlint]``
+``metric-namespaces`` extends it).
+
+SIM009 is the event-side twin: every event class handed to an
+``EventSink.emit()`` call must be declared in :mod:`repro.obs.events` —
+the registry that ``event_from_dict`` uses to round-trip JSONL traces.
+An undeclared event type serialises fine and then explodes on replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: MetricsRegistry methods whose first argument is a metric name.
+METRIC_METHODS = ("inc", "counter", "histogram", "value")
+
+
+@register
+class MetricNamespaceRule(Rule):
+    id = "SIM005"
+    name = "metric-namespace"
+    description = (
+        "metric name literals must use a registered namespace prefix "
+        "(sweep.*, engine.*, ...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        namespaces = ctx.repo.config.metric_namespaces
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in METRIC_METHODS
+                and node.args
+            ):
+                continue
+            literal = node.args[0]
+            if not isinstance(literal, ast.Constant) or not isinstance(
+                literal.value, str
+            ):
+                continue
+            name = literal.value
+            prefix, dot, _ = name.partition(".")
+            if not dot:
+                yield (
+                    literal.lineno,
+                    literal.col_offset,
+                    f"metric name {name!r} has no namespace; use "
+                    f"'<namespace>.{name}' with a registered namespace",
+                )
+            elif prefix not in namespaces:
+                yield (
+                    literal.lineno,
+                    literal.col_offset,
+                    f"metric namespace {prefix!r} (in {name!r}) is not "
+                    f"registered; known: {', '.join(namespaces)} — extend "
+                    f"metric-namespaces in [tool.simlint] to add one",
+                )
+
+
+@register
+class EventRegistryRule(Rule):
+    id = "SIM009"
+    name = "event-registry"
+    description = (
+        "event classes passed to EventSink.emit() must be declared in "
+        "repro.obs.events"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        declared = ctx.repo.event_classes
+        if not declared:
+            return  # foreign tree: no registry to check against
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and len(node.args) == 1
+            ):
+                continue
+            arg = node.args[0]
+            if not (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id[:1].isupper()
+            ):
+                continue
+            if arg.func.id not in declared:
+                yield (
+                    arg.lineno,
+                    arg.col_offset,
+                    f"event type {arg.func.id} is not declared in "
+                    f"repro.obs.events; undeclared events break "
+                    f"event_from_dict round-trips",
+                )

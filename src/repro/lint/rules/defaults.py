@@ -1,0 +1,64 @@
+"""SIM006: no mutable default arguments.
+
+A ``def f(x, acc=[])`` default is evaluated once at definition time and
+shared across every call — in a simulator that memoises programs and
+traces per (seed, length) key, a shared-list default is state leaking
+between *sweep cells*, the exact cross-contamination the differential
+tests exist to rule out.  The rule flags list/dict/set displays and
+bare mutable-constructor calls (``list()``, ``dict()``, ``set()``,
+``bytearray()``, ``collections.deque()``, ``defaultdict(...)``) used as
+parameter defaults; use ``None`` plus an in-body fallback, or a
+``dataclasses.field(default_factory=...)`` for dataclass fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.asthelpers import terminal_name
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: Constructor names whose call result is mutable shared state.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "OrderedDict"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "SIM006"
+    name = "mutable-default"
+    description = "no mutable default argument values"
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {label}(); the value "
+                        f"is shared across calls — default to None and "
+                        f"create the container in the body",
+                    )

@@ -1,0 +1,127 @@
+"""SIM001: ban wall-clock and unseeded-randomness calls in sim modules.
+
+The chaos and differential suites only prove anything because the same
+(workload, trace_length, seed) always produces bit-identical results.
+One ``time.time()`` folded into simulator state, or one draw from the
+process-global ``random`` generator, silently breaks every such test.
+This rule bans the nondeterminism *sources* inside the simulation
+module prefixes (``repro.core``, ``repro.cache``, ...):
+
+* wall clocks — ``time.time``/``time.time_ns``, ``datetime.now`` and
+  friends (``time.monotonic``/``perf_counter``/``sleep`` stay legal:
+  watchdogs and profilers measure *duration*, which never feeds state);
+* entropy — ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``;
+* the unseeded global RNG — any module-level ``random.*`` draw, a
+  zero-argument ``random.Random()``, the legacy ``numpy.random.*``
+  global functions, and a zero-argument ``numpy.random.default_rng()``
+  / ``RandomState()``.  Seeded constructions (``random.Random(seed)``,
+  ``numpy.random.default_rng(seed)``) are the approved idiom and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.asthelpers import import_aliases, resolve_name
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: Calls that are nondeterministic no matter how they are invoked.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Module-level draws from the process-global (unseeded) ``random`` RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` names that are fine *when given a seed argument*.
+NUMPY_SEEDABLE = frozenset({"default_rng", "RandomState"})
+
+#: ``numpy.random`` names that are never draws (types/helpers).
+NUMPY_NEUTRAL = frozenset({"Generator", "SeedSequence", "BitGenerator"})
+
+
+@register
+class DeterminismRule(Rule):
+    id = "SIM001"
+    name = "determinism"
+    description = (
+        "no wall-clock time, entropy, or unseeded randomness in "
+        "simulation modules"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(ctx.repo.config.determinism_modules):
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_name(node.func, aliases)
+            if target is None:
+                continue
+            message = self._violation(target, node)
+            if message is not None:
+                yield node.lineno, node.col_offset, message
+
+    def _violation(self, target: str, call: ast.Call) -> str | None:
+        if target in BANNED_CALLS:
+            return (
+                f"nondeterministic call {target}() in a simulation module; "
+                f"simulator state must derive from the run seed only"
+            )
+        head, _, tail = target.rpartition(".")
+        if head == "random" and tail in GLOBAL_RANDOM_FUNCS:
+            return (
+                f"draw from the unseeded global RNG ({target}()); use a "
+                f"random.Random(seed) instance threaded from the run config"
+            )
+        if target in ("random.Random", "numpy.random.default_rng",
+                      "numpy.random.RandomState"):
+            if not call.args and not call.keywords:
+                return (
+                    f"{target}() without a seed falls back to OS entropy; "
+                    f"pass an explicit seed"
+                )
+            return None
+        if head == "numpy.random" and tail not in NUMPY_SEEDABLE | NUMPY_NEUTRAL:
+            return (
+                f"legacy numpy global-RNG call {target}(); use "
+                f"numpy.random.default_rng(seed)"
+            )
+        return None

@@ -1,0 +1,74 @@
+"""SIM008: every ``_fast`` code-path variant needs a differential test.
+
+The PR 2 fast path is trusted only because
+``tests/core/test_engine_fast_path.py`` proves it bit-identical to the
+general path on every policy; a future ``_fast`` variant added without
+such a test is an unverified fork of the simulator.  This rule finds
+``_fast``-named functions and attributes defined in source modules and
+requires the same identifier to appear somewhere under the tests tree
+(the corpus configured by ``tests-path``).  It runs only over the
+determinism module prefixes — simulation code is where unverified fast
+paths are dangerous.  A name-level check is
+deliberately cheap: it cannot prove the test is *differential*, but it
+guarantees a test that at least touches the variant exists, and the
+fixture convention (name the test after the variant) makes review easy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+
+def _fast_identifiers(tree: ast.Module) -> dict[str, tuple[int, int]]:
+    """``_fast``-ish names defined in this module -> first (line, col)."""
+    found: dict[str, tuple[int, int]] = {}
+
+    def record(name: str, node: ast.AST) -> None:
+        if "_fast" in name and name not in found:
+            found[name] = (node.lineno, node.col_offset)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            record(node.name, node)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    record(target.attr, target)
+                elif isinstance(target, ast.Name):
+                    record(target.id, target)
+    return found
+
+
+@register
+class FastPathParityRule(Rule):
+    id = "SIM008"
+    name = "fast-parity"
+    description = (
+        "every _fast code-path variant must be exercised by a test "
+        "under the tests tree"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(ctx.repo.config.determinism_modules):
+            return
+        identifiers = _fast_identifiers(ctx.tree)
+        if not identifiers:
+            return
+        corpus = ctx.repo.tests_corpus
+        for name in sorted(identifiers):
+            line, col = identifiers[name]
+            if name not in corpus:
+                yield (
+                    line,
+                    col,
+                    f"fast-path variant {name!r} has no test under "
+                    f"{ctx.repo.config.tests_path}/; add a differential "
+                    f"test proving it matches the general path",
+                )

@@ -1,0 +1,86 @@
+"""SIM007: integer counters must never accumulate float literals.
+
+Every metric in the observability layer is integer-valued on purpose:
+integer addition is associative, so per-worker registries merge to
+bit-identical totals regardless of completion order — the property the
+serial-vs-parallel differential tests assert.  One ``counter += 0.5``
+(or ``registry.inc("engine.x", 1.5)``) turns that into float
+accumulation, where merge order changes the low bits and the golden
+snapshots start flaking by one ULP.  The rule flags:
+
+* augmented ``+=`` / ``-=`` of a float literal onto a counter-shaped
+  name (``*_count``, ``*_total``, ``*_slots``, ``*_hits`` ...);
+* float literals passed to ``.inc()`` / ``.observe()``;
+* float literals in ``Counter(...)``-style histogram ``observe`` calls.
+
+Quantities that are genuinely fractional (wall-clock seconds, rates)
+belong in the profiler or in derived statistics, not in counters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: Name shapes treated as integer counters.
+COUNTERISH = re.compile(
+    r"(^|_)(count|counts|counter|total|totals|slots|hits|misses|fills|"
+    r"probes|blocks|instructions|retries|timeouts|emitted|fired|issued)($|_)"
+)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class FloatCounterRule(Rule):
+    id = "SIM007"
+    name = "float-counter"
+    description = "integer counters must not accumulate float literals"
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and _is_float_literal(node.value)
+            ):
+                name = _target_name(node.target)
+                if name is not None and COUNTERISH.search(name):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"float accumulation into counter-like {name!r}; "
+                        f"counters are integers so parallel merges stay "
+                        f"bit-identical",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("inc", "observe")
+            ):
+                for arg in node.args:
+                    if _is_float_literal(arg):
+                        yield (
+                            arg.lineno,
+                            arg.col_offset,
+                            f"float literal passed to .{node.func.attr}(); "
+                            f"metrics are integer-valued by contract",
+                        )

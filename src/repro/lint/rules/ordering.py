@@ -1,0 +1,103 @@
+"""SIM002: no unordered set / dict-keys iteration in simulation modules.
+
+Iterating a ``set`` visits elements in hash order, which varies across
+interpreter runs (string hash randomisation) and across insertion
+histories; ``dict.keys()`` is insertion-ordered, which is stable only if
+every insertion site is itself deterministic — an assumption this repo
+refuses to lean on for simulator state.  An unordered walk that feeds
+state (filling a cache, draining a station, merging results) is exactly
+the kind of bug the serial-vs-parallel differential tests catch weeks
+later with no pointer back to the cause.
+
+The rule is syntactic: it flags ``for``/comprehension iteration whose
+iterable is a set constructor, set literal/comprehension, set-union
+expression, ``.keys()`` call, or a filesystem enumerator
+(``iterdir``/``listdir``/``glob``/``rglob``/``scandir`` — directory
+order is OS- and history-dependent) — and the same expressions flowing into
+order-preserving collectors (``list(...)``, ``tuple(...)``,
+``".".join(...)``).  Wrapping the expression in ``sorted(...)`` makes
+the order explicit and satisfies the rule; iteration over plain dicts
+and ``.items()``/``.values()`` is left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+
+#: Filesystem enumerators whose yield order is OS-dependent.
+FS_ENUMERATORS = frozenset({"iterdir", "listdir", "glob", "rglob", "scandir"})
+
+
+def _unordered_reason(node: ast.expr) -> str | None:
+    """Why *node* produces values in no deterministic order (or None)."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return f"{node.func.id}(...)"
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "keys":
+                return ".keys()"
+            if node.func.attr in FS_ENUMERATORS:
+                return f".{node.func.attr}() (OS-dependent directory order)"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # a | b, a & b, a - b: flag only when a side is itself set-shaped,
+        # so integer arithmetic is never touched.
+        if _unordered_reason(node.left) or _unordered_reason(node.right):
+            return "a set expression"
+    return None
+
+
+@register
+class OrderedIterationRule(Rule):
+    id = "SIM002"
+    name = "ordered-iteration"
+    description = (
+        "iteration over sets or dict.keys() in simulation modules must be "
+        "wrapped in sorted(...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(ctx.repo.config.determinism_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                iterables.extend(self._collector_args(node))
+            for iterable in iterables:
+                reason = _unordered_reason(iterable)
+                if reason is not None:
+                    yield (
+                        iterable.lineno,
+                        iterable.col_offset,
+                        f"iteration over {reason} has no deterministic "
+                        f"order; wrap it in sorted(...)",
+                    )
+
+    @staticmethod
+    def _collector_args(call: ast.Call) -> list[ast.expr]:
+        """Args of order-preserving collectors fed by this call."""
+        if isinstance(call.func, ast.Name) and call.func.id in (
+            "list",
+            "tuple",
+        ):
+            return list(call.args[:1])
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "join":
+            return list(call.args[:1])
+        return []

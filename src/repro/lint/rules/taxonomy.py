@@ -1,0 +1,96 @@
+"""SIM004: core/experiments raise sites must use the repro.errors taxonomy.
+
+The fault-tolerant sweep layer classifies every failure with
+``repro.core.faults.is_transient``: known :class:`ReproError` subtypes
+fail fast, watchdog timeouts retry, unknown types are treated as bugs.
+A ``raise ValueError(...)`` in ``repro.core`` bypasses that taxonomy —
+the CLI cannot map it to an exit code, ``on_error="skip"`` records an
+unclassifiable failure, and callers who follow the documented contract
+(catch ``ReproError``) leak it.  This rule requires every exception
+*constructed at a raise site* in the taxonomy modules to be a
+``repro.errors`` type (or a locally-defined subclass of one).
+
+Out of scope, deliberately: bare ``raise`` (re-raise), ``raise exc`` of
+a variable, and factory calls (``raise self._worker_error(...)``) —
+those cannot be classified syntactically.  Protocol-mandated builtins
+(``AttributeError`` from ``__getattr__``, ``NotImplementedError``) are
+allowed via ``taxonomy-allowed`` in ``[tool.simlint]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.asthelpers import (
+    is_builtin_exception,
+    looks_like_exception,
+    resolve_name,
+    import_aliases,
+    terminal_name,
+)
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+
+def _local_taxonomy_subclasses(
+    tree: ast.Module, taxonomy: frozenset[str]
+) -> set[str]:
+    """Classes in this file that (transitively) subclass a taxonomy type."""
+    local: set[str] = set()
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    grew = True
+    while grew:
+        grew = False
+        for node in classes:
+            if node.name in local:
+                continue
+            for base in node.bases:
+                name = terminal_name(base)
+                if name is not None and (name in taxonomy or name in local):
+                    local.add(node.name)
+                    grew = True
+                    break
+    return local
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    id = "SIM004"
+    name = "error-taxonomy"
+    description = (
+        "raise sites in repro.core / repro.experiments must use "
+        "repro.errors types"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(ctx.repo.config.taxonomy_modules):
+            return
+        taxonomy = ctx.repo.taxonomy_types
+        if not taxonomy:
+            return
+        allowed = set(ctx.repo.config.taxonomy_allowed)
+        local = _local_taxonomy_subclasses(ctx.tree, taxonomy)
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue  # `raise exc` of a variable: not classifiable
+            name = terminal_name(exc.func)
+            if name is None or not name[:1].isupper():
+                continue  # factory call, not a class construction
+            if name in taxonomy or name in local or name in allowed:
+                continue
+            resolved = resolve_name(exc.func, aliases) or ""
+            if resolved.startswith("repro.errors."):
+                continue
+            if is_builtin_exception(name) or looks_like_exception(name):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"raise of {name} outside the repro.errors taxonomy; "
+                    f"is_transient() cannot classify it — use a ReproError "
+                    f"subtype (or add to taxonomy-allowed)",
+                )

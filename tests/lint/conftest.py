@@ -1,0 +1,90 @@
+"""Harness for the simlint suite.
+
+Rule tests lint *source strings* under a chosen module name instead of
+real files: the scoped rules (determinism, taxonomy, ...) key off the
+dotted module, so the same snippet can be asserted both inside and
+outside a scope without touching the filesystem.  The repo root anchors
+the real ``repro.errors`` / ``repro.obs.events`` registries, keeping the
+fixtures honest against the live taxonomy.
+
+CLI and end-to-end tests instead build a miniature repo under
+``tmp_path`` (pyproject + ``src/repro/...`` packages) so path walking,
+config loading, and module-name detection run for real.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.context import FileContext, RepoContext, parse_suppressions
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules
+from repro.lint.runner import LintResult, lint_file
+
+#: The real repository root (two levels up from this file's directory).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_context(
+    source: str,
+    module: str = "repro.core.fixture",
+    root: Path = REPO_ROOT,
+    config: LintConfig | None = None,
+) -> FileContext:
+    """A FileContext for a dedented source string under *module*."""
+    source = textwrap.dedent(source)
+    lines = source.splitlines()
+    return FileContext(
+        path=root / "fixture.py",
+        relpath="fixture.py",
+        module=module,
+        source=source,
+        lines=lines,
+        tree=ast.parse(source),
+        suppressions=parse_suppressions(lines),
+        repo=RepoContext(root=root, config=config or LintConfig()),
+    )
+
+
+def run_rules(
+    source: str,
+    module: str = "repro.core.fixture",
+    root: Path = REPO_ROOT,
+    config: LintConfig | None = None,
+    select: str | None = None,
+) -> list[Finding]:
+    """Lint a source string and return its findings (optionally one rule)."""
+    ctx = make_context(source, module=module, root=root, config=config)
+    effective = config or LintConfig()
+    rules = [
+        (rule, effective.severity_for(rule.id, rule.default_severity))
+        for rule in all_rules()
+        if select is None or rule.id == select
+    ]
+    result = LintResult()
+    lint_file(ctx, [(r, s) for r, s in rules if s != "off"], result)
+    result.findings.sort(key=Finding.sort_key)
+    return result.findings
+
+
+def rule_ids(findings: list[Finding]) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+@pytest.fixture()
+def mini_repo(tmp_path: Path) -> Path:
+    """A miniature linted repo: pyproject + src/repro/core package."""
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\n", encoding="utf-8"
+    )
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (core / "__init__.py").write_text("")
+    (tmp_path / "tests").mkdir()
+    return tmp_path

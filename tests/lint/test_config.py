@@ -1,0 +1,90 @@
+"""``[tool.simlint]`` configuration loading and validation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import (
+    DEFAULT_DETERMINISM_MODULES,
+    DEFAULT_METRIC_NAMESPACES,
+    LintConfig,
+    LintConfigError,
+    config_from_table,
+    find_pyproject,
+    load_config,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def test_defaults_without_pyproject(tmp_path: Path) -> None:
+    config = load_config(tmp_path / "missing" / "pyproject.toml")
+    assert config == LintConfig()
+    assert load_config(None) == LintConfig()
+
+
+def test_defaults_without_simlint_table(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[project]\nname = 'x'\n", encoding="utf-8")
+    assert load_config(pyproject) == LintConfig()
+
+
+def test_namespaces_extend_not_replace() -> None:
+    config = config_from_table({"metric-namespaces": ["dashboard"]})
+    assert "dashboard" in config.metric_namespaces
+    assert set(DEFAULT_METRIC_NAMESPACES) <= set(config.metric_namespaces)
+
+
+def test_module_scopes_replace() -> None:
+    config = config_from_table({"determinism-modules": ["mylib.sim"]})
+    assert config.determinism_modules == ("mylib.sim",)
+    # Untouched keys keep their defaults.
+    assert config.taxonomy_modules == LintConfig().taxonomy_modules
+
+
+def test_disable_and_severity() -> None:
+    config = config_from_table(
+        {"disable": ["SIM002"], "severity": {"SIM007": "warning"}}
+    )
+    assert config.severity_for("SIM002", "error") == "off"
+    assert config.severity_for("SIM007", "error") == "warning"
+    assert config.severity_for("SIM001", "error") == "error"
+
+
+def test_unknown_keys_rejected() -> None:
+    with pytest.raises(LintConfigError, match="unknown"):
+        config_from_table({"metric_namespaces": ["typo-uses-underscore"]})
+
+
+def test_bad_severity_rejected() -> None:
+    with pytest.raises(LintConfigError, match="SIM001"):
+        config_from_table({"severity": {"SIM001": "loud"}})
+
+
+def test_non_string_list_rejected() -> None:
+    with pytest.raises(LintConfigError, match="disable"):
+        config_from_table({"disable": [1, 2]})
+
+
+def test_malformed_toml_is_an_error(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.simlint\n", encoding="utf-8")
+    with pytest.raises(LintConfigError, match="cannot parse"):
+        load_config(pyproject)
+
+
+def test_find_pyproject_walks_up(tmp_path: Path) -> None:
+    (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+    nested = tmp_path / "src" / "pkg"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+def test_repo_pyproject_parses() -> None:
+    # The live [tool.simlint] block must stay loadable, or the gate dies.
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(repo_root / "pyproject.toml")
+    assert config.determinism_modules == DEFAULT_DETERMINISM_MODULES
+    assert config.tests_path == "tests"

@@ -1,0 +1,106 @@
+"""SIM005 (metric-namespace) and SIM009 (event-registry) fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.config import LintConfig, config_from_table
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+METRIC_POSITIVE = [
+    pytest.param(
+        'registry.inc("retries")\n', id="unnamespaced-counter"
+    ),
+    pytest.param(
+        'registry.inc("swep.retries")\n', id="typoed-namespace"
+    ),
+    pytest.param(
+        'registry.counter("dashboard.hits")\n', id="unregistered-namespace"
+    ),
+    pytest.param(
+        'registry.histogram("latency.profile", bounds)\n',
+        id="unregistered-histogram",
+    ),
+    pytest.param(
+        'registry.value("tmp.thing")\n', id="unregistered-read"
+    ),
+]
+
+METRIC_NEGATIVE = [
+    pytest.param('registry.inc("sweep.retries")\n', id="sweep-ns"),
+    pytest.param('registry.inc("engine.blocks", 4)\n', id="engine-ns"),
+    pytest.param('registry.counter("faults.injected")\n', id="faults-ns"),
+    pytest.param(
+        'registry.histogram("l2.hits", bounds)\n', id="digit-namespace"
+    ),
+    pytest.param(
+        'registry.inc("artifacts.store_failures")\n', id="artifacts-ns"
+    ),
+    pytest.param("registry.inc(name)\n", id="non-literal-skipped"),
+    pytest.param('d.get("whatever")\n', id="unrelated-method"),
+]
+
+
+@pytest.mark.parametrize("source", METRIC_POSITIVE)
+def test_flags_unregistered_metric_names(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM005")
+    assert rule_ids(findings) == ["SIM005"]
+
+
+@pytest.mark.parametrize("source", METRIC_NEGATIVE)
+def test_allows_registered_metric_names(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM005")
+    assert findings == []
+
+
+def test_config_extends_namespaces() -> None:
+    config = config_from_table({"metric-namespaces": ["dashboard"]})
+    source = 'registry.inc("dashboard.hits")\n'
+    assert run_rules(source, config=config, select="SIM005") == []
+
+
+EVENT_POSITIVE = [
+    pytest.param(
+        "sink.emit(UnregisteredEvent(t=0))\n", id="undeclared-event"
+    ),
+    pytest.param(
+        "self._sink.emit(FetchStal(t, cause, n))\n", id="typoed-event"
+    ),
+]
+
+EVENT_NEGATIVE = [
+    pytest.param(
+        "sink.emit(FetchStall(t, cause, n))\n", id="declared-fetchstall"
+    ),
+    pytest.param(
+        "sink.emit(SweepIncident(0, name, kind))\n", id="declared-incident"
+    ),
+    pytest.param("sink.emit(event)\n", id="variable-event"),
+    pytest.param("bus.emit(signal, extra)\n", id="two-arg-emit"),
+]
+
+
+@pytest.mark.parametrize("source", EVENT_POSITIVE)
+def test_flags_undeclared_event_types(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM009")
+    assert rule_ids(findings) == ["SIM009"]
+
+
+@pytest.mark.parametrize("source", EVENT_NEGATIVE)
+def test_allows_declared_event_types(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM009")
+    assert findings == []
+
+
+def test_event_rule_stands_down_without_registry(tmp_path) -> None:
+    # Linting a tree with no repro/obs/events.py: no registry, no noise.
+    findings = run_rules(
+        "sink.emit(Whatever(1))\n",
+        root=tmp_path,
+        config=LintConfig(),
+        select="SIM009",
+    )
+    assert findings == []

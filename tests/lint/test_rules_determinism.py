@@ -1,0 +1,113 @@
+"""SIM001 (determinism): positive and negative fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+POSITIVE = [
+    pytest.param("import time\nx = time.time()\n", id="time-time"),
+    pytest.param("import time\nx = time.time_ns()\n", id="time-time-ns"),
+    pytest.param(
+        "from time import time\nx = time()\n", id="from-import-time"
+    ),
+    pytest.param(
+        "import time as clock\nx = clock.time()\n", id="aliased-time"
+    ),
+    pytest.param(
+        "import datetime\nx = datetime.datetime.now()\n", id="datetime-now"
+    ),
+    pytest.param(
+        "from datetime import datetime\nx = datetime.now()\n",
+        id="from-datetime-now",
+    ),
+    pytest.param("import os\nx = os.urandom(8)\n", id="os-urandom"),
+    pytest.param("import uuid\nx = uuid.uuid4()\n", id="uuid4"),
+    pytest.param("import random\nx = random.random()\n", id="random-random"),
+    pytest.param(
+        "import random\nx = random.randint(0, 7)\n", id="random-randint"
+    ),
+    pytest.param(
+        "from random import shuffle\nshuffle([1, 2])\n", id="from-shuffle"
+    ),
+    pytest.param(
+        "import random\nrng = random.Random()\n", id="unseeded-instance"
+    ),
+    pytest.param(
+        "from random import Random\nrng = Random()\n",
+        id="unseeded-instance-from",
+    ),
+    pytest.param(
+        "import numpy as np\nx = np.random.rand(4)\n", id="numpy-global"
+    ),
+    pytest.param(
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        id="numpy-unseeded-rng",
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "import random\nrng = random.Random(1995)\n", id="seeded-instance"
+    ),
+    pytest.param(
+        "from random import Random\nrng = Random(seed)\n",
+        id="seeded-instance-from",
+    ),
+    pytest.param(
+        "import time\nx = time.monotonic()\n", id="monotonic-allowed"
+    ),
+    pytest.param(
+        "import time\nx = time.perf_counter()\n", id="perf-counter-allowed"
+    ),
+    pytest.param("import time\ntime.sleep(0.1)\n", id="sleep-allowed"),
+    pytest.param(
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        id="numpy-seeded-rng",
+    ),
+    pytest.param(
+        "def f(rng):\n    return rng.random()\n", id="instance-method-draw"
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_nondeterminism_in_sim_modules(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM001")
+    assert rule_ids(findings) == ["SIM001"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_deterministic_idioms(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM001")
+    assert findings == []
+
+
+@pytest.mark.parametrize(
+    "module", ["repro.obs.profile", "repro.report.svg", "tools.calibrate"]
+)
+def test_out_of_scope_modules_untouched(module: str) -> None:
+    source = "import time\nx = time.time()\n"
+    assert run_rules(source, module=module, select="SIM001") == []
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core.engine",
+        "repro.cache.icache",
+        "repro.branch.btb",
+        "repro.memory.bus",
+        "repro.trace.generator",
+        "repro.program.synth",
+    ],
+)
+def test_every_sim_prefix_is_in_scope(module: str) -> None:
+    source = "import random\nx = random.random()\n"
+    assert rule_ids(run_rules(source, module=module, select="SIM001")) == [
+        "SIM001"
+    ]

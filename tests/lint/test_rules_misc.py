@@ -1,0 +1,172 @@
+"""SIM006 (mutable-default), SIM007 (float-counter), SIM008 (fast-parity)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+# -- SIM006 mutable defaults -------------------------------------------------
+
+DEFAULT_POSITIVE = [
+    pytest.param("def f(x, acc=[]):\n    return acc\n", id="list-default"),
+    pytest.param("def f(x, acc={}):\n    return acc\n", id="dict-default"),
+    pytest.param(
+        "def f(x, seen=set()):\n    return seen\n", id="set-call-default"
+    ),
+    pytest.param(
+        "def f(x, acc=list()):\n    return acc\n", id="list-call-default"
+    ),
+    pytest.param(
+        "from collections import deque\n"
+        "def f(q=deque()):\n    return q\n",
+        id="deque-default",
+    ),
+    pytest.param(
+        "def f(*, acc=[]):\n    return acc\n", id="kwonly-list-default"
+    ),
+    pytest.param("g = lambda acc=[]: acc\n", id="lambda-default"),
+]
+
+DEFAULT_NEGATIVE = [
+    pytest.param("def f(x, acc=None):\n    return acc or []\n", id="none"),
+    pytest.param("def f(x, items=()):\n    return items\n", id="tuple"),
+    pytest.param(
+        "def f(x, bounds=DEFAULT_BOUNDS):\n    return bounds\n", id="constant"
+    ),
+    pytest.param(
+        "def f(x, policy=FetchPolicy.ORACLE):\n    return policy\n",
+        id="enum-member",
+    ),
+    pytest.param(
+        "from dataclasses import field\n"
+        "class C:\n"
+        "    xs: list = field(default_factory=list)\n",
+        id="dataclass-field-factory",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", DEFAULT_POSITIVE)
+def test_flags_mutable_defaults(source: str) -> None:
+    findings = run_rules(source, module="repro.report.format", select="SIM006")
+    assert rule_ids(findings) == ["SIM006"]
+
+
+@pytest.mark.parametrize("source", DEFAULT_NEGATIVE)
+def test_allows_immutable_defaults(source: str) -> None:
+    findings = run_rules(source, module="repro.report.format", select="SIM006")
+    assert findings == []
+
+
+# -- SIM007 float counters ---------------------------------------------------
+
+FLOAT_POSITIVE = [
+    pytest.param("self.stall_count += 0.5\n", id="augassign-count"),
+    pytest.param("total -= 1.0\n", id="augassign-total-sub"),
+    pytest.param("self.issued_total += -2.5\n", id="negative-float"),
+    pytest.param('registry.inc("engine.blocks", 1.5)\n', id="inc-float"),
+    pytest.param("hist.observe(3.25)\n", id="observe-float"),
+]
+
+FLOAT_NEGATIVE = [
+    pytest.param("self.stall_count += 1\n", id="int-increment"),
+    pytest.param("self.seconds += 0.5\n", id="non-counter-name"),
+    pytest.param("total += delta\n", id="variable-increment"),
+    pytest.param('registry.inc("engine.blocks", n)\n', id="inc-variable"),
+    pytest.param("ratio = hits / 2.0\n", id="plain-float-math"),
+]
+
+
+@pytest.mark.parametrize("source", FLOAT_POSITIVE)
+def test_flags_float_accumulation(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM007")
+    assert rule_ids(findings) == ["SIM007"]
+
+
+@pytest.mark.parametrize("source", FLOAT_NEGATIVE)
+def test_allows_integer_counters(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM007")
+    assert findings == []
+
+
+# -- SIM008 fast-path parity -------------------------------------------------
+
+FAST_SOURCE = """
+class Engine:
+    def __init__(self):
+        self._novel_fast_path = True
+
+    def _issue_fast(self):
+        pass
+"""
+
+
+def _fake_repo(tmp_path: Path, test_text: str | None) -> Path:
+    (tmp_path / "tests").mkdir(exist_ok=True)
+    if test_text is not None:
+        (tmp_path / "tests" / "test_parity.py").write_text(
+            test_text, encoding="utf-8"
+        )
+    return tmp_path
+
+
+def test_flags_untested_fast_variants(tmp_path: Path) -> None:
+    root = _fake_repo(tmp_path, None)
+    findings = run_rules(
+        FAST_SOURCE,
+        module="repro.core.engine",
+        root=root,
+        config=LintConfig(),
+        select="SIM008",
+    )
+    assert rule_ids(findings) == ["SIM008", "SIM008"]
+    # Findings are location-sorted: the attribute assignment precedes the def.
+    assert "_novel_fast_path" in findings[0].message
+    assert "_issue_fast" in findings[1].message
+
+
+def test_passes_when_tests_mention_variants(tmp_path: Path) -> None:
+    root = _fake_repo(
+        tmp_path,
+        "def test_parity(engine):\n"
+        "    assert engine._novel_fast_path\n"
+        "    engine._issue_fast()\n",
+    )
+    findings = run_rules(
+        FAST_SOURCE,
+        module="repro.core.engine",
+        root=root,
+        config=LintConfig(),
+        select="SIM008",
+    )
+    assert findings == []
+
+
+def test_fast_rule_scoped_to_sim_modules(tmp_path: Path) -> None:
+    root = _fake_repo(tmp_path, None)
+    findings = run_rules(
+        FAST_SOURCE,
+        module="repro.report.figures",
+        root=root,
+        config=LintConfig(),
+        select="SIM008",
+    )
+    assert findings == []
+
+
+def test_real_fast_path_is_covered() -> None:
+    # The PR 2 fast path must keep its differential test: this asserts the
+    # live repo satisfies its own parity rule.
+    findings = run_rules(
+        "class E:\n    def __init__(self):\n        self._fast_path = True\n",
+        module="repro.core.engine",
+        select="SIM008",
+    )
+    assert findings == []

@@ -1,0 +1,75 @@
+"""SIM002 (ordered-iteration): positive and negative fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+POSITIVE = [
+    pytest.param("for x in set(items):\n    use(x)\n", id="for-set-call"),
+    pytest.param("for x in {1, 2, 3}:\n    use(x)\n", id="for-set-literal"),
+    pytest.param(
+        "for x in {i for i in items}:\n    use(x)\n", id="for-set-comp"
+    ),
+    pytest.param("for k in d.keys():\n    use(k)\n", id="for-dict-keys"),
+    pytest.param(
+        "for x in set(a) - set(b):\n    use(x)\n", id="for-set-difference"
+    ),
+    pytest.param(
+        "for x in set(a) | other:\n    use(x)\n", id="for-set-union"
+    ),
+    pytest.param("out = [f(x) for x in set(items)]\n", id="comp-over-set"),
+    pytest.param("out = list(set(items))\n", id="list-of-set"),
+    pytest.param("out = tuple(frozenset(items))\n", id="tuple-of-frozenset"),
+    pytest.param('out = ", ".join(set(items))\n', id="join-of-set"),
+    pytest.param(
+        "for p in path.iterdir():\n    use(p)\n", id="for-iterdir"
+    ),
+    pytest.param(
+        "import os\nfor p in os.listdir(d):\n    use(p)\n", id="for-listdir"
+    ),
+    pytest.param(
+        "n = sum(1 for _ in base.glob('*.pkl'))\n", id="genexp-glob"
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "for x in sorted(set(items)):\n    use(x)\n", id="sorted-set"
+    ),
+    pytest.param(
+        "for k in sorted(d.keys()):\n    use(k)\n", id="sorted-keys"
+    ),
+    pytest.param("for k in d:\n    use(k)\n", id="plain-dict"),
+    pytest.param("for k, v in d.items():\n    use(k, v)\n", id="dict-items"),
+    pytest.param("for v in d.values():\n    use(v)\n", id="dict-values"),
+    pytest.param("for x in [1, 2, 3]:\n    use(x)\n", id="list-literal"),
+    pytest.param(
+        "for p in sorted(path.iterdir()):\n    use(p)\n", id="sorted-iterdir"
+    ),
+    pytest.param("x = a - b\n", id="plain-subtraction"),
+    pytest.param(
+        "out = sorted(set(mine) | set(theirs))\n", id="sorted-union"
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_unordered_iteration(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM002")
+    assert rule_ids(findings) == ["SIM002"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_ordered_iteration(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM002")
+    assert findings == []
+
+
+def test_out_of_scope_module_untouched() -> None:
+    source = "for x in set(items):\n    use(x)\n"
+    assert run_rules(source, module="repro.lint.runner", select="SIM002") == []

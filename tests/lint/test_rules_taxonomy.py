@@ -1,0 +1,85 @@
+"""SIM004 (error-taxonomy): positive and negative fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+POSITIVE = [
+    pytest.param('raise ValueError("bad")\n', id="builtin-valueerror"),
+    pytest.param('raise RuntimeError("bad")\n', id="builtin-runtimeerror"),
+    pytest.param('raise Exception("bad")\n', id="bare-exception"),
+    pytest.param('raise KeyError("missing")\n', id="builtin-keyerror"),
+    pytest.param(
+        "class AdHocError(Exception):\n"
+        "    pass\n"
+        'raise AdHocError("bad")\n',
+        id="local-non-taxonomy-subclass",
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "from repro.errors import ExperimentError\n"
+        'raise ExperimentError("bad sweep")\n',
+        id="taxonomy-type",
+    ),
+    pytest.param(
+        "from repro.errors import InjectedFault\n"
+        'raise InjectedFault("boom", transient=False)\n',
+        id="injected-fault",
+    ),
+    pytest.param(
+        "import repro.errors\n"
+        'raise repro.errors.TraceError("bad trace")\n',
+        id="qualified-taxonomy-type",
+    ),
+    pytest.param("raise\n", id="bare-reraise", marks=[]),
+    pytest.param("raise exc\n", id="variable-reraise"),
+    pytest.param(
+        "raise self._worker_error(name, exc)\n", id="factory-call"
+    ),
+    pytest.param(
+        'raise AttributeError("name")\n', id="allowed-attributeerror"
+    ),
+    pytest.param(
+        "raise NotImplementedError\n", id="allowed-notimplemented-bare"
+    ),
+    pytest.param(
+        "from repro.errors import ReproError\n"
+        "class DepthError(ReproError):\n"
+        "    pass\n"
+        'raise DepthError("bad depth")\n',
+        id="local-taxonomy-subclass",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_non_taxonomy_raises(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM004")
+    assert rule_ids(findings) == ["SIM004"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_taxonomy_raises(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM004")
+    assert findings == []
+
+
+@pytest.mark.parametrize(
+    "module,expected",
+    [
+        ("repro.core.engine", ["SIM004"]),
+        ("repro.experiments.sweeps", ["SIM004"]),
+        ("repro.report.format", []),
+        ("repro.program.builder", []),
+    ],
+)
+def test_scope_is_core_and_experiments(module: str, expected: list) -> None:
+    source = 'raise ValueError("bad")\n'
+    assert rule_ids(run_rules(source, module=module, select="SIM004")) == expected

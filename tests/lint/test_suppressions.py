@@ -1,0 +1,113 @@
+"""Inline ``# simlint:`` suppression directives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.context import parse_suppressions
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+
+VIOLATION = 'import time\nx = time.time()  # simlint: disable=SIM001\n'
+
+
+def test_same_line_suppression() -> None:
+    assert run_rules(VIOLATION, select="SIM001") == []
+
+
+def test_comment_above_suppression() -> None:
+    source = (
+        "import time\n"
+        "# simlint: disable=SIM001\n"
+        "x = time.time()\n"
+    )
+    assert run_rules(source, select="SIM001") == []
+
+
+def test_suppression_is_rule_specific() -> None:
+    source = (
+        "import time\n"
+        "x = time.time()  # simlint: disable=SIM002\n"
+    )
+    assert rule_ids(run_rules(source, select="SIM001")) == ["SIM001"]
+
+
+def test_suppression_is_line_specific() -> None:
+    source = (
+        "import time\n"
+        "x = time.time()  # simlint: disable=SIM001\n"
+        "y = time.time()\n"
+    )
+    findings = run_rules(source, select="SIM001")
+    assert rule_ids(findings) == ["SIM001"]
+    assert findings[0].line == 3
+
+
+def test_multiple_rules_one_directive() -> None:
+    source = (
+        "import time, random\n"
+        "def f(acc=[]):  # simlint: disable=SIM006,SIM001\n"
+        "    return acc\n"
+    )
+    assert run_rules(source) == []
+
+
+def test_disable_all_on_line() -> None:
+    source = (
+        "import time\n"
+        "x = time.time()  # simlint: disable=all\n"
+    )
+    assert run_rules(source) == []
+
+
+def test_disable_file() -> None:
+    source = (
+        "# simlint: disable-file=SIM001\n"
+        "import time\n"
+        "x = time.time()\n"
+        "y = time.time()\n"
+    )
+    assert run_rules(source, select="SIM001") == []
+
+
+def test_disable_file_leaves_other_rules() -> None:
+    source = (
+        "# simlint: disable-file=SIM001\n"
+        "import time\n"
+        "x = time.time()\n"
+        "def f(acc=[]):\n"
+        "    return acc\n"
+    )
+    assert rule_ids(run_rules(source)) == ["SIM006"]
+
+
+def test_parse_suppressions_shapes() -> None:
+    sup = parse_suppressions(
+        [
+            "# simlint: disable-file=SIM003",
+            "x = 1  # simlint: disable=SIM001, SIM002",
+            "# simlint: disable=all",
+            "y = 2",
+        ]
+    )
+    assert sup.file_rules == frozenset({"SIM003"})
+    assert sup.suppresses("SIM003", 99)
+    assert sup.suppresses("SIM001", 2)
+    assert sup.suppresses("SIM002", 2)
+    assert not sup.suppresses("SIM001", 3)
+    assert sup.suppresses("SIM009", 4)  # "all" on the comment line above
+
+
+def test_suppressed_findings_are_counted() -> None:
+    from repro.lint.registry import all_rules
+    from repro.lint.runner import LintResult, lint_file
+    from tests.lint.conftest import make_context
+
+    ctx = make_context(VIOLATION)
+    rules = [(r, r.default_severity) for r in all_rules()]
+    result = LintResult()
+    lint_file(ctx, rules, result)
+    assert result.findings == []
+    assert result.suppressed == 1

@@ -1,0 +1,34 @@
+"""Static-analysis gate: run simlint over the source tree.
+
+Thin wrapper over ``python -m repro.lint`` so the lint gate slots into
+the same tooling row as ``check_overhead.py`` / ``check_engine_speed.py``
+/ ``check_robustness.py``.  Exit codes follow the shared convention:
+0 clean, 1 findings, 2 internal error.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_lint.py
+    PYTHONPATH=src python tools/check_lint.py --format json
+    PYTHONPATH=src python tools/check_lint.py src tools benchmarks
+
+The same pass also runs inside tier-1 pytest via
+``tests/lint/test_self_clean.py``, so CI needs no extra plumbing; this
+script exists for pre-commit use and for machines that want the JSON
+report.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    os.chdir(repo_root)
+    sys.exit(main(sys.argv[1:] or ["src"]))
