@@ -19,7 +19,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.config import FetchPolicy, SimConfig
+from repro.config import ALL_POLICIES, CacheConfig, FetchPolicy, SimConfig
 from repro.core.engine import simulate
 from repro.program.workloads import build_workload
 from repro.trace.generator import generate_trace
@@ -220,6 +220,53 @@ def _artifact_cache_sweep(repeats=3):
     return out
 
 
+def _replay_sweep(repeats=3, trace_length=20_000):
+    """Live vs stream-replay multi-policy × cache-size sweep.
+
+    Architectural branch schedule, gcc: every cell of the sweep is
+    replay-eligible and shares one recorded prediction stream.  ``live_s``
+    runs the live predictor in every cell; ``warm_s`` replays the stream
+    (the steady-state sweep shape, stream already cached); ``cold_s`` adds
+    one stream build (the first sweep against an empty cache).  Results
+    are asserted bit-identical before any number is reported.
+    """
+    from repro.branch.stream import build_stream
+
+    program = build_workload("gcc")
+    trace = generate_trace(program, trace_length, seed=3)
+    configs = [
+        SimConfig(
+            policy=policy,
+            branch_schedule="architectural",
+            cache=CacheConfig(size_bytes=size),
+        )
+        for policy in ALL_POLICIES
+        for size in (4_096, 16_384)
+    ]
+    build_s, stream = _best_of(
+        repeats, lambda: build_stream(program, trace, configs[0])
+    )
+    live_s, live = _best_of(
+        repeats, lambda: [simulate(program, trace, c) for c in configs]
+    )
+    warm_s, replayed = _best_of(
+        repeats,
+        lambda: [simulate(program, trace, c, stream=stream) for c in configs],
+    )
+    assert live == replayed, "replay sweep diverged from live sweep"
+    cold_s = build_s + warm_s
+    return {
+        "trace_length": trace_length,
+        "cells": len(configs),
+        "live_s": round(live_s, 4),
+        "stream_build_s": round(build_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(live_s / warm_s, 2),
+        "cold_speedup": round(live_s / cold_s, 2),
+    }
+
+
 def emit(path):
     """Measure everything and write the trajectory JSON to *path*."""
     import json
@@ -227,6 +274,7 @@ def emit(path):
     serial = _serial_rates()
     parallel_ips, n_jobs = _parallel_rate()
     cache = _artifact_cache_sweep()
+    replay = _replay_sweep()
     payload = {
         "protocol": {
             "workload": "gcc",
@@ -237,6 +285,7 @@ def emit(path):
         "serial_ips": serial,
         "parallel": {"ips": parallel_ips, "jobs": n_jobs},
         "artifact_cache": cache,
+        "stream_replay": replay,
         "hot_loop": {
             "pre_fast_path_ips": PRE_FAST_PATH_IPS,
             "ips": serial,

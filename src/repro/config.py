@@ -170,6 +170,16 @@ class SimConfig:
     #: Model a perfect I-cache (all hits): isolates branch penalties
     #: (used for the paper's Table 3 branch characterisation).
     perfect_cache: bool = False
+    #: When the branch predictor trains: ``"timing"`` (the historical
+    #: default — PHT/history updates land on the fetch-engine clock, so
+    #: cache stalls can reorder resolutions against predictions) or
+    #: ``"architectural"`` (updates land on a cache-independent clock
+    #: equal to the perfect-cache fetch clock, making the per-branch
+    #: outcome stream identical across every policy and cache geometry —
+    #: the property prediction-stream replay relies on; see
+    #: docs/performance.md).  With a perfect cache the two schedules
+    #: coincide.
+    branch_schedule: str = "timing"
     #: Run the shadow-Oracle miss classifier (paper's Table 4; only
     #: meaningful with the OPTIMISTIC policy).
     classify: bool = False
@@ -229,6 +239,11 @@ class SimConfig:
                 )
             if self.l2_assoc < 1:
                 raise ConfigError(f"l2_assoc must be >= 1: {self.l2_assoc}")
+        if self.branch_schedule not in ("timing", "architectural"):
+            raise ConfigError(
+                f"unknown branch_schedule {self.branch_schedule!r} "
+                "(expected 'timing' or 'architectural')"
+            )
         if self.classify and self.policy is not FetchPolicy.OPTIMISTIC:
             raise ConfigError(
                 "miss classification requires the OPTIMISTIC policy "
@@ -278,6 +293,7 @@ class SimConfig:
             f"{self.policy.label} cache={cache} "
             f"penalty={self.miss_penalty_cycles}cyc depth={self.max_unresolved}"
             f"{' +prefetch' if self.prefetch else ''}"
+            f"{' sched=arch' if self.branch_schedule == 'architectural' else ''}"
         )
 
 

@@ -31,10 +31,14 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
+import re
+import shutil
 import tempfile
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.branch.stream import STREAM_FORMAT_VERSION, PredictionStream
 from repro.errors import ExperimentError, TraceError
 from repro.program.program import Program
 from repro.trace.event import Trace
@@ -47,6 +51,19 @@ CACHE_FORMAT_VERSION = 1
 
 _PROGRAM_FILE = "program.pkl"
 _TRACE_FILE = "trace.npz"
+
+#: Entry-key shape: t<trace_length>-s<seed>-g<GENERATOR_VERSION>.
+_ENTRY_KEY_RE = re.compile(r"^t\d+-s-?\d+-g(\d+)$")
+#: Stream-subdirectory shape: stream-f<STREAM_FORMAT_VERSION>-<digest>.
+_STREAM_DIR_RE = re.compile(r"^stream-f(\d+)-[0-9a-f]+$")
+
+
+@dataclass(slots=True)
+class PruneStats:
+    """What :meth:`ArtifactCache.prune` reclaimed."""
+
+    entries: int = 0
+    bytes_freed: int = 0
 
 
 class ArtifactCache:
@@ -173,6 +190,138 @@ class ArtifactCache:
         trace = generate_trace(program, n_instructions=trace_length, seed=seed)
         self.store(workload, trace_length, seed, program, trace)
         return program, trace
+
+    # -- prediction streams ---------------------------------------------------
+
+    def stream_dir(
+        self, workload: str, trace_length: int, seed: int, digest: str
+    ) -> Path:
+        """Directory holding one recorded prediction stream (may not exist).
+
+        Lives inside the (workload, trace_length, seed) entry so trace
+        invalidation sweeps its streams along; the stream format version
+        and branch-config digest complete the key.
+        """
+        return self.entry_dir(workload, trace_length, seed) / (
+            f"stream-f{STREAM_FORMAT_VERSION}-{digest}"
+        )
+
+    def load_stream(
+        self,
+        workload: str,
+        trace_length: int,
+        seed: int,
+        digest: str,
+        mmap: bool = False,
+    ) -> PredictionStream | None:
+        """The cached prediction stream, or ``None`` on any miss.
+
+        Corruption (truncated arrays, bad metadata, mismatched identity)
+        is a miss — the stream is rebuilt, never trusted.  ``mmap=True``
+        maps the arrays read-only (zero-copy for parallel workers).
+        """
+        if self.root is None or self._disabled:
+            return None
+        directory = self.stream_dir(workload, trace_length, seed, digest)
+        try:
+            stream = PredictionStream.load(directory, mmap=mmap)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if (
+            stream.program_name != workload
+            or stream.trace_seed != seed
+            or stream.digest != digest
+            or stream.trace_instructions < trace_length
+        ):
+            return None
+        return stream
+
+    def store_stream(
+        self,
+        workload: str,
+        trace_length: int,
+        seed: int,
+        stream: PredictionStream,
+    ) -> None:
+        """Persist *stream* under its key (atomic; failures degrade).
+
+        Same failure policy as :meth:`store`: an OS-level error counts a
+        store failure and disables the cache for the rest of the run.
+        """
+        if self.root is None or self._disabled:
+            return
+        try:
+            directory = self.stream_dir(workload, trace_length, seed, stream.digest)
+            stream.save(directory)
+        except OSError as exc:
+            self.store_failures += 1
+            self._disabled = True
+            warnings.warn(
+                f"artifact cache disabled for this run: storing stream for "
+                f"{workload!r} failed: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def prune(self) -> PruneStats:
+        """Delete entries no current reader can ever hit.
+
+        Reclaims three kinds of garbage that otherwise grow without
+        bound across code revisions:
+
+        * version trees other than ``v<CACHE_FORMAT_VERSION>``;
+        * entry directories keyed by a different ``GENERATOR_VERSION``
+          (plus unrecognised entry names — debris from older layouts);
+        * stream subdirectories with a different ``STREAM_FORMAT_VERSION``.
+
+        Current-format entries are untouched.  Deletion errors are
+        swallowed (concurrent access, permissions): prune is best-effort
+        housekeeping, never correctness.
+        """
+        stats = PruneStats()
+        if self.root is None or not self.root.is_dir():
+            return stats
+        current = f"v{CACHE_FORMAT_VERSION}"
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir() or not version_dir.name.startswith("v"):
+                continue
+            if version_dir.name != current:
+                self._prune_tree(version_dir, stats)
+                continue
+            for workload_dir in sorted(version_dir.iterdir()):
+                if not workload_dir.is_dir():
+                    continue
+                for entry in sorted(workload_dir.iterdir()):
+                    if not entry.is_dir():
+                        continue
+                    match = _ENTRY_KEY_RE.match(entry.name)
+                    if match is None or int(match.group(1)) != GENERATOR_VERSION:
+                        self._prune_tree(entry, stats)
+                        continue
+                    for sub in sorted(entry.iterdir()):
+                        if not sub.is_dir():
+                            continue
+                        stream_match = _STREAM_DIR_RE.match(sub.name)
+                        if stream_match is not None and (
+                            int(stream_match.group(1)) != STREAM_FORMAT_VERSION
+                        ):
+                            self._prune_tree(sub, stats)
+        return stats
+
+    @staticmethod
+    def _prune_tree(path: Path, stats: PruneStats) -> None:
+        """Remove one stale tree, accumulating its size into *stats*."""
+        freed = 0
+        with contextlib.suppress(OSError):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                for filename in filenames:
+                    with contextlib.suppress(OSError):
+                        freed += os.path.getsize(os.path.join(dirpath, filename))
+        shutil.rmtree(path, ignore_errors=True)
+        stats.entries += 1
+        stats.bytes_freed += freed
 
 
 def _atomic_write(path: Path, payload: bytes) -> None:

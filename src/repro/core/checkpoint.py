@@ -128,7 +128,13 @@ class CheckpointJournal:
         result = payload.get("result")
         if not isinstance(result, SimulationResult):
             return None
-        if result.program != benchmark or payload.get("config") != config:
+        try:
+            if result.program != benchmark or payload.get("config") != config:
+                return None
+        except AttributeError:
+            # A pickled SimConfig from an older revision may lack newly
+            # added slots; its __eq__ then raises instead of comparing.
+            # Such an entry can never match the running config: miss.
             return None
         return result
 

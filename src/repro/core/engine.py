@@ -70,8 +70,27 @@ _ORIGIN_RIGHT = LineOrigin.DEMAND_RIGHT
 _ORIGIN_PREFETCH = LineOrigin.PREFETCH
 
 
-def build_branch_unit(config: SimConfig) -> BranchUnit:
-    """Construct the branch unit described by *config*."""
+def _resolve_noop(
+    pht_index: int | None, taken: bool, pc: int | None = None
+) -> None:
+    """Stand-in for BranchUnit.resolve when the fetch-clock queue must
+    keep gating (branch_full, force_resolve) without training the
+    predictor — architectural-schedule and replay runs."""
+
+
+def build_branch_unit(config: SimConfig, stream=None):
+    """Construct the branch unit described by *config*.
+
+    With a recorded :class:`~repro.branch.stream.PredictionStream`, a
+    replay facade is returned instead of a live predictor — the seam
+    prediction-stream replay plugs into (bit-identical results; see
+    tests/core/test_stream_replay.py).
+    """
+    if stream is not None:
+        # Deferred import: repro.branch.stream imports repro.core.wrongpath.
+        from repro.branch.stream import ReplayBranchUnit
+
+        return ReplayBranchUnit(stream, config)
     branch = config.branch
     return BranchUnit(
         btb=BranchTargetBuffer(entries=branch.btb_entries, assoc=branch.btb_assoc),
@@ -101,11 +120,37 @@ class FetchEngine:
         program: Program,
         config: SimConfig,
         observer: Observer | None = None,
+        stream=None,
     ) -> None:
         self.program = program
         self.config = config
         self.policy = config.policy
-        self.unit = build_branch_unit(config)
+        if stream is not None:
+            from repro.branch.stream import replay_eligible
+
+            if not replay_eligible(config):
+                raise SimulationError(
+                    "prediction-stream replay requires "
+                    "branch_schedule='architectural' or perfect_cache "
+                    f"(config: {config.describe()})"
+                )
+            stream.require_compatible(program.name, config)
+        self.unit = build_branch_unit(config, stream)
+        self._replay = stream is not None
+        # Architectural-schedule *live* runs keep predictor training on a
+        # separate cache-independent clock (the tau timeline in run());
+        # timing-schedule runs train on the fetch clock as always.
+        self._arch_live = (
+            config.branch_schedule == "architectural" and stream is None
+        )
+        self._timing_resolve = (
+            self.unit.resolve
+            if config.branch_schedule == "timing" and stream is None
+            else _resolve_noop
+        )
+        # Unresolved branches on the architectural clock (arch-live only):
+        # same tuple shape as _unresolved.
+        self._arch_unresolved: deque[tuple[int, int | None, bool, int]] = deque()
         self.observer = observer
         if observer is not None:
             self._sink = observer.sink if observer.sink.enabled else None
@@ -230,12 +275,26 @@ class FetchEngine:
     # -- resolution bookkeeping ------------------------------------------------
 
     def _apply_resolutions(self, now: int) -> None:
-        """Resolve every queued branch whose resolve time has passed."""
+        """Resolve every queued branch whose resolve time has passed.
+
+        Under the timing schedule this trains the predictor; under the
+        architectural schedule (or replay) training happens elsewhere and
+        this only drains the queue that gates fetch.
+        """
         queue = self._unresolved
-        unit = self.unit
+        resolve = self._timing_resolve
         while queue and queue[0][0] <= now:
             _, pht_index, taken, pc = queue.popleft()
-            unit.resolve(pht_index, taken, pc=pc)
+            resolve(pht_index, taken, pc=pc)
+
+    def _apply_arch_resolutions(self, now: int) -> None:
+        """Train the predictor for every architectural-clock resolution
+        whose time has passed (arch-live runs only)."""
+        queue = self._arch_unresolved
+        resolve = self.unit.resolve
+        while queue and queue[0][0] <= now:
+            _, pht_index, taken, pc = queue.popleft()
+            resolve(pht_index, taken, pc=pc)
 
     def _depth_gate(self, t: int) -> int:
         """Stall (branch_full) until an unresolved-branch slot is free."""
@@ -504,13 +563,22 @@ class FetchEngine:
         penalties = self.penalties
         prefetcher = self.prefetcher
         cur = window_start
-        for line, n in iter_wrong_path_lines(
-            self.program.image,
-            self.unit,
-            start_pc,
-            window_end - window_start,
-            self.config.cache.line_size,
-        ):
+        if self._replay:
+            # The recorded walk was bounded by the same window length and
+            # depends only on the image + predictor state, so re-splitting
+            # it at this cell's line size reproduces the live walk exactly.
+            lines = self.unit.iter_last_wrong_path_lines(
+                self.config.cache.line_size
+            )
+        else:
+            lines = iter_wrong_path_lines(
+                self.program.image,
+                self.unit,
+                start_pc,
+                window_end - window_start,
+                self.config.cache.line_size,
+            )
+        for line, n in lines:
             if cur >= window_end:
                 break
             station.drain(cur, cache)
@@ -671,6 +739,9 @@ class FetchEngine:
                 f"warmup {warmup_instructions} consumes the whole trace "
                 f"({trace.n_instructions} instructions)"
             )
+        if self._replay:
+            self.unit.rewind()
+            self.unit.stream.require_trace(trace)
         image = self.program.image
         targets = image.targets_list
         base = image.base
@@ -697,6 +768,12 @@ class FetchEngine:
             set_mask = cache.set_mask
             set_shift = cache._set_shift
             pending = self.station._pending  # identity-stable (pending.py)
+        # Architectural-clock state (arch-live runs only): tau is the
+        # perfect-cache fetch clock; predictor training follows it instead
+        # of t, making the outcome stream cache/policy-independent.
+        arch = self._arch_live
+        arch_unresolved = self._arch_unresolved
+        tau = 0
         warm_left = warmup_instructions
         t = 0
         for record in trace.records:
@@ -714,6 +791,20 @@ class FetchEngine:
             if kind == _COND:
                 if length > 1:
                     t = issue_run(start, length - 1, t)
+                if arch:
+                    # The architectural clock mirrors the perfect-cache
+                    # timeline: block issue plus the same depth gate, but
+                    # without charging any penalty (timing stays on t).
+                    tau += length - 1
+                    if arch_unresolved:
+                        if arch_unresolved[0][0] <= tau:
+                            self._apply_arch_resolutions(tau)
+                        if len(arch_unresolved) >= max_unresolved:
+                            head = arch_unresolved[0][0]
+                            if head > tau:
+                                tau = head
+                            self._apply_arch_resolutions(tau)
+                    tau += 1
                 # _depth_gate, inlined for the common not-full case.
                 if unresolved:
                     if unresolved[0][0] <= t:
@@ -748,12 +839,18 @@ class FetchEngine:
                     t = issue_run(term_addr, 1, t)
             else:
                 t = issue_run(start, length, t)
+                if arch:
+                    tau += length
                 if kind == _PLAIN:
                     continue
                 term_addr = start + (length - 1) * INSTRUCTION_SIZE
             t_br = t - 1
             if unresolved and unresolved[0][0] <= t_br:
                 self._apply_resolutions(t_br)
+            if arch:
+                tau_br = tau - 1
+                if arch_unresolved and arch_unresolved[0][0] <= tau_br:
+                    self._apply_arch_resolutions(tau_br)
             ctrl_idx = (term_addr - base) // INSTRUCTION_SIZE
             raw_target = targets[ctrl_idx]
             static_target = None if raw_target < 0 else raw_target
@@ -767,6 +864,10 @@ class FetchEngine:
                 unresolved.append(
                     (t_br + resolve_slots, result.pht_index, taken, term_addr)
                 )
+                if arch:
+                    arch_unresolved.append(
+                        (tau_br + resolve_slots, result.pht_index, taken, term_addr)
+                    )
                 if (
                     target_prefetch
                     and static_target is not None
@@ -781,6 +882,8 @@ class FetchEngine:
                     )
             if result.outcome is _CORRECT:
                 continue
+            if arch:
+                tau = tau_br + 1 + result.penalty_slots
             penalties.branch += result.penalty_slots
             if self._redirect_penalties is not None:
                 self._redirect_penalties.append(result.penalty_slots)
@@ -805,6 +908,8 @@ class FetchEngine:
                 result.wrong_path_start, window_start, window_end, result.outcome
             )
         self._apply_resolutions(t + resolve_slots)
+        if arch:
+            self._apply_arch_resolutions(tau + resolve_slots)
         return self._build_result(trace)
 
     def _build_result(self, trace: Trace) -> SimulationResult:
@@ -922,12 +1027,16 @@ def simulate(
     config: SimConfig,
     warmup: int = 0,
     observer: Observer | None = None,
+    stream=None,
 ) -> SimulationResult:
     """Build a fresh engine and run *trace* under *config*.
 
     *observer*, when given, receives typed events (if its sink is enabled)
     and the end-of-run metrics publication; it never changes the result.
+    *stream*, when given, replays a recorded
+    :class:`~repro.branch.stream.PredictionStream` instead of running the
+    live predictor (bit-identical for replay-eligible configs).
     """
-    return FetchEngine(program, config, observer=observer).run(
+    return FetchEngine(program, config, observer=observer, stream=stream).run(
         trace, warmup_instructions=warmup
     )

@@ -84,11 +84,21 @@ def _run_benchmark_jobs(args) -> _WorkerReturn:
     """Worker: one benchmark, many configurations (runs in a subprocess).
 
     *args* is ``(name, configs, trace_length, warmup, seed, collect,
-    cache_dir, fault_plan)``; the trailing fault plan may be ``None``
-    (production) or a :class:`~repro.core.faults.FaultPlan` (chaos
-    testing), which is consulted at every phase boundary.
+    cache_dir, replay, fault_plan)``; the trailing fault plan may be
+    ``None`` (production) or a :class:`~repro.core.faults.FaultPlan`
+    (chaos testing), which is consulted at every phase boundary.
+
+    Prediction streams cross the process boundary as *cache keys*, never
+    as pickled arrays: with ``replay="auto"`` and a cache configured, the
+    worker memory-maps the stream's ``.npy`` files from the shared
+    artifact cache (zero-copy transport) and builds + stores the stream
+    itself on a miss.
     """
-    name, configs, trace_length, warmup, seed, collect, cache_dir, plan = args
+    (
+        name, configs, trace_length, warmup, seed, collect, cache_dir,
+        replay, plan,
+    ) = args
+    from repro.branch.stream import build_stream, replay_eligible, stream_digest
     from repro.core.artifacts import ArtifactCache
     from repro.core.faults import corrupt_entry
     from repro.program.workloads import build_workload
@@ -124,13 +134,50 @@ def _run_benchmark_jobs(args) -> _WorkerReturn:
             if plan is not None:
                 plan.fire("cache_store", name)
             artifacts.store(name, trace_length, seed, program, trace)
+    # Prediction streams, memoized per branch-config digest: every
+    # replay-eligible configuration in this batch that shares a digest
+    # shares one stream (mmapped from the cache when present, built and
+    # persisted otherwise) — the counters mirror the serial runner's.
+    streams: dict[str, object] = {}
+
+    def _stream_for(config):
+        if replay == "off" or not replay_eligible(config):
+            return None
+        digest = stream_digest(config)
+        if digest in streams:
+            return streams[digest]
+        stream = None
+        if artifacts.enabled:
+            with profiler.phase("stream_cache"):
+                stream = artifacts.load_stream(
+                    name, trace_length, seed, digest, mmap=True
+                )
+            if stream is not None and observer is not None:
+                observer.registry.inc("stream.cache_hits")
+        if stream is None:
+            with profiler.phase("build_stream"):
+                stream = build_stream(program, trace, config)
+            if observer is not None:
+                observer.registry.inc("stream.builds")
+            if artifacts.enabled:
+                artifacts.store_stream(name, trace_length, seed, stream)
+        streams[digest] = stream
+        return stream
+
     if plan is not None:
         plan.fire("simulate", name)
-    with profiler.phase("simulate"):
-        results = [
-            simulate(program, trace, config, warmup=warmup, observer=observer)
-            for config in configs
-        ]
+    results = []
+    for config in configs:
+        stream = _stream_for(config)
+        if stream is not None and observer is not None:
+            observer.registry.inc("stream.replays")
+        with profiler.phase("simulate"):
+            results.append(
+                simulate(
+                    program, trace, config, warmup=warmup,
+                    observer=observer, stream=stream,
+                )
+            )
     if observer is not None:
         if plan is not None and plan.fired_soft:
             observer.registry.inc("faults.injected", plan.fired_soft)
@@ -160,6 +207,7 @@ class _Batch:
             runner.seed,
             runner.collect_metrics,
             runner.cache_dir,
+            runner.replay,
             runner.fault_plan,
         )
 
@@ -201,6 +249,7 @@ class ParallelRunner:
         on_error: str = "raise",
         checkpoint_dir: str | None = None,
         fault_plan=None,
+        replay: str = "auto",
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -222,6 +271,10 @@ class ParallelRunner:
             raise ExperimentError(
                 f"on_error must be 'raise' or 'skip': {on_error!r}"
             )
+        if replay not in ("auto", "off"):
+            raise ExperimentError(
+                f"replay must be 'auto' or 'off': {replay!r}"
+            )
         self.trace_length = trace_length
         self.seed = seed
         self.warmup = warmup
@@ -237,6 +290,9 @@ class ParallelRunner:
         self.on_error = on_error
         self.checkpoint_dir = checkpoint_dir
         self.fault_plan = fault_plan
+        #: Prediction-stream replay mode handed to every worker
+        #: (``"auto"`` replays eligible cells, ``"off"`` never does).
+        self.replay = replay
         #: Merged worker metrics from the most recent ``run_jobs`` (always
         #: a registry; empty unless ``collect_metrics`` or the sweep
         #: needed fault-tolerance machinery, whose ``sweep.*`` counters

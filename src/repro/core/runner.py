@@ -24,6 +24,12 @@ import time
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
+from repro.branch.stream import (
+    PredictionStream,
+    build_stream,
+    replay_eligible,
+    stream_digest,
+)
 from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
 from repro.core.artifacts import ArtifactCache
 from repro.core.checkpoint import CheckpointJournal
@@ -31,7 +37,7 @@ from repro.core.engine import simulate
 from repro.core.faults import FaultPlan, corrupt_entry, is_transient
 from repro.core.results import MissingResult, SimulationResult, SweepFailure
 from repro.errors import ExperimentError, JobTimeoutError
-from repro.obs.events import SweepIncident
+from repro.obs.events import StreamBuild, SweepIncident
 from repro.obs.observer import Observer
 from repro.program.program import Program
 from repro.trace.event import Trace
@@ -82,6 +88,7 @@ class SimulationRunner:
         on_error: str = "raise",
         checkpoint_dir: str | None = None,
         fault_plan: FaultPlan | None = None,
+        replay: str = "auto",
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -100,6 +107,10 @@ class SimulationRunner:
         if on_error not in ("raise", "skip"):
             raise ExperimentError(
                 f"on_error must be 'raise' or 'skip': {on_error!r}"
+            )
+        if replay not in ("auto", "off"):
+            raise ExperimentError(
+                f"replay must be 'auto' or 'off': {replay!r}"
             )
         self.trace_length = trace_length
         self.seed = seed
@@ -126,6 +137,11 @@ class SimulationRunner:
         self.checkpoint = CheckpointJournal(checkpoint_dir)
         #: Deterministic fault-injection plan (chaos testing only).
         self.fault_plan = fault_plan
+        #: Prediction-stream replay: ``"auto"`` replays a recorded stream
+        #: for every replay-eligible cell (architectural schedule or
+        #: perfect cache; see ``repro.branch.stream``), ``"off"`` always
+        #: runs the live predictor.
+        self.replay = replay
         #: Structured failure report (``on_error="skip"`` cells).
         self.failures: list[SweepFailure] = []
         # In-memory memos.  The keys repeat the runner attributes each
@@ -134,6 +150,7 @@ class SimulationRunner:
         # program or trace (it used to: the old keys were the bare name).
         self._programs: dict[tuple[str, int], Program] = {}
         self._traces: dict[tuple[str, int, int], Trace] = {}
+        self._streams: dict[tuple[str, int, int, str], PredictionStream] = {}
 
     def _phase(self, name: str):
         """Profiling scope for *name* (no-op without an observer/profiler)."""
@@ -270,6 +287,55 @@ class SimulationRunner:
         trace = self.trace(name)
         return WorkloadRun(program=self.program(name), trace=trace)
 
+    def _stream_for(self, name: str, config: SimConfig) -> PredictionStream | None:
+        """The prediction stream for one replay-eligible cell, or ``None``.
+
+        Resolution order: in-memory memo, artifact cache (counter
+        ``stream.cache_hits``), live build (counter ``stream.builds``,
+        :class:`~repro.obs.events.StreamBuild` event) — built streams are
+        persisted so the next process loads instead of rebuilding.
+        Returns ``None`` when replay is off or the config is not
+        replay-eligible (timing schedule with a real cache).
+        """
+        if self.replay == "off" or not replay_eligible(config):
+            return None
+        digest = stream_digest(config)
+        key = (name, self.trace_length, self.seed, digest)
+        stream = self._streams.get(key)
+        if stream is not None:
+            return stream
+        source = "cache"
+        if self.artifacts.enabled:
+            with self._phase("stream_cache"):
+                stream = self.artifacts.load_stream(
+                    name, self.trace_length, self.seed, digest
+                )
+            if stream is not None and self.observer is not None:
+                self.observer.registry.inc("stream.cache_hits")
+        if stream is None:
+            source = "build"
+            prepared = self.prepared(name)
+            with self._phase("build_stream"):
+                stream = build_stream(prepared.program, prepared.trace, config)
+            if self.observer is not None:
+                self.observer.registry.inc("stream.builds")
+            if self.artifacts.enabled:
+                self.artifacts.store_stream(
+                    name, self.trace_length, self.seed, stream
+                )
+        if self.observer is not None and self.observer.events_enabled:
+            self.observer.sink.emit(
+                StreamBuild(
+                    t=0,
+                    benchmark=name,
+                    records=stream.n_records,
+                    source=source,
+                    digest=digest,
+                )
+            )
+        self._streams[key] = stream
+        return stream
+
     # -- simulation -------------------------------------------------------------
 
     def run(self, name: str, config: SimConfig) -> SimulationResult:
@@ -298,6 +364,9 @@ class SimulationRunner:
             try:
                 with self._watchdog(name):
                     prepared = self.prepared(name)
+                    stream = self._stream_for(name, config)
+                    if stream is not None and self.observer is not None:
+                        self.observer.registry.inc("stream.replays")
                     self._fire("simulate", name)
                     with self._phase("simulate"):
                         result = simulate(
@@ -306,6 +375,7 @@ class SimulationRunner:
                             config,
                             warmup=self.warmup,
                             observer=self.observer,
+                            stream=stream,
                         )
                 break
             except Exception as exc:

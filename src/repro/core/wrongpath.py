@@ -5,9 +5,14 @@ addresses it fetches are determined by the *static* code image plus the
 *current* predictor state: at each control transfer on the wrong path the
 machine follows its own (speculative, read-only) prediction.
 
-:func:`iter_wrong_path_lines` enumerates the cache lines such a walk
-touches, leaving all timing/stall decisions to the engine.  This split
-keeps the walker purely functional and unit-testable.
+:func:`iter_wrong_path_runs` enumerates the straight-line ``(pc, n)``
+segments such a walk touches; :func:`iter_lines_from_runs` splits any
+segment sequence at cache-line boundaries; and
+:func:`iter_wrong_path_lines` composes the two, leaving all timing/stall
+decisions to the engine.  The split keeps the walker purely functional
+and unit-testable, and lets prediction-stream replay
+(:mod:`repro.branch.stream`) record walks once in line-size-independent
+form and re-split them for each swept cache geometry.
 
 Modelling notes (see DESIGN.md §4):
 
@@ -24,7 +29,7 @@ Modelling notes (see DESIGN.md §4):
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.branch.unit import BranchUnit
 from repro.isa import INSTRUCTION_SIZE, InstrKind
@@ -37,19 +42,18 @@ _RETURN = int(InstrKind.RETURN)
 _ICALL = int(InstrKind.INDIRECT_CALL)
 
 
-def iter_wrong_path_lines(
+def iter_wrong_path_runs(
     image: CodeImage,
     unit: BranchUnit,
     start_pc: int,
     max_instructions: int,
-    line_size: int,
 ) -> Iterator[tuple[int, int]]:
-    """Yield ``(line_number, n_instructions)`` runs of a wrong-path walk.
+    """Yield ``(start_addr, n_instructions)`` straight-line wrong-path runs.
 
     The walk starts at *start_pc* and fetches at most *max_instructions*
-    instructions, splitting each straight-line run at cache-line
-    boundaries.  The caller (engine) decides how many of the yielded
-    instructions actually fit in its redirect window.
+    instructions; each yielded run ends at a control transfer (inclusive)
+    or at the instruction budget.  Runs are independent of any cache
+    geometry — split them with :func:`iter_lines_from_runs`.
     """
     if max_instructions <= 0:
         return
@@ -58,8 +62,6 @@ def iter_wrong_path_lines(
     kinds = image.kinds_list
     targets = image.targets_list
     next_ctrl = image.next_ctrl_list
-    line_shift = line_size.bit_length() - 1
-    per_line = line_size // INSTRUCTION_SIZE
 
     pc = start_pc
     remaining = max_instructions
@@ -73,17 +75,7 @@ def iter_wrong_path_lines(
         ctrl = next_ctrl[idx]
         run = (n_image if ctrl >= n_image else ctrl + 1) - idx
         take = run if run < remaining else remaining
-        # Split the run at line boundaries.
-        pos = idx
-        left = take
-        while left > 0:
-            addr = base + pos * INSTRUCTION_SIZE
-            line = addr >> line_shift
-            in_line = per_line - (addr // INSTRUCTION_SIZE) % per_line
-            chunk = in_line if in_line < left else left
-            yield (line, chunk)
-            pos += chunk
-            left -= chunk
+        yield (base + idx * INSTRUCTION_SIZE, take)
         remaining -= take
         if take < run or ctrl >= n_image:
             return
@@ -108,3 +100,47 @@ def iter_wrong_path_lines(
             pc = predicted if predicted is not None else fall
         else:  # pragma: no cover - images contain only the kinds above
             return
+
+
+def iter_lines_from_runs(
+    runs: Iterable[tuple[int, int]],
+    line_size: int,
+) -> Iterator[tuple[int, int]]:
+    """Split ``(start_addr, n)`` runs into ``(line_number, n)`` chunks.
+
+    Pure address arithmetic: the same recorded run sequence can be
+    re-split for any swept line size.
+    """
+    line_shift = line_size.bit_length() - 1
+    per_line = line_size // INSTRUCTION_SIZE
+    for start_addr, count in runs:
+        pos = start_addr // INSTRUCTION_SIZE
+        left = count
+        while left > 0:
+            addr = pos * INSTRUCTION_SIZE
+            line = addr >> line_shift
+            in_line = per_line - pos % per_line
+            chunk = in_line if in_line < left else left
+            yield (line, chunk)
+            pos += chunk
+            left -= chunk
+
+
+def iter_wrong_path_lines(
+    image: CodeImage,
+    unit: BranchUnit,
+    start_pc: int,
+    max_instructions: int,
+    line_size: int,
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(line_number, n_instructions)`` runs of a wrong-path walk.
+
+    The walk starts at *start_pc* and fetches at most *max_instructions*
+    instructions, splitting each straight-line run at cache-line
+    boundaries.  The caller (engine) decides how many of the yielded
+    instructions actually fit in its redirect window.
+    """
+    yield from iter_lines_from_runs(
+        iter_wrong_path_runs(image, unit, start_pc, max_instructions),
+        line_size,
+    )

@@ -63,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         "between concurrent processes)",
     )
     parser.add_argument(
+        "--replay",
+        choices=("auto", "off"),
+        default="auto",
+        help="prediction-stream replay: 'auto' records the branch "
+        "predictor's outcome stream once per workload and replays it "
+        "across every replay-eligible configuration (architectural "
+        "branch schedule or perfect cache), 'off' always runs the live "
+        "predictor (results are bit-identical either way; default "
+        "%(default)s)",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        action="store_true",
+        help="before running, delete artifact-cache entries no current "
+        "reader can hit (old format/generator/stream versions); requires "
+        "--cache-dir; with no experiments given, prune and exit",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         metavar="DIR",
@@ -198,6 +216,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
+    prune_stats = None
+    if args.cache_prune:
+        if not args.cache_dir:
+            print("--cache-prune requires --cache-dir", file=sys.stderr)
+            return 2
+        from repro.core.artifacts import ArtifactCache
+
+        prune_stats = ArtifactCache(args.cache_dir).prune()
+        print(
+            f"[cache prune: removed {prune_stats.entries} stale entr"
+            f"{'y' if prune_stats.entries == 1 else 'ies'}, freed "
+            f"{prune_stats.bytes_freed} bytes]"
+        )
+        if not args.experiments:
+            return 0
     if not args.experiments:
         print("no experiments given; try --list", file=sys.stderr)
         return 2
@@ -214,6 +247,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         sink = JsonlSink(args.trace_events) if args.trace_events else None
         observer = Observer(sink=sink, profiler=PhaseProfiler())
+        if prune_stats is not None:
+            observer.registry.inc("artifacts.pruned_entries", prune_stats.entries)
+            observer.registry.inc("artifacts.pruned_bytes", prune_stats.bytes_freed)
     try:
         fault_plan = None
         if args.inject_faults:
@@ -236,6 +272,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             on_error=args.on_error,
             checkpoint_dir=args.checkpoint,
             fault_plan=fault_plan,
+            replay=args.replay,
         )
         try:
             for experiment_id in ids:

@@ -16,10 +16,12 @@ SIM006    mutable-default    no mutable default arguments
 SIM007    float-counter      integer counters never accumulate float literals
 SIM008    fast-parity        every _fast variant has a differential test
 SIM009    event-registry     emitted events are declared in repro.obs.events
+SIM010    branch-seam        branch units constructed only via the factory seam
 ========  =================  ====================================================
 """
 
 from repro.lint.rules import (  # noqa: F401  (import side effect: register)
+    branchseam,
     conventions,
     defaults,
     determinism,

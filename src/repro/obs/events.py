@@ -118,9 +118,26 @@ class SweepIncident:
     attempt: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class StreamBuild:
+    """A prediction stream was produced for one benchmark.
+
+    Sweep-level (``t`` is always 0): streams are built or loaded between
+    simulations.  ``source`` is ``"build"`` (computed by running the live
+    predictor) or ``"cache"`` (loaded from the artifact cache);
+    ``records`` counts the recorded control transfers.
+    """
+
+    t: int
+    benchmark: str
+    records: int
+    source: str = "build"
+    digest: str = ""
+
+
 Event = (
     FetchStall | MissService | Redirect | PrefetchIssue | FillInstall
-    | SweepIncident
+    | SweepIncident | StreamBuild
 )
 
 #: Event classes by their serialised ``type`` name.
@@ -128,7 +145,7 @@ EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         FetchStall, MissService, Redirect, PrefetchIssue, FillInstall,
-        SweepIncident,
+        SweepIncident, StreamBuild,
     )
 }
 

@@ -57,8 +57,9 @@ class TestSerialParallelDifferential:
         _, _, _, parallel = matrices
         summary = parallel.profile.summary()
         assert {"build_program", "generate_trace", "simulate"} <= set(summary)
-        # one simulate phase entry per benchmark worker, covering all jobs
-        assert summary["simulate"]["calls"] == len(BENCHMARKS)
+        # one simulate phase entry per (benchmark, policy) cell, matching
+        # the serial runner's per-config phase granularity
+        assert summary["simulate"]["calls"] == len(BENCHMARKS) * len(ALL_POLICIES)
 
 
 @pytest.mark.slow

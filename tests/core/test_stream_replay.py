@@ -1,0 +1,397 @@
+"""Differential tests for prediction-stream replay.
+
+The tentpole claim: under the ``"architectural"`` branch schedule (or a
+perfect cache), one recorded :class:`PredictionStream` replayed through
+the ``build_branch_unit`` seam produces **bit-identical**
+:class:`SimulationResult`s to running the live predictor — for every
+fetch policy, cache geometry, associativity, warmup, and prefetch
+variant.  These tests pin that claim cell by cell, then pin the
+infrastructure around it: persistence round-trips, cache corruption
+handling, runner/parallel wiring, metric parity, and the guards that
+keep ineligible configurations off the replay path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ALL_POLICIES, CacheConfig, FetchPolicy, SimConfig
+from repro.core.artifacts import ArtifactCache
+from repro.core.engine import simulate
+from repro.core.parallel import ParallelRunner
+from repro.core.runner import SimulationRunner
+from repro.branch.stream import (
+    PredictionStream,
+    ReplayBranchUnit,
+    build_stream,
+    replay_eligible,
+    stream_digest,
+)
+from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.profile import PhaseProfiler
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
+
+TRACE_LENGTH = 10_000
+SEED = 77
+
+
+def arch(**kwargs) -> SimConfig:
+    return SimConfig(branch_schedule="architectural", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = build_workload("gcc", seed=SEED)
+    trace = generate_trace(program, n_instructions=TRACE_LENGTH, seed=SEED)
+    return program, trace
+
+
+@pytest.fixture(scope="module")
+def stream(workload):
+    program, trace = workload
+    return build_stream(program, trace, arch())
+
+
+# -- the tentpole: live == replay, bit for bit -------------------------------
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_replay_bit_identical_per_policy(workload, stream, policy):
+    program, trace = workload
+    config = arch(policy=policy)
+    live = simulate(program, trace, config)
+    replay = simulate(program, trace, config, stream=stream)
+    assert live == replay
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cache": CacheConfig(size_bytes=1024)},
+        {"cache": CacheConfig(size_bytes=65536)},
+        {"cache": CacheConfig(assoc=2)},
+        {"cache": CacheConfig(assoc=4)},
+        {"prefetch": True},
+        {"prefetch": True, "prefetch_variant": "always"},
+        {"prefetch": True, "target_prefetch": True},
+        {"classify": True, "policy": FetchPolicy.OPTIMISTIC},
+        {"perfect_cache": True},
+    ],
+    ids=lambda kw: ",".join(sorted(kw)),
+)
+def test_replay_bit_identical_variants(workload, stream, kwargs):
+    # One shared stream serves every cache geometry and prefetch variant:
+    # the whole point of excluding cache/policy knobs from the digest.
+    program, trace = workload
+    config = arch(**{"policy": FetchPolicy.RESUME, **kwargs})
+    live = simulate(program, trace, config)
+    replay = simulate(program, trace, config, stream=stream)
+    assert live == replay
+
+
+@pytest.mark.parametrize("warmup", [0, 2_500])
+def test_replay_bit_identical_with_warmup(workload, stream, warmup):
+    program, trace = workload
+    config = arch(policy=FetchPolicy.PESSIMISTIC)
+    live = simulate(program, trace, config, warmup=warmup)
+    replay = simulate(program, trace, config, warmup=warmup, stream=stream)
+    assert live == replay
+
+
+def test_perfect_cache_timing_replay(workload):
+    # Perfect-cache cells are replay-eligible even on the default timing
+    # schedule: with no cache stalls the fetch clock IS the architectural
+    # clock (the Table 3 anchor).
+    program, trace = workload
+    config = SimConfig(perfect_cache=True)
+    assert replay_eligible(config)
+    stream = build_stream(program, trace, config)
+    assert simulate(program, trace, config) == simulate(
+        program, trace, config, stream=stream
+    )
+
+
+def test_one_stream_reused_across_cells(workload, stream):
+    # Replaying many cells must not mutate the stream: rewind restores it.
+    program, trace = workload
+    first = simulate(program, trace, arch(), stream=stream)
+    for policy in ALL_POLICIES:
+        simulate(program, trace, arch(policy=policy), stream=stream)
+    assert simulate(program, trace, arch(), stream=stream) == first
+
+
+def test_metrics_identical_live_vs_replay(workload, stream):
+    program, trace = workload
+    config = arch(policy=FetchPolicy.RESUME)
+    live_obs = Observer()
+    replay_obs = Observer()
+    simulate(program, trace, config, observer=live_obs)
+    simulate(program, trace, config, observer=replay_obs, stream=stream)
+    assert live_obs.registry.as_dict() == replay_obs.registry.as_dict()
+
+
+# -- guards ------------------------------------------------------------------
+
+
+def test_timing_real_cache_not_eligible():
+    assert not replay_eligible(SimConfig())
+    assert replay_eligible(arch())
+
+
+def test_engine_rejects_stream_for_ineligible_config(workload, stream):
+    program, trace = workload
+    with pytest.raises(SimulationError, match="replay requires"):
+        simulate(program, trace, SimConfig(), stream=stream)
+
+
+def test_engine_rejects_wrong_digest(workload, stream):
+    program, trace = workload
+    config = arch(resolve_cycles=SimConfig().resolve_cycles + 2)
+    assert stream_digest(config) != stream.digest
+    with pytest.raises(SimulationError, match="digest"):
+        simulate(program, trace, config, stream=stream)
+
+
+def test_stream_rejects_wrong_trace(workload, stream):
+    program, _ = workload
+    other = generate_trace(program, n_instructions=4_000, seed=SEED)
+    with pytest.raises(SimulationError, match="cannot replay"):
+        simulate(program, other, arch(), stream=stream)
+
+
+def test_exhausted_stream_raises(workload, stream):
+    program, trace = workload
+    truncated = PredictionStream(
+        program_name=stream.program_name,
+        trace_seed=stream.trace_seed,
+        trace_instructions=stream.trace_instructions,
+        trace_blocks=stream.trace_blocks,
+        digest=stream.digest,
+        outcome=stream.outcome[:4],
+        cause=stream.cause[:4],
+        penalty=stream.penalty[:4],
+        delay=stream.delay[:4],
+        wslots=stream.wslots[:4],
+        wstart=stream.wstart[:4],
+        pht_index=stream.pht_index[:4],
+        pred_taken=stream.pred_taken[:4],
+        wp_off=stream.wp_off[:5],
+        wp_pc=stream.wp_pc,
+        wp_n=stream.wp_n,
+    )
+    with pytest.raises(SimulationError, match="exhausted"):
+        simulate(program, trace, arch(), stream=truncated)
+
+
+def test_branch_schedule_validated():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="branch_schedule"):
+        SimConfig(branch_schedule="speculative")
+
+
+# -- persistence -------------------------------------------------------------
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, workload, stream, tmp_path):
+        directory = tmp_path / "stream"
+        stream.save(directory)
+        for mmap in (False, True):
+            loaded = PredictionStream.load(directory, mmap=mmap)
+            program, trace = workload
+            assert simulate(program, trace, arch(), stream=loaded) == simulate(
+                program, trace, arch(), stream=stream
+            )
+
+    def test_artifact_cache_round_trip(self, workload, stream, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_stream("gcc", TRACE_LENGTH, SEED, stream)
+        loaded = cache.load_stream("gcc", TRACE_LENGTH, SEED, stream.digest)
+        assert loaded is not None
+        assert loaded.n_records == stream.n_records
+
+    def test_corruption_is_a_miss(self, workload, stream, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_stream("gcc", TRACE_LENGTH, SEED, stream)
+        directory = cache.stream_dir("gcc", TRACE_LENGTH, SEED, stream.digest)
+        (directory / "outcome.npy").write_bytes(b"garbage")
+        assert cache.load_stream("gcc", TRACE_LENGTH, SEED, stream.digest) is None
+
+    def test_identity_mismatch_is_a_miss(self, workload, stream, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_stream("gcc", TRACE_LENGTH, SEED, stream)
+        assert cache.load_stream("gcc", TRACE_LENGTH, SEED + 1, stream.digest) is None
+        assert cache.load_stream("gcc", TRACE_LENGTH, SEED, "0" * 16) is None
+        # Longer trace than recorded: the stream cannot cover it.
+        assert (
+            cache.load_stream("gcc", TRACE_LENGTH * 2, SEED, stream.digest) is None
+        )
+
+    def test_prune_reclaims_stale_streams(self, stream, tmp_path):
+        import json
+
+        cache = ArtifactCache(tmp_path)
+        cache.store_stream("gcc", TRACE_LENGTH, SEED, stream)
+        current = cache.stream_dir("gcc", TRACE_LENGTH, SEED, stream.digest)
+        stale = current.parent / f"stream-f0-{stream.digest}"
+        stale.mkdir()
+        (stale / "meta.json").write_text(json.dumps({"format": 0}))
+        stats = cache.prune()
+        assert stats.entries == 1
+        assert stats.bytes_freed > 0
+        assert not stale.exists()
+        assert current.is_dir()
+
+
+# -- runner / parallel wiring ------------------------------------------------
+
+
+class TestRunnerWiring:
+    def test_serial_runner_replays_eligible_cells(self, tmp_path):
+        obs = Observer(profiler=PhaseProfiler())
+        runner = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000,
+            observer=obs, cache_dir=str(tmp_path),
+        )
+        results = runner.run_policies("gcc", arch())
+        assert obs.registry.value("stream.builds") == 1
+        assert obs.registry.value("stream.replays") == len(ALL_POLICIES)
+        # Bypass for an ineligible (timing, real-cache) cell: no replay.
+        runner.run("gcc", SimConfig())
+        assert obs.registry.value("stream.replays") == len(ALL_POLICIES)
+        # replay="off" matches replay="auto" bit for bit.
+        off = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000, replay="off"
+        )
+        assert off.run_policies("gcc", arch()) == results
+
+    def test_second_runner_hits_stream_cache(self, tmp_path):
+        first = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000,
+            cache_dir=str(tmp_path),
+        )
+        first.run("gcc", arch())
+        obs = Observer()
+        second = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000,
+            observer=obs, cache_dir=str(tmp_path),
+        )
+        second.run("gcc", arch())
+        assert obs.registry.value("stream.cache_hits") == 1
+        assert obs.registry.value("stream.builds") == 0
+
+    def test_corrupt_cached_stream_rebuilt(self, tmp_path):
+        first = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000,
+            cache_dir=str(tmp_path),
+        )
+        baseline = first.run("gcc", arch())
+        directory = first.artifacts.stream_dir(
+            "gcc", TRACE_LENGTH, SEED, stream_digest(arch())
+        )
+        (directory / "penalty.npy").write_bytes(b"junk")
+        obs = Observer()
+        second = SimulationRunner(
+            trace_length=TRACE_LENGTH, seed=SEED, warmup=1_000,
+            observer=obs, cache_dir=str(tmp_path),
+        )
+        assert second.run("gcc", arch()) == baseline
+        assert obs.registry.value("stream.builds") == 1
+        assert obs.registry.value("stream.cache_hits") == 0
+
+    def test_invalid_replay_mode_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="replay"):
+            SimulationRunner(replay="maybe")
+        with pytest.raises(ExperimentError, match="replay"):
+            ParallelRunner(replay="maybe")
+
+
+class TestParallelWiring:
+    JOBS = [
+        ("li", arch(policy=policy)) for policy in ALL_POLICIES
+    ] + [("li", SimConfig())]
+
+    def test_parallel_matches_serial_with_replay(self, tmp_path):
+        obs = Observer(profiler=PhaseProfiler())
+        serial = SimulationRunner(
+            trace_length=6_000, seed=SEED, warmup=500,
+            observer=obs, cache_dir=str(tmp_path / "serial"),
+        )
+        serial_results = [serial.run(n, c) for n, c in self.JOBS]
+        parallel = ParallelRunner(
+            trace_length=6_000, seed=SEED, warmup=500, max_workers=2,
+            collect_metrics=True, cache_dir=str(tmp_path / "parallel"),
+        )
+        assert parallel.run_jobs(self.JOBS) == serial_results
+        for key in ("stream.builds", "stream.cache_hits", "stream.replays"):
+            assert parallel.metrics.value(key) == obs.registry.value(key), key
+
+    def test_workers_mmap_cached_streams(self, tmp_path):
+        cache_dir = str(tmp_path / "shared")
+        first = ParallelRunner(
+            trace_length=6_000, seed=SEED, warmup=500, max_workers=2,
+            collect_metrics=True, cache_dir=cache_dir,
+        )
+        baseline = first.run_jobs(self.JOBS)
+        assert first.metrics.value("stream.builds") == 1
+        # The stream landed in the shared cache...
+        digest = stream_digest(arch())
+        directory = ArtifactCache(cache_dir).stream_dir(
+            "li", 6_000, SEED, digest
+        )
+        assert (directory / "meta.json").is_file()
+        # ...and a second sweep loads (mmaps) it instead of rebuilding.
+        second = ParallelRunner(
+            trace_length=6_000, seed=SEED, warmup=500, max_workers=2,
+            collect_metrics=True, cache_dir=cache_dir,
+        )
+        assert second.run_jobs(self.JOBS) == baseline
+        assert second.metrics.value("stream.builds") == 0
+        assert second.metrics.value("stream.cache_hits") == 1
+
+    def test_parallel_replay_off(self, tmp_path):
+        on = ParallelRunner(
+            trace_length=6_000, seed=SEED, warmup=500, max_workers=2,
+            cache_dir=str(tmp_path),
+        )
+        off = ParallelRunner(
+            trace_length=6_000, seed=SEED, warmup=500, max_workers=2,
+            replay="off",
+        )
+        assert on.run_jobs(self.JOBS) == off.run_jobs(self.JOBS)
+
+
+# -- replay facade details ---------------------------------------------------
+
+
+def test_facade_publishes_live_schema(workload, stream):
+    program, trace = workload
+    config = arch()
+    unit = ReplayBranchUnit(stream, config)
+    engine_registry = MetricsRegistry()
+    unit.publish_metrics(engine_registry)
+    # Before any prediction: all-zero counters with the live schema.
+    assert engine_registry.value("branch.conditional") == 0
+    assert engine_registry.value("branch.correct") == 0
+
+
+def test_stream_build_event_emitted(tmp_path):
+    from repro.obs.events import RingBufferSink, StreamBuild
+
+    sink = RingBufferSink()
+    obs = Observer(sink=sink, profiler=PhaseProfiler())
+    runner = SimulationRunner(
+        trace_length=6_000, seed=SEED, warmup=500, observer=obs,
+        cache_dir=str(tmp_path),
+    )
+    runner.run("li", arch())
+    events = sink.of_type(StreamBuild)
+    assert len(events) == 1
+    assert events[0].source == "build"
+    assert events[0].records > 0

@@ -1,0 +1,93 @@
+"""SIM010 (branch-seam): branch units built only through the factory seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+POSITIVE = [
+    pytest.param(
+        "unit = BranchUnit(btb_sets=512)\n", id="module-level"
+    ),
+    pytest.param(
+        "def run(config):\n"
+        "    return BranchUnit(btb_sets=config.btb_sets)\n",
+        id="inside-other-function",
+    ),
+    pytest.param(
+        "from repro.branch import unit as bu\n"
+        "def run():\n"
+        "    return bu.BranchUnit()\n",
+        id="attribute-construction",
+    ),
+    pytest.param(
+        "def run(stream, config):\n"
+        "    return ReplayBranchUnit(stream, config)\n",
+        id="replay-facade",
+    ),
+    pytest.param(
+        "class Harness:\n"
+        "    def setup(self):\n"
+        "        self.unit = BranchUnit()\n",
+        id="method",
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "def build_branch_unit(config, stream=None):\n"
+        "    if stream is not None:\n"
+        "        return ReplayBranchUnit(stream, config)\n"
+        "    return BranchUnit(btb_sets=config.btb_sets)\n",
+        id="the-seam-itself",
+    ),
+    pytest.param(
+        "def make_paper_branch_unit(pht_bits):\n"
+        "    return BranchUnit(pht_bits=pht_bits)\n",
+        id="paper-factory",
+    ),
+    pytest.param(
+        "def run(config):\n"
+        "    return build_branch_unit(config)\n",
+        id="calls-through-seam",
+    ),
+    pytest.param(
+        "def make_paper_branch_unit(pht_bits):\n"
+        "    def inner():\n"
+        "        return BranchUnit(pht_bits=pht_bits)\n"
+        "    return inner()\n",
+        id="nested-inside-factory",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_direct_construction(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM010")
+    assert rule_ids(findings) == ["SIM010"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_factory_construction(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM010")
+    assert findings == []
+
+
+def test_scoped_to_sim_modules() -> None:
+    # Tooling/report code may build units directly (e.g. microbenchmarks).
+    findings = run_rules(
+        "unit = BranchUnit()\n", module="repro.report.tables", select="SIM010"
+    )
+    assert findings == []
+
+
+def test_suppressible_inline() -> None:
+    findings = run_rules(
+        "unit = BranchUnit()  # simlint: disable=SIM010\n",
+        module="repro.core.fixture",
+        select="SIM010",
+    )
+    assert findings == []

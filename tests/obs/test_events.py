@@ -18,6 +18,7 @@ from repro.obs.events import (
     PrefetchIssue,
     Redirect,
     RingBufferSink,
+    StreamBuild,
     SweepIncident,
     event_from_dict,
     event_to_dict,
@@ -32,6 +33,7 @@ SAMPLES = (
     PrefetchIssue(t=2, line=8, kind="next_line", done=22),
     FillInstall(t=30, line=8, origin="prefetch"),
     SweepIncident(t=0, benchmark="li", kind="retry", detail="InjectedFault", attempt=1),
+    StreamBuild(t=0, benchmark="gcc", records=412, source="cache"),
 )
 
 

@@ -1,0 +1,104 @@
+"""Property-based tests of prediction-stream replay.
+
+Random programs, random replay-eligible configurations: replay through a
+freshly recorded stream must be bit-identical to the live predictor —
+results *and* published metrics — across policies, associativities, and
+warmup prefixes.  A second property pins the serial-vs-parallel metric
+contract: a parallel sweep's merged registry equals the serial observed
+sweep's, stream counters included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ALL_POLICIES, CacheConfig, SimConfig
+from repro.core.engine import simulate
+from repro.branch.stream import build_stream
+from repro.obs import Observer
+from repro.program import BiasedBehaviour, LoopBehaviour, ProgramBuilder
+from repro.trace.generator import generate_trace
+
+
+@st.composite
+def random_programs(draw):
+    """A random but valid single-function diamond/loop program."""
+    builder = ProgramBuilder("random")
+    main = builder.function("main")
+    main.block("entry", draw(st.integers(min_value=1, max_value=10)))
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        if draw(st.booleans()):
+            behaviour = BiasedBehaviour(draw(st.floats(0.0, 1.0)))
+        else:
+            behaviour = LoopBehaviour(draw(st.integers(1, 10)))
+        main.cond(
+            f"d{i}",
+            draw(st.integers(min_value=1, max_value=10)),
+            target=f"j{i}",
+            behaviour=behaviour,
+        )
+        main.block(f"t{i}", draw(st.integers(min_value=1, max_value=8)))
+        main.block(f"j{i}", draw(st.integers(min_value=1, max_value=8)))
+    main.jump("wrap", 1, target="entry")
+    return builder.build()
+
+
+@st.composite
+def replay_cells(draw):
+    """(program, trace, config, warmup) for a replay-eligible cell."""
+    program = draw(random_programs())
+    n = draw(st.integers(min_value=200, max_value=2_000))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    trace = generate_trace(program, n, seed=seed)
+    config = SimConfig(
+        policy=draw(st.sampled_from(ALL_POLICIES)),
+        cache=CacheConfig(assoc=draw(st.sampled_from([1, 2, 4]))),
+        prefetch=draw(st.booleans()),
+        branch_schedule="architectural",
+    )
+    warmup = draw(st.integers(min_value=0, max_value=n // 2))
+    return program, trace, config, warmup
+
+
+@given(replay_cells())
+@settings(max_examples=40, deadline=None)
+def test_replay_bit_identical_to_live(cell):
+    program, trace, config, warmup = cell
+    stream = build_stream(program, trace, config)
+    live_obs = Observer()
+    replay_obs = Observer()
+    live = simulate(program, trace, config, warmup=warmup, observer=live_obs)
+    replay = simulate(
+        program, trace, config, warmup=warmup, observer=replay_obs,
+        stream=stream,
+    )
+    assert live == replay
+    assert live_obs.registry.as_dict() == replay_obs.registry.as_dict()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=500, max_value=1_500),
+)
+@settings(max_examples=5, deadline=None)
+def test_serial_and_parallel_registries_agree_under_replay(seed, n, tmp_path_factory):
+    from repro.core.parallel import ParallelRunner
+    from repro.core.runner import SimulationRunner
+    from repro.obs.profile import PhaseProfiler
+
+    tmp = tmp_path_factory.mktemp("replay-registries")
+    jobs = [
+        ("li", SimConfig(policy=policy, branch_schedule="architectural"))
+        for policy in ALL_POLICIES[:3]
+    ]
+    obs = Observer(profiler=PhaseProfiler())
+    serial = SimulationRunner(
+        trace_length=n, seed=seed, warmup=0, observer=obs,
+        cache_dir=str(tmp / f"s{seed}-{n}"),
+    )
+    serial_results = [serial.run(name, config) for name, config in jobs]
+    parallel = ParallelRunner(
+        trace_length=n, seed=seed, warmup=0, max_workers=1,
+        collect_metrics=True, cache_dir=str(tmp / f"p{seed}-{n}"),
+    )
+    assert parallel.run_jobs(jobs) == serial_results
+    assert parallel.metrics.as_dict() == obs.registry.as_dict()

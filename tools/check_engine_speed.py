@@ -1,10 +1,16 @@
-"""Engine hot-loop speed guard.
+"""Engine hot-loop and stream-replay speed guard.
 
 Re-measures serial engine throughput (same protocol as the trajectory
 emitter in ``benchmarks/bench_engine_speed.py``: gcc, 200k instructions,
 best-of-N) and fails if any measured configuration is more than
 ``--tolerance`` (default 10%) slower than the ``serial_ips`` numbers
 recorded in ``BENCH_engine.json``.
+
+When the trajectory records a ``stream_replay`` section, the replay
+sweep is also re-measured: the warm replayed multi-policy sweep must
+stay at least ``--replay-floor`` (default 1.5) times faster than the
+live sweep, and must not be more than ``--tolerance`` slower than the
+stored warm timing.
 
 Usage::
 
@@ -54,6 +60,22 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="trajectory file to guard against (default %(default)s)",
     )
+    parser.add_argument(
+        "--replay-floor",
+        type=float,
+        default=1.5,
+        help="minimum warm replay-sweep speedup over the live sweep "
+        "(default 1.5)",
+    )
+    parser.add_argument(
+        "--replay-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the warm replay sweep vs "
+        "BENCH_engine.json (default 0.25; looser than --tolerance because "
+        "the sweep is sub-second and noisier — the speedup floor is the "
+        "primary replay invariant)",
+    )
     args = parser.parse_args(argv)
 
     if not os.path.exists(args.baseline):
@@ -64,9 +86,10 @@ def main(argv=None) -> int:
         )
         return 2
     with open(args.baseline, encoding="utf-8") as handle:
-        baseline = json.load(handle)["serial_ips"]
+        trajectory = json.load(handle)
+    baseline = trajectory["serial_ips"]
 
-    from benchmarks.bench_engine_speed import _serial_rates
+    from benchmarks.bench_engine_speed import _replay_sweep, _serial_rates
 
     rates = _serial_rates(repeats=args.repeats)
     failures = []
@@ -86,6 +109,29 @@ def main(argv=None) -> int:
                 "intended (or the machine changed), re-emit the trajectory "
                 "with: PYTHONPATH=src python benchmarks/bench_engine_speed.py"
             )
+
+    stored_replay = trajectory.get("stream_replay")
+    if stored_replay is not None:
+        replay = _replay_sweep(repeats=3)
+        print(
+            f"{'replay_sweep':>16}: live {replay['live_s']:.3f}s, warm "
+            f"{replay['warm_s']:.3f}s ({replay['speedup']:.2f}x; stored "
+            f"{stored_replay['speedup']:.2f}x)"
+        )
+        if replay["speedup"] < args.replay_floor:
+            failures.append(
+                f"replay sweep speedup {replay['speedup']:.2f}x is below the "
+                f"{args.replay_floor:.2f}x floor; the replay path has lost "
+                "its reason to exist — profile ReplayBranchUnit.predict"
+            )
+        warm_ratio = replay["warm_s"] / stored_replay["warm_s"]
+        if warm_ratio > 1.0 + args.replay_tolerance:
+            failures.append(
+                f"warm replay sweep is {(warm_ratio - 1.0) * 100:.1f}% slower "
+                f"than BENCH_engine.json ({stored_replay['warm_s']}s); "
+                "re-emit the trajectory if this is intended"
+            )
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
