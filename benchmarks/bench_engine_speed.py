@@ -267,6 +267,69 @@ def _replay_sweep(repeats=3, trace_length=20_000):
     }
 
 
+def _vector_sweep(repeats=3, trace_length=100_000):
+    """Event loop vs vectorized backend on replay-eligible cells.
+
+    Architectural branch schedule, gcc, one shared prediction stream;
+    both backends replay it, so the comparison isolates the engine
+    itself.  ``perfect_cache`` cells vectorize fully (no cache-timing
+    feedback) and carry the speedup floor guarded by
+    ``tools/check_engine_speed.py --vector-floor``; ``real_cache``
+    cells (8K direct-mapped) keep scalar work at every miss and redirect
+    and are recorded honestly alongside.  Every cell is asserted
+    bit-identical across backends before any number is reported.
+    """
+    from repro.branch.stream import build_stream
+
+    program = build_workload("gcc")
+    trace = generate_trace(program, trace_length, seed=3)
+    groups = {
+        "perfect_cache": [
+            SimConfig(
+                policy=policy,
+                branch_schedule="architectural",
+                perfect_cache=True,
+            )
+            for policy in ALL_POLICIES
+        ],
+        "real_cache": [
+            SimConfig(
+                policy=policy,
+                branch_schedule="architectural",
+                cache=CacheConfig(size_bytes=8_192),
+            )
+            for policy in ALL_POLICIES
+        ],
+    }
+    stream = build_stream(program, trace, groups["perfect_cache"][0])
+    out = {"trace_length": trace_length}
+    for name, configs in groups.items():
+        def sweep(backend, configs=configs):
+            return [
+                simulate(
+                    program,
+                    trace,
+                    replace(config, engine_backend=backend),
+                    stream=stream,
+                )
+                for config in configs
+            ]
+
+        event_s, event = _best_of(repeats, lambda: sweep("event"))
+        vector_s, vector = _best_of(repeats, lambda: sweep("vector"))
+        for ev, vec in zip(event, vector):
+            assert ev == replace(vec, config=ev.config), (
+                f"vector backend diverged from event loop ({name})"
+            )
+        out[name] = {
+            "cells": len(configs),
+            "event_s": round(event_s, 4),
+            "vector_s": round(vector_s, 4),
+            "speedup": round(event_s / vector_s, 2),
+        }
+    return out
+
+
 def emit(path):
     """Measure everything and write the trajectory JSON to *path*."""
     import json
@@ -275,6 +338,7 @@ def emit(path):
     parallel_ips, n_jobs = _parallel_rate()
     cache = _artifact_cache_sweep()
     replay = _replay_sweep()
+    vector = _vector_sweep()
     payload = {
         "protocol": {
             "workload": "gcc",
@@ -286,6 +350,7 @@ def emit(path):
         "parallel": {"ips": parallel_ips, "jobs": n_jobs},
         "artifact_cache": cache,
         "stream_replay": replay,
+        "vector_backend": vector,
         "hot_loop": {
             "pre_fast_path_ips": PRE_FAST_PATH_IPS,
             "ips": serial,

@@ -183,6 +183,12 @@ class SimConfig:
     #: Run the shadow-Oracle miss classifier (paper's Table 4; only
     #: meaningful with the OPTIMISTIC policy).
     classify: bool = False
+    #: Engine backend: ``"event"`` (the exact per-instruction event loop),
+    #: ``"vector"`` (the NumPy batch backend over replayed branch
+    #: streams; falls back to the event loop on ineligible cells), or
+    #: ``"auto"`` (vector when a prediction stream is supplied and the
+    #: cell is vector-eligible; see docs/performance.md).
+    engine_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -248,6 +254,11 @@ class SimConfig:
             raise ConfigError(
                 "miss classification requires the OPTIMISTIC policy "
                 "(it compares Optimistic against a shadow Oracle)"
+            )
+        if self.engine_backend not in ("auto", "event", "vector"):
+            raise ConfigError(
+                f"unknown engine_backend {self.engine_backend!r} "
+                "(expected 'auto', 'event', or 'vector')"
             )
 
     # -- derived slot quantities (1 cycle = issue_width slots) -------------

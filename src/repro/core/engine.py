@@ -115,6 +115,8 @@ class FetchEngine:
     without it.
     """
 
+    backend = "event"
+
     def __init__(
         self,
         program: Program,
@@ -1021,6 +1023,41 @@ class FetchEngine:
             registry.inc("classify.oracle_fills", counts.oracle_fills)
 
 
+def build_engine(
+    program: Program,
+    config: SimConfig,
+    observer: Observer | None = None,
+    stream=None,
+):
+    """Construct the engine backend for one cell.
+
+    The backend-selection seam, mirroring ``build_branch_unit``: every
+    simulation obtains its engine here so ``SimConfig.engine_backend``
+    can swap the vectorized batch backend in for the event loop.  With
+    ``"auto"`` (the default) or ``"vector"``, the vector backend is used
+    only when the cell can actually run on it: a recorded stream must be
+    available, the config must be vector-eligible (see
+    :func:`repro.core.vector.vector_eligible`), and no event sink may be
+    listening (cycle-level events only exist in the event loop).  Every
+    other case — including an explicit ``"vector"`` request on an
+    ineligible cell — falls back to the event loop; the returned
+    engine's ``backend`` attribute ("event" / "vector") records the
+    choice.  Results are bit-identical either way
+    (tests/core/test_engine_backends.py).
+    """
+    if config.engine_backend != "event" and stream is not None:
+        # Deferred import: repro.core.vector imports repro.branch.stream.
+        from repro.core.vector import VectorEngine, vector_eligible
+
+        if vector_eligible(config) and (
+            observer is None or not observer.sink.enabled
+        ):
+            return VectorEngine(
+                FetchEngine(program, config, observer=observer, stream=stream)
+            )
+    return FetchEngine(program, config, observer=observer, stream=stream)
+
+
 def simulate(
     program: Program,
     trace: Trace,
@@ -1035,8 +1072,10 @@ def simulate(
     and the end-of-run metrics publication; it never changes the result.
     *stream*, when given, replays a recorded
     :class:`~repro.branch.stream.PredictionStream` instead of running the
-    live predictor (bit-identical for replay-eligible configs).
+    live predictor (bit-identical for replay-eligible configs), and —
+    unless ``config.engine_backend`` forbids it — enables the vectorized
+    batch backend for eligible cells (see :func:`build_engine`).
     """
-    return FetchEngine(program, config, observer=observer, stream=stream).run(
+    return build_engine(program, config, observer=observer, stream=stream).run(
         trace, warmup_instructions=warmup
     )

@@ -54,7 +54,7 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures import BrokenExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import ALL_POLICIES, FetchPolicy, SimConfig
 from repro.core.checkpoint import CheckpointJournal
@@ -250,6 +250,7 @@ class ParallelRunner:
         checkpoint_dir: str | None = None,
         fault_plan=None,
         replay: str = "auto",
+        engine: str = "auto",
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -275,6 +276,10 @@ class ParallelRunner:
             raise ExperimentError(
                 f"replay must be 'auto' or 'off': {replay!r}"
             )
+        if engine not in ("auto", "event", "vector"):
+            raise ExperimentError(
+                f"engine must be 'auto', 'event' or 'vector': {engine!r}"
+            )
         self.trace_length = trace_length
         self.seed = seed
         self.warmup = warmup
@@ -293,6 +298,11 @@ class ParallelRunner:
         #: Prediction-stream replay mode handed to every worker
         #: (``"auto"`` replays eligible cells, ``"off"`` never does).
         self.replay = replay
+        #: Engine backend override applied to every job before it is
+        #: dispatched (``"auto"`` leaves configs untouched; see
+        #: ``SimulationRunner``): workers then route each cell through
+        #: the ``build_engine`` seam as usual.
+        self.engine = engine
         #: Merged worker metrics from the most recent ``run_jobs`` (always
         #: a registry; empty unless ``collect_metrics`` or the sweep
         #: needed fault-tolerance machinery, whose ``sweep.*`` counters
@@ -303,6 +313,12 @@ class ParallelRunner:
         #: Structured failure report from the most recent ``run_jobs``
         #: (non-empty only under ``on_error="skip"``).
         self.failures: list[SweepFailure] = []
+
+    def _effective_config(self, config: SimConfig) -> SimConfig:
+        """*config* with the runner's engine-backend override applied."""
+        if self.engine == "auto" or config.engine_backend == self.engine:
+            return config
+        return replace(config, engine_backend=self.engine)
 
     # -- fault-tolerant execution -------------------------------------------
 
@@ -329,6 +345,7 @@ class ParallelRunner:
         # the remainder by benchmark, remembering original positions.
         grouped: dict[str, _Batch] = {}
         for position, (name, config) in enumerate(jobs):
+            config = self._effective_config(config)
             if journal.enabled:
                 hit = journal.load(
                     name, config, self.trace_length, self.warmup, self.seed

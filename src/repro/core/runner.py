@@ -22,7 +22,7 @@ from __future__ import annotations
 import contextlib
 import time
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.branch.stream import (
     PredictionStream,
@@ -89,6 +89,7 @@ class SimulationRunner:
         checkpoint_dir: str | None = None,
         fault_plan: FaultPlan | None = None,
         replay: str = "auto",
+        engine: str = "auto",
     ) -> None:
         if trace_length < 1:
             raise ExperimentError(f"trace_length must be >= 1: {trace_length}")
@@ -111,6 +112,10 @@ class SimulationRunner:
         if replay not in ("auto", "off"):
             raise ExperimentError(
                 f"replay must be 'auto' or 'off': {replay!r}"
+            )
+        if engine not in ("auto", "event", "vector"):
+            raise ExperimentError(
+                f"engine must be 'auto', 'event' or 'vector': {engine!r}"
             )
         self.trace_length = trace_length
         self.seed = seed
@@ -142,6 +147,12 @@ class SimulationRunner:
         #: perfect cache; see ``repro.branch.stream``), ``"off"`` always
         #: runs the live predictor.
         self.replay = replay
+        #: Engine backend override applied to every cell: ``"auto"``
+        #: leaves ``config.engine_backend`` untouched (each cell decides
+        #: through the ``build_engine`` seam), ``"event"`` / ``"vector"``
+        #: force the corresponding backend (ineligible cells still fall
+        #: back to the event loop; see ``repro.core.vector``).
+        self.engine = engine
         #: Structured failure report (``on_error="skip"`` cells).
         self.failures: list[SweepFailure] = []
         # In-memory memos.  The keys repeat the runner attributes each
@@ -280,6 +291,12 @@ class SimulationRunner:
                     )
         return self._traces[key]
 
+    def _effective_config(self, config: SimConfig) -> SimConfig:
+        """*config* with the runner's engine-backend override applied."""
+        if self.engine == "auto" or config.engine_backend == self.engine:
+            return config
+        return replace(config, engine_backend=self.engine)
+
     def prepared(self, name: str) -> WorkloadRun:
         """Program and trace for *name*, building them if needed."""
         # Trace first: an artifact-cache hit satisfies the program memo
@@ -352,6 +369,7 @@ class SimulationRunner:
         a retried attempt re-publishes nothing twice and recovered runs
         stay bit-identical to undisturbed ones.
         """
+        config = self._effective_config(config)
         if self.checkpoint.enabled:
             hit = self.checkpoint.load(
                 name, config, self.trace_length, self.warmup, self.seed

@@ -1,0 +1,1043 @@
+"""Vectorized batch engine backend over replayed prediction streams.
+
+The event-loop engine (:mod:`repro.core.engine`) dispatches one Python
+bytecode sequence per basic block; with prediction-stream replay (PR 5)
+the branch outcomes are already materialized as NumPy arrays, so for
+replay-eligible cells the remaining interpreter overhead is pure
+bookkeeping.  This module removes it: the trace is lowered once into a
+flat *probe stream* (one entry per cache-line access the event loop
+would make), segmented at the replayed redirect boundaries, and the
+i-cache state between redirects is advanced with NumPy kernels —
+set-index/tag arithmetic, bulk tag matching with find-first-miss,
+LRU-stack span updates, and latency accumulation over whole runs.
+Misses, wrong-path walks and the single-slot fill station fall back to
+exact scalar mirrors of the event-loop code, so every counter and every
+stall slot is reproduced **bit-identically** (enforced by
+tests/core/test_engine_backends.py and the hypothesis kernel suite).
+
+Eligibility is stricter than replay eligibility: timing-coupled
+front-end extensions (prefetchers, stream buffers, L2, multi-entry fill
+stations, the lockstep miss classifier) interleave with the fetch clock
+in ways that have no batch formulation here, so those cells keep the
+event loop.  ``build_engine`` (repro.core.engine) makes the choice; the
+published EXPERIMENTS numbers all run through the event loop and are
+unchanged by construction.
+
+The depth-gate model
+--------------------
+
+The event loop gates conditional-branch fetch on a FIFO of unresolved
+branches, popping entries as the clock passes their resolve times.  The
+vector backend keeps only the last ``max_unresolved`` *append* times
+(``recent``): because resolve times are strictly increasing and pops
+only happen at ``now <= t``, the queue is full at a gate point iff the
+``max_unresolved``-th most recent resolve time still lies in the future
+— i.e. ``len(recent) == depth and recent[0] > t``.  The same argument
+makes ``recent[-1]`` equivalent to the live queue's tail for the
+Pessimistic force-resolve guard: a popped tail satisfies
+``recent[-1] <= t`` and can never raise the guard above ``t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.branch.stream import replay_eligible
+from repro.branch.unit import BranchStats
+from repro.config import FetchPolicy, SimConfig
+from repro.core.results import EngineCounters, PenaltyAccumulator, SimulationResult
+from repro.core.wrongpath import iter_lines_from_runs
+from repro.errors import SimulationError
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.trace.event import Trace
+
+_PLAIN = int(InstrKind.PLAIN)
+_COND = int(InstrKind.COND_BRANCH)
+
+#: Line-origin codes in the NumPy tag mirror (the eligible cells never
+#: prefetch, so LineOrigin.PREFETCH has no code here).
+_ORG_RIGHT = 0
+_ORG_WRONG = 1
+
+#: Segments shorter than this many probes are walked one probe at a time
+#: through the scalar mirror; per-window NumPy call overhead (~2us per
+#: array op) exceeds the vectorization win below roughly this size.
+_SCALAR_SEGMENT = 32
+
+
+def vector_eligible(config: SimConfig) -> bool:
+    """Can *config* run on the vectorized backend (given a stream)?
+
+    Replay eligibility is necessary (the backend consumes the recorded
+    outcome arrays); on top of that, every timing-coupled front-end
+    extension disqualifies the cell — those paths interleave with the
+    fetch clock per probe and only exist in the event loop.
+    """
+    return (
+        replay_eligible(config)
+        and not config.prefetch
+        and not config.target_prefetch
+        and config.stream_buffers == 0
+        and not config.classify
+        and config.l2_size_bytes is None
+        and config.fill_buffers == 1
+    )
+
+
+# -- kernels -----------------------------------------------------------------
+#
+# Each kernel is pure (or mutates only its designated state arrays) and
+# has a straight-Python reference implementation in
+# tests/properties/test_vector_kernels.py.
+
+
+def split_sets(lines, set_mask: int, set_shift: int):
+    """Set-index / tag split of an array of line numbers."""
+    lines = np.asarray(lines, dtype=np.int64)
+    return lines & set_mask, lines >> set_shift
+
+
+def expand_runs(run_pc, run_n, line_size: int):
+    """Expand instruction runs into per-line probes.
+
+    Mirrors the event loop's ``_issue_run`` chunking: a run of *n*
+    instructions starting at *pc* probes each cache line it touches
+    once, issuing ``min(per_line - idx % per_line, remaining)``
+    instructions from it.  Returns ``(probe_run, probe_line,
+    probe_chunk)`` with one entry per probe.
+    """
+    run_pc = np.asarray(run_pc, dtype=np.int64)
+    run_n = np.asarray(run_n, dtype=np.int64)
+    shift = line_size.bit_length() - 1
+    first = run_pc >> shift
+    last = (run_pc + (run_n - 1) * INSTRUCTION_SIZE) >> shift
+    count = last - first + 1
+    total = int(count.sum())
+    probe_run = np.repeat(np.arange(len(run_pc), dtype=np.int64), count)
+    offsets = np.cumsum(count) - count
+    within = np.arange(total, dtype=np.int64) - offsets[probe_run]
+    probe_line = first[probe_run] + within
+    per_line = line_size // INSTRUCTION_SIZE
+    idx0 = run_pc // INSTRUCTION_SIZE
+    lo = np.maximum(probe_line * per_line, idx0[probe_run])
+    hi = np.minimum((probe_line + 1) * per_line, idx0[probe_run] + run_n[probe_run])
+    probe_chunk = hi - lo
+    return probe_run, probe_line, probe_chunk
+
+
+def match_tags(tag_state, sets, tags):
+    """Bulk tag match: hit mask for probes against the tag mirror.
+
+    ``tag_state`` is either the direct-mapped per-set tag array (1-D,
+    ``-1`` = empty) or the set-associative ``(n_sets, assoc)`` table
+    (invalid ways hold ``-1``; real tags are non-negative).
+    """
+    state = np.asarray(tag_state)
+    sets = np.asarray(sets, dtype=np.int64)
+    tags = np.asarray(tags, dtype=np.int64)
+    if state.ndim == 1:
+        return state[sets] == tags
+    return (state[sets] == tags[:, None]).any(axis=1)
+
+
+def lru_update_spans(tag_table, origin_table, counts, sets, tags) -> None:
+    """Apply a hit-only access span to the LRU tag table, in place.
+
+    Every ``(set, tag)`` access must be a hit.  Sequentially moving each
+    accessed way to the MRU slot leaves: untouched ways first in their
+    original relative order, then the touched tags ordered by *last*
+    access.  The kernel computes that final arrangement directly —
+    last-access order per set via a lexsort — instead of replaying the
+    accesses one by one.
+    """
+    sets = np.asarray(sets, dtype=np.int64)
+    tags = np.asarray(tags, dtype=np.int64)
+    if sets.size == 0:
+        return
+    pos = np.arange(sets.size)
+    order = np.lexsort((pos, tags, sets))
+    s = sets[order]
+    g = tags[order]
+    p = pos[order]
+    last = np.ones(s.size, dtype=bool)
+    last[:-1] = (s[1:] != s[:-1]) | (g[1:] != g[:-1])
+    u_set = s[last]
+    u_tag = g[last]
+    u_pos = p[last]
+    by_access = np.lexsort((u_pos, u_set))
+    u_set = u_set[by_access]
+    u_tag = u_tag[by_access]
+    starts = np.flatnonzero(np.r_[True, u_set[1:] != u_set[:-1]])
+    ends = np.r_[starts[1:], [u_set.size]]
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        set_idx = int(u_set[a])
+        touched = u_tag[a:b].tolist()
+        cnt = int(counts[set_idx])
+        row = tag_table[set_idx]
+        orow = origin_table[set_idx]
+        resident = row[:cnt].tolist()
+        origin_of = dict(zip(resident, orow[:cnt].tolist()))
+        touched_set = set(touched)
+        new_tags = [tg for tg in resident if tg not in touched_set] + touched
+        row[:cnt] = new_tags
+        orow[:cnt] = [origin_of[tg] for tg in new_tags]
+
+
+def depth_gate_positions(base, recent, resolve_slots: int, depth: int):
+    """Gate a sequence of conditional-branch fetch positions.
+
+    ``base`` holds the stall-free issue positions of consecutive gated
+    terminators (every earlier stall shifts all later positions equally,
+    which holds whenever no other timing feedback occurs between them —
+    all-hit spans and perfect-cache runs).  ``recent`` seeds the window
+    of outstanding resolve times.  Returns ``(stalls, issue, recent')``:
+    per-branch stall slots, post-gate issue positions, and the resolve
+    window to carry forward.
+    """
+    base = np.asarray(base, dtype=np.int64)
+    n = base.size
+    window = list(recent)[-depth:] if depth > 0 else []
+    stalls = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return stalls, base.copy(), window
+    m = len(window)
+    if n >= 8:
+        # No-stall fast path: if nothing stalls, the resolve times are
+        # exactly recent ++ (base + resolve_slots), and branch k gates on
+        # the depth-th previous resolve.  If all those lie at or before
+        # base[k], no gate ever fires (induction over k) and the whole
+        # call collapses to array ops.
+        resolves = np.concatenate(
+            [np.asarray(window, dtype=np.int64), base + resolve_slots]
+        )
+        back = np.arange(n) + m - depth
+        valid = back >= 0
+        if not valid.any() or bool(np.all(resolves[back[valid]] <= base[valid])):
+            tail = resolves[-depth:] if depth > 0 else resolves[:0]
+            return stalls, base.copy(), [int(v) for v in tail]
+    issue = np.empty(n, dtype=np.int64)
+    shift = 0
+    for k in range(n):
+        t = int(base[k]) + shift
+        if len(window) == depth and window[0] > t:
+            stall = window[0] - t
+            stalls[k] = stall
+            shift += stall
+            t = window[0]
+        issue[k] = t
+        window.append(t + resolve_slots)
+        if len(window) > depth:
+            del window[0]
+    return stalls, issue, window
+
+
+def accumulate_positions(lengths, extra):
+    """Start positions of consecutive segments: exclusive cumulative sum
+    of per-segment durations (``lengths + extra``)."""
+    total = np.asarray(lengths, dtype=np.int64) + np.asarray(extra, dtype=np.int64)
+    return np.cumsum(total) - total
+
+
+# -- trace lowering (memoized) ----------------------------------------------
+#
+# The record arrays depend only on the trace identity; the probe stream
+# additionally depends on the line size.  Both are keyed the same way
+# require_trace keys stream/trace compatibility, so a sweep over cache
+# geometries re-lowers the trace at most once per line size.
+
+_MEMO_CAP = 8
+
+
+class _TraceArrays:
+    __slots__ = ("starts", "lengths", "kinds", "cum", "ev_rec", "n_records")
+
+    def __init__(self, trace: Trace) -> None:
+        n = trace.n_blocks
+        records = trace.records
+        self.starts = np.fromiter((r[0] for r in records), np.int64, n)
+        self.lengths = np.fromiter((r[1] for r in records), np.int64, n)
+        self.kinds = np.fromiter((r[2] for r in records), np.int64, n)
+        self.cum = np.cumsum(self.lengths)
+        self.ev_rec = np.flatnonzero(self.kinds != _PLAIN)
+        self.n_records = n
+
+
+class _ProbeArrays:
+    __slots__ = ("line", "chunk", "gate", "chunk_cumsum", "last_probe", "n_probes")
+
+    def __init__(self, ta: _TraceArrays, line_size: int) -> None:
+        is_cond = ta.kinds == _COND
+        prefix_n = np.where(is_cond, ta.lengths - 1, ta.lengths)
+        has_prefix = prefix_n > 0
+        runs_per_rec = has_prefix.astype(np.int64) + is_cond
+        run_off = np.cumsum(runs_per_rec) - runs_per_rec
+        total_runs = int(runs_per_rec.sum())
+        run_pc = np.zeros(total_runs, dtype=np.int64)
+        run_n = np.zeros(total_runs, dtype=np.int64)
+        run_gate = np.zeros(total_runs, dtype=bool)
+        prefix_at = run_off[has_prefix]
+        run_pc[prefix_at] = ta.starts[has_prefix]
+        run_n[prefix_at] = prefix_n[has_prefix]
+        term_addr = ta.starts + (ta.lengths - 1) * INSTRUCTION_SIZE
+        term_at = (run_off + has_prefix)[is_cond]
+        run_pc[term_at] = term_addr[is_cond]
+        run_n[term_at] = 1
+        run_gate[term_at] = True
+        run_rec = np.repeat(np.arange(ta.n_records, dtype=np.int64), runs_per_rec)
+        probe_run, self.line, self.chunk = expand_runs(run_pc, run_n, line_size)
+        self.gate = run_gate[probe_run]
+        probe_rec = run_rec[probe_run]
+        probes_per_rec = np.bincount(probe_rec, minlength=ta.n_records)
+        self.last_probe = np.cumsum(probes_per_rec) - 1
+        self.chunk_cumsum = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(self.chunk)]
+        )
+        self.n_probes = int(self.line.size)
+
+
+_trace_memo: dict[tuple, _TraceArrays] = {}
+_probe_memo: dict[tuple, _ProbeArrays] = {}
+
+
+def _memo_get(memo: dict, key: tuple, build):
+    value = memo.get(key)
+    if value is None:
+        if len(memo) >= _MEMO_CAP:
+            memo.pop(next(iter(memo)))
+        value = memo[key] = build()
+    return value
+
+
+def _trace_key(trace: Trace) -> tuple:
+    return (trace.program_name, trace.seed, trace.n_instructions, trace.n_blocks)
+
+
+# -- per-window statistics ---------------------------------------------------
+
+
+class _Window:
+    """One measurement window's counters (warmup or measured).
+
+    Field-for-field what ``_reset_measurement`` zeroes in the event
+    loop: the penalty accumulator, the engine counters, cache stats, bus
+    stats and the station's install counter.
+    """
+
+    __slots__ = (
+        "branch_full",
+        "branch",
+        "rt_icache",
+        "wrong_icache",
+        "bus",
+        "force_resolve",
+        "right_probes",
+        "right_misses",
+        "wrong_probes",
+        "wrong_misses",
+        "right_fills",
+        "wrong_fills",
+        "wrong_instructions",
+        "inflight_merges",
+        "probes",
+        "hits",
+        "misses",
+        "fills",
+        "evictions",
+        "wrongpath_hits",
+        "bus_requests",
+        "bus_wait",
+        "station_installed",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+
+# -- the backend -------------------------------------------------------------
+
+
+class VectorEngine:
+    """Vectorized drop-in for :class:`~repro.core.engine.FetchEngine`.
+
+    Wraps a fully constructed event-loop engine (built for the same
+    cell): the vectorized run writes its final component state back into
+    the wrapped engine and delegates result construction and metric
+    publication to it, so the reported :class:`SimulationResult` and
+    metrics dictionary come from the exact same code path as the event
+    loop's.  Construct only through ``build_engine`` (SIM011).
+    """
+
+    backend = "vector"
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.program = inner.program
+        self.config = inner.config
+        config = inner.config
+        if not vector_eligible(config):
+            raise SimulationError(
+                f"config is not vector-eligible ({config.describe()})"
+            )
+        self.observer = inner.observer
+        self.unit = inner.unit
+        self.cache = inner.cache
+        self.bus = inner.bus
+        self.station = inner.station
+        self._stream = inner.unit.stream
+        self._policy = config.policy
+        self._penalty_slots = config.miss_penalty_slots
+        self._decode_slots = config.decode_latency_slots
+        self._resolve_slots = config.resolve_latency_slots
+        self._depth = config.max_unresolved
+        self._line_size = config.cache.line_size
+        self._interleave = (
+            None
+            if config.bus_interleave_cycles is None
+            else config.bus_interleave_cycles * config.issue_width
+        )
+        if self.cache is not None:
+            self._assoc = self.cache.assoc
+            self._set_mask = self.cache.set_mask
+            self._set_shift = self.cache._set_shift
+            n_sets = self._set_mask + 1
+            if self._assoc == 1:
+                self._tag_state = np.full(n_sets, -1, dtype=np.int64)
+                self._origin_state = np.zeros(n_sets, dtype=np.int8)
+                self._tag_table = None
+                self._origin_table = None
+                self._counts = None
+            else:
+                self._tag_state = None
+                self._origin_state = None
+                self._tag_table = np.full((n_sets, self._assoc), -1, dtype=np.int64)
+                self._origin_table = np.zeros((n_sets, self._assoc), dtype=np.int8)
+                self._counts = np.zeros(n_sets, dtype=np.int64)
+        # Runtime state.
+        self._t = 0
+        self._busy_until = 0
+        self._recent: list[int] = []
+        self._has_station = False
+        self._station_line = -1
+        self._station_done = 0
+        self._wrong_lines = False
+        self._miss_fills = 0
+        self._warm = _Window()
+        self._meas = _Window()
+        self._win = self._meas
+        self._window = 256
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, trace: Trace, warmup_instructions: int = 0) -> SimulationResult:
+        """Simulate *trace*; statistics restart after *warmup_instructions*.
+
+        Same contract (and same validation) as the event loop's ``run``.
+        """
+        inner = self.inner
+        if trace.program_name != inner.program.name:
+            raise SimulationError(
+                f"trace is for {trace.program_name!r}, "
+                f"engine built for {inner.program.name!r}"
+            )
+        if warmup_instructions < 0:
+            raise SimulationError(f"negative warmup {warmup_instructions}")
+        if warmup_instructions >= trace.n_instructions:
+            raise SimulationError(
+                f"warmup {warmup_instructions} consumes the whole trace "
+                f"({trace.n_instructions} instructions)"
+            )
+        self.unit.rewind()
+        self._stream.require_trace(trace)
+        key = _trace_key(trace)
+        ta = _memo_get(_trace_memo, key, lambda: _TraceArrays(trace))
+        if warmup_instructions > 0:
+            boundary_rec = int(
+                np.searchsorted(ta.cum, warmup_instructions, side="left")
+            )
+        else:
+            boundary_rec = 0
+        n_events = int(ta.ev_rec.size)
+        if len(self._stream.outcome) < n_events:
+            # The event loop raises mid-run when its cursor overruns a
+            # truncated stream; the batch backend knows the event count
+            # up front and fails before simulating anything.
+            raise SimulationError(
+                f"prediction stream exhausted after "
+                f"{len(self._stream.outcome)} records (trace/stream "
+                f"mismatch for {self._stream.program_name!r})"
+            )
+        self._ev_outcome = np.asarray(self._stream.outcome)[:n_events]
+        self._ev_cause = np.asarray(self._stream.cause)[:n_events]
+        self._ev_penalty = np.asarray(self._stream.penalty)[:n_events]
+        if self.cache is None:
+            self._run_perfect(ta, boundary_rec)
+        else:
+            pa = _memo_get(
+                _probe_memo,
+                key + (self._line_size,),
+                lambda: _ProbeArrays(ta, self._line_size),
+            )
+            self._run_cached(ta, pa, boundary_rec)
+        return self._finish(trace, ta, boundary_rec)
+
+    # -- perfect cache --------------------------------------------------------
+
+    def _run_perfect(self, ta: _TraceArrays, boundary_rec: int) -> None:
+        """Perfect-cache timeline: pure clock accumulation + depth gate."""
+        redirect = self._ev_outcome != 0
+        pen_per_rec = np.zeros(ta.n_records, dtype=np.int64)
+        pen_per_rec[ta.ev_rec[redirect]] = self._ev_penalty[redirect]
+        rec_start = accumulate_positions(ta.lengths, pen_per_rec)
+        cond_rec = np.flatnonzero(ta.kinds == _COND)
+        base = rec_start[cond_rec] + ta.lengths[cond_rec] - 1
+        stalls, _, _ = depth_gate_positions(
+            base, [], self._resolve_slots, self._depth
+        )
+        meas = self._meas
+        meas.branch_full = int(stalls[cond_rec >= boundary_rec].sum())
+        measured_ev = ta.ev_rec >= boundary_rec
+        meas.branch = int(self._ev_penalty[redirect & measured_ev].sum())
+
+    # -- real cache -----------------------------------------------------------
+
+    def _run_cached(self, ta: _TraceArrays, pa: _ProbeArrays, boundary_rec: int) -> None:
+        self._pa = pa
+        self._probe_set, self._probe_tag = split_sets(
+            pa.line, self._set_mask, self._set_shift
+        )
+        redirect = self._ev_outcome != 0
+        red_ev = np.flatnonzero(redirect)
+        red_probe = pa.last_probe[ta.ev_rec[red_ev]]
+        self._red_ev = red_ev
+        # Scalar-access copies of the per-event stream fields (list
+        # indexing is ~3x faster than ndarray scalar indexing here).
+        self._ev_penalty_l = self.unit._penalty
+        self._ev_delay_l = self.unit._delay
+        self._ev_outcome_l = self.unit._outcome
+        self._ev_wstart_l = self.unit._wstart
+        self._wp_off_l = self.unit._wp_off
+        self._wp_pc_l = self.unit._wp_pc
+        self._wp_n_l = self.unit._wp_n
+        boundary_probe = (
+            int(pa.last_probe[boundary_rec - 1]) + 1 if boundary_rec > 0 else 0
+        )
+        pending_boundary = boundary_probe > 0
+        self._win = self._warm if pending_boundary else self._meas
+        red_probe_l = red_probe.tolist()
+        red_ev_l = red_ev.tolist()
+        n_red = len(red_probe_l)
+        n_probes = pa.n_probes
+        i = 0
+        r = 0
+        while i < n_probes:
+            if pending_boundary and i == boundary_probe:
+                self._win = self._meas
+                pending_boundary = False
+            seg_end = red_probe_l[r] + 1 if r < n_red else n_probes
+            if pending_boundary and boundary_probe < seg_end:
+                seg_end = boundary_probe
+                redirect_here = False
+            else:
+                redirect_here = r < n_red
+            self._run_probes(i, seg_end)
+            i = seg_end
+            if redirect_here:
+                self._handle_redirect(red_ev_l[r])
+                r += 1
+
+    def _run_probes(self, i: int, end: int) -> None:
+        """Advance the probe cursor from *i* to *end* (all within one
+        redirect-free segment): bulk hit spans, scalar misses.  Segments
+        shorter than ``_SCALAR_SEGMENT`` probes go through the per-probe
+        scalar mirror instead — redirect-dense traces produce thousands
+        of tiny segments, where fixed per-window array overhead costs
+        more than it saves."""
+        probe_set = self._probe_set
+        probe_tag = self._probe_tag
+        direct = self._assoc == 1
+        while i < end:
+            if self._has_station:
+                i = self._probe_scalar(i)
+                continue
+            if end - i < _SCALAR_SEGMENT:
+                self._probe_scalar_simple(i)
+                i += 1
+                continue
+            w = min(end - i, self._window)
+            sets = probe_set[i : i + w]
+            tags = probe_tag[i : i + w]
+            if direct:
+                hits = self._tag_state[sets] == tags
+            else:
+                hits = (self._tag_table[sets] == tags[:, None]).any(axis=1)
+            miss_at = np.flatnonzero(~hits)
+            span = int(miss_at[0]) if miss_at.size else w
+            if span:
+                self._account_hits(i, i + span, sets[:span], tags[:span])
+                self._advance_hits(i, i + span)
+                i += span
+            if span < w:
+                self._miss_scalar(i)
+                i += 1
+                self._window = max(64, self._window >> 1)
+            elif w == self._window:
+                self._window = min(16384, self._window << 1)
+
+    def _account_hits(self, i: int, j: int, sets, tags) -> None:
+        """Bulk statistics for an all-hit probe span [i, j)."""
+        win = self._win
+        n = j - i
+        win.probes += n
+        win.hits += n
+        win.right_probes += n
+        if self._assoc == 1:
+            if self._wrong_lines:
+                win.wrongpath_hits += int((self._origin_state[sets] == _ORG_WRONG).sum())
+        else:
+            if self._wrong_lines:
+                eq = self._tag_table[sets] == np.asarray(tags)[:, None]
+                ways = eq.argmax(axis=1)
+                win.wrongpath_hits += int(
+                    (self._origin_table[sets, ways] == _ORG_WRONG).sum()
+                )
+            lru_update_spans(
+                self._tag_table, self._origin_table, self._counts, sets, tags
+            )
+
+    def _advance_hits(self, i: int, j: int) -> None:
+        """Clock advance over an all-hit span, applying depth gates."""
+        cumsum = self._pa.chunk_cumsum
+        dt = int(cumsum[j] - cumsum[i])
+        gates = self._pa.gate[i:j]
+        if not gates.any():
+            self._t += dt
+            return
+        t0 = self._t
+        shift = 0
+        recent = self._recent
+        depth = self._depth
+        resolve_slots = self._resolve_slots
+        for k in np.flatnonzero(gates).tolist():
+            pre = t0 + int(cumsum[i + k] - cumsum[i]) + shift
+            if len(recent) == depth and recent[0] > pre:
+                stall = recent[0] - pre
+                self._win.branch_full += stall
+                shift += stall
+                pre = recent[0]
+            recent.append(pre + resolve_slots)
+            if len(recent) > depth:
+                del recent[0]
+        self._t = t0 + dt + shift
+
+    def _miss_scalar(self, i: int) -> None:
+        """One right-path miss with an idle fill station — the mirror of
+        ``_fetch_right_line``'s miss path (station empty: right-path
+        fills are blocking, so the station only holds Resume wrong-path
+        fills, handled in ``_probe_scalar``)."""
+        win = self._win
+        t = self._t
+        recent = self._recent
+        gated = bool(self._pa.gate[i])
+        if gated and len(recent) == self._depth and recent[0] > t:
+            win.branch_full += recent[0] - t
+            t = recent[0]
+        line = int(self._pa.line[i])
+        win.probes += 1
+        win.misses += 1
+        win.right_probes += 1
+        win.right_misses += 1
+        policy = self._policy
+        if policy is FetchPolicy.PESSIMISTIC or policy is FetchPolicy.DECODE:
+            guard = t - 1 + self._decode_slots
+            if policy is FetchPolicy.PESSIMISTIC and recent and recent[-1] > guard:
+                guard = recent[-1]
+            if guard > t:
+                win.force_resolve += guard - t
+                t = guard
+        duration = self._penalty_slots
+        busy = self._busy_until
+        start = busy if busy > t else t
+        done = start + duration
+        self._busy_until = done if self._interleave is None else start + self._interleave
+        win.bus_requests += 1
+        win.bus_wait += start - t
+        if start > t:
+            win.bus += start - t
+            t = start
+        win.rt_icache += duration
+        self._miss_fills += 1
+        t = done
+        self._fill(line, _ORG_RIGHT)
+        win.right_fills += 1
+        t += int(self._pa.chunk[i])
+        if gated:
+            recent.append(t - 1 + self._resolve_slots)
+            if len(recent) > self._depth:
+                del recent[0]
+        self._t = t
+
+    def _probe_scalar_simple(self, i: int) -> None:
+        """One right-path probe with no fill station in flight — the
+        short-segment scalar mirror of the ``_account_hits`` /
+        ``_advance_hits`` / ``_miss_scalar`` combination (gated
+        terminator probes have chunk 1, so appending ``t - 1 +
+        resolve_slots`` after the chunk equals the pre-chunk resolve
+        time the bulk path records)."""
+        win = self._win
+        t = self._t
+        recent = self._recent
+        gated = bool(self._pa.gate[i])
+        if gated and len(recent) == self._depth and recent[0] > t:
+            win.branch_full += recent[0] - t
+            t = recent[0]
+        line = int(self._pa.line[i])
+        hit = self._probe_hit_scalar(line)
+        win.right_probes += 1
+        if not hit:
+            win.right_misses += 1
+            policy = self._policy
+            if policy is FetchPolicy.PESSIMISTIC or policy is FetchPolicy.DECODE:
+                guard = t - 1 + self._decode_slots
+                if (
+                    policy is FetchPolicy.PESSIMISTIC
+                    and recent
+                    and recent[-1] > guard
+                ):
+                    guard = recent[-1]
+                if guard > t:
+                    win.force_resolve += guard - t
+                    t = guard
+            duration = self._penalty_slots
+            busy = self._busy_until
+            start = busy if busy > t else t
+            done = start + duration
+            self._busy_until = (
+                done if self._interleave is None else start + self._interleave
+            )
+            win.bus_requests += 1
+            win.bus_wait += start - t
+            if start > t:
+                win.bus += start - t
+                t = start
+            win.rt_icache += duration
+            self._miss_fills += 1
+            t = done
+            self._fill(line, _ORG_RIGHT)
+            win.right_fills += 1
+        t += int(self._pa.chunk[i])
+        if gated:
+            recent.append(t - 1 + self._resolve_slots)
+            if len(recent) > self._depth:
+                del recent[0]
+        self._t = t
+
+    def _probe_scalar(self, i: int) -> int:
+        """One right-path probe while a wrong-path fill is in flight
+        (Resume only) — the full ``_fetch_right_line`` mirror including
+        station drain and in-flight merge."""
+        win = self._win
+        t = self._t
+        recent = self._recent
+        gated = bool(self._pa.gate[i])
+        if gated and len(recent) == self._depth and recent[0] > t:
+            win.branch_full += recent[0] - t
+            t = recent[0]
+        if self._has_station and self._station_done <= t:
+            self._install_station()
+        line = int(self._pa.line[i])
+        hit = self._probe_hit_scalar(line)
+        win.right_probes += 1
+        if not hit:
+            win.right_misses += 1
+            if self._has_station and self._station_line == line:
+                done = self._station_done
+                win.bus += done - t
+                t = done
+                self._install_station()
+                win.inflight_merges += 1
+            else:
+                # Resume has no force-resolve guard.
+                duration = self._penalty_slots
+                busy = self._busy_until
+                start = busy if busy > t else t
+                done = start + duration
+                self._busy_until = (
+                    done if self._interleave is None else start + self._interleave
+                )
+                win.bus_requests += 1
+                win.bus_wait += start - t
+                if start > t:
+                    win.bus += start - t
+                    t = start
+                win.rt_icache += duration
+                self._miss_fills += 1
+                t = done
+                if self._has_station and self._station_done <= t:
+                    self._install_station()
+                self._fill(line, _ORG_RIGHT)
+                win.right_fills += 1
+        t += int(self._pa.chunk[i])
+        if gated:
+            recent.append(t - 1 + self._resolve_slots)
+            if len(recent) > self._depth:
+                del recent[0]
+        self._t = t
+        return i + 1
+
+    # -- redirects and wrong paths --------------------------------------------
+
+    def _handle_redirect(self, e: int) -> None:
+        """Mirror of the event loop's redirect block for stream event *e*."""
+        win = self._win
+        penalty = self._ev_penalty_l[e]
+        t_br = self._t - 1
+        win.branch += penalty
+        window_start = t_br + 1 + self._ev_delay_l[e]
+        window_end = t_br + 1 + penalty
+        self._t = self._walk(e, window_start, window_end, self._ev_outcome_l[e])
+
+    def _walk(self, e: int, window_start: int, window_end: int, outcome: int) -> int:
+        """Mirror of ``_walk_wrong_path`` over the recorded runs of
+        stream event *e*; returns the right-path resume slot."""
+        wstart = self._ev_wstart_l[e]
+        if wstart < 0 or window_start >= window_end:
+            return window_end
+        policy = self._policy
+        if policy is FetchPolicy.OPTIMISTIC:
+            fills, blocking = True, True
+        elif policy is FetchPolicy.RESUME:
+            fills, blocking = True, False
+        elif policy is FetchPolicy.DECODE:
+            # Decode walks always happen; fills only once the redirect is
+            # known to be a mispredict (outcome code 2).
+            fills, blocking = outcome == 2, True
+        else:  # Oracle / Pessimistic: probe ahead, never fill.
+            fills, blocking = False, True
+        win = self._win
+        cur = window_start
+        lo = self._wp_off_l[e]
+        hi = self._wp_off_l[e + 1]
+        duration = self._penalty_slots
+        for line, n in iter_lines_from_runs(
+            zip(self._wp_pc_l[lo:hi], self._wp_n_l[lo:hi]), self._line_size
+        ):
+            if cur >= window_end:
+                break
+            if self._has_station and self._station_done <= cur:
+                self._install_station()
+            win.wrong_probes += 1
+            if self._contains(line):
+                win.wrong_instructions += n
+                cur += n
+                continue
+            win.wrong_misses += 1
+            if self._has_station and self._station_line == line:
+                done = self._station_done
+                if not blocking and done < window_end:
+                    cur = done
+                    self._install_station()
+                    win.wrong_instructions += n
+                    cur += n
+                    continue
+                break
+            if not fills:
+                break
+            if self._has_station:
+                # Resume's single fill slot is busy: stop walking.
+                break
+            request_at = cur + (
+                self._decode_slots if policy is FetchPolicy.DECODE else 0
+            )
+            busy = self._busy_until
+            start = busy if busy > request_at else request_at
+            done = start + duration
+            self._busy_until = (
+                done if self._interleave is None else start + self._interleave
+            )
+            win.bus_requests += 1
+            win.bus_wait += start - request_at
+            win.wrong_fills += 1
+            self._miss_fills += 1
+            if blocking:
+                self._fill(line, _ORG_WRONG)
+                self._wrong_lines = True
+                if done >= window_end:
+                    win.wrong_icache += done - window_end
+                    return done
+                cur = done
+                win.wrong_instructions += n
+                cur += n
+                continue
+            if done <= window_end:
+                self._fill(line, _ORG_WRONG)
+                self._wrong_lines = True
+                cur = done
+                win.wrong_instructions += n
+                cur += n
+                continue
+            self._station_line = line
+            self._station_done = done
+            self._has_station = True
+            break
+        return window_end
+
+    def _install_station(self) -> None:
+        self._fill(self._station_line, _ORG_WRONG)
+        self._wrong_lines = True
+        self._win.station_installed += 1
+        self._has_station = False
+
+    # -- tag-mirror primitives ------------------------------------------------
+
+    def _contains(self, line: int) -> bool:
+        set_idx = line & self._set_mask
+        tag = line >> self._set_shift
+        if self._assoc == 1:
+            return bool(self._tag_state[set_idx] == tag)
+        row = self._tag_table[set_idx]
+        cnt = int(self._counts[set_idx])
+        for k in range(cnt):
+            if row[k] == tag:
+                return True
+        return False
+
+    def _probe_hit_scalar(self, line: int) -> bool:
+        win = self._win
+        win.probes += 1
+        set_idx = line & self._set_mask
+        tag = line >> self._set_shift
+        if self._assoc == 1:
+            if self._tag_state[set_idx] == tag:
+                win.hits += 1
+                if self._origin_state[set_idx] == _ORG_WRONG:
+                    win.wrongpath_hits += 1
+                return True
+            win.misses += 1
+            return False
+        row = self._tag_table[set_idx]
+        orow = self._origin_table[set_idx]
+        cnt = int(self._counts[set_idx])
+        for k in range(cnt):
+            if row[k] == tag:
+                origin = int(orow[k])
+                for j in range(k, cnt - 1):
+                    row[j] = row[j + 1]
+                    orow[j] = orow[j + 1]
+                row[cnt - 1] = tag
+                orow[cnt - 1] = origin
+                win.hits += 1
+                if origin == _ORG_WRONG:
+                    win.wrongpath_hits += 1
+                return True
+        win.misses += 1
+        return False
+
+    def _fill(self, line: int, origin: int) -> None:
+        win = self._win
+        win.fills += 1
+        set_idx = line & self._set_mask
+        tag = line >> self._set_shift
+        if self._assoc == 1:
+            resident = self._tag_state[set_idx]
+            if resident != -1 and resident != tag:
+                win.evictions += 1
+            self._tag_state[set_idx] = tag
+            self._origin_state[set_idx] = origin
+            return
+        row = self._tag_table[set_idx]
+        orow = self._origin_table[set_idx]
+        cnt = int(self._counts[set_idx])
+        for k in range(cnt):
+            if row[k] == tag:
+                # Refill of a resident line: refresh origin, move to MRU.
+                for j in range(k, cnt - 1):
+                    row[j] = row[j + 1]
+                    orow[j] = orow[j + 1]
+                row[cnt - 1] = tag
+                orow[cnt - 1] = origin
+                return
+        if cnt >= self._assoc:
+            win.evictions += 1
+            for j in range(cnt - 1):
+                row[j] = row[j + 1]
+                orow[j] = orow[j + 1]
+            row[cnt - 1] = tag
+            orow[cnt - 1] = origin
+            return
+        row[cnt] = tag
+        orow[cnt] = origin
+        self._counts[set_idx] = cnt + 1
+
+    # -- result construction ---------------------------------------------------
+
+    def _finish(self, trace: Trace, ta: _TraceArrays, boundary_rec: int) -> SimulationResult:
+        """Write the measured window back into the wrapped event-loop
+        engine and delegate result/metrics construction to it."""
+        inner = self.inner
+        meas = self._meas
+        inner.penalties = PenaltyAccumulator(
+            branch_full=meas.branch_full,
+            branch=meas.branch,
+            rt_icache=meas.rt_icache,
+            wrong_icache=meas.wrong_icache,
+            bus=meas.bus,
+            force_resolve=meas.force_resolve,
+        )
+        warm_instructions = int(ta.cum[boundary_rec - 1]) if boundary_rec > 0 else 0
+        inner.counters = EngineCounters(
+            instructions=int(ta.cum[-1]) - warm_instructions,
+            blocks=ta.n_records - boundary_rec,
+            right_probes=meas.right_probes,
+            right_misses=meas.right_misses,
+            wrong_probes=meas.wrong_probes,
+            wrong_misses=meas.wrong_misses,
+            right_fills=meas.right_fills,
+            wrong_fills=meas.wrong_fills,
+            wrong_instructions=meas.wrong_instructions,
+            inflight_merges=meas.inflight_merges,
+        )
+        inner.unit.stats = self._branch_stats(ta, boundary_rec)
+        if inner.cache is not None:
+            stats = inner.cache.stats
+            stats.probes = meas.probes
+            stats.hits = meas.hits
+            stats.misses = meas.misses
+            stats.fills = meas.fills
+            stats.evictions = meas.evictions
+            stats.wrongpath_hits = meas.wrongpath_hits
+        inner.bus.requests = meas.bus_requests
+        inner.bus.busy_wait_slots = meas.bus_wait
+        inner.station.installed = meas.station_installed
+        if inner._miss_durations is not None:
+            # Every fill takes the flat miss penalty (no L2 in eligible
+            # cells); warmup observations are included, as in the event
+            # loop (the histograms survive _reset_measurement).
+            inner._miss_durations = [self._penalty_slots] * self._miss_fills
+            redirect = self._ev_outcome != 0
+            inner._redirect_penalties = [
+                int(p) for p in self._ev_penalty[redirect]
+            ]
+        return inner._build_result(trace)
+
+    def _branch_stats(self, ta: _TraceArrays, boundary_rec: int) -> BranchStats:
+        """Reconstruct the measured-window BranchStats from the stream."""
+        first = int(np.searchsorted(ta.ev_rec, boundary_rec, side="left"))
+        kinds = ta.kinds[ta.ev_rec[first:]]
+        outcome = self._ev_outcome[first:]
+        cause = self._ev_cause[first:]
+        penalty = self._ev_penalty[first:]
+        conditional = int((kinds == _COND).sum())
+        return BranchStats(
+            conditional=conditional,
+            unconditional=int(kinds.size - conditional),
+            correct=int((outcome == 0).sum()),
+            pht_mispredicts=int((cause == 2).sum()),
+            btb_misfetches=int((cause == 1).sum()),
+            btb_mispredicts=int((cause == 3).sum()),
+            penalty_slots_by_cause={
+                "btb_misfetch": int(penalty[cause == 1].sum()),
+                "pht_mispredict": int(penalty[cause == 2].sum()),
+                "btb_mispredict": int(penalty[cause == 3].sum()),
+            },
+        )

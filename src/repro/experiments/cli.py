@@ -74,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
         "%(default)s)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "event", "vector"),
+        default="auto",
+        help="engine backend: 'auto' lets each cell pick through the "
+        "build_engine seam (vectorized batch backend for replay-eligible "
+        "cells with a recorded stream, event loop otherwise), 'event' "
+        "forces the event loop everywhere, 'vector' requests the "
+        "vectorized backend (ineligible cells still fall back to the "
+        "event loop; results are bit-identical either way; default "
+        "%(default)s)",
+    )
+    parser.add_argument(
         "--cache-prune",
         action="store_true",
         help="before running, delete artifact-cache entries no current "
@@ -273,6 +285,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             checkpoint_dir=args.checkpoint,
             fault_plan=fault_plan,
             replay=args.replay,
+            engine=args.engine,
         )
         try:
             for experiment_id in ids:

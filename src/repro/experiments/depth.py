@@ -25,8 +25,15 @@ def run_table5(
     runner: SimulationRunner,
     benchmarks: Sequence[str] = SUITE,
     depths: Sequence[int] = DEPTHS,
+    base_config: SimConfig | None = None,
 ) -> ExperimentResult:
-    """Reproduce Table 5 (speculation-depth sweep)."""
+    """Reproduce Table 5 (speculation-depth sweep).
+
+    *base_config* overrides the paper's baseline configuration before
+    the depth sweep is applied on top — used by the cross-backend
+    differential harness to render the table from replay-eligible cells.
+    """
+    base = SimConfig() if base_config is None else base_config
     headers = ["Program"]
     for depth in depths:
         headers.extend(f"B{depth}-{p.label}" for p in ALL_POLICIES)
@@ -36,7 +43,7 @@ def run_table5(
         row: list[object] = [name]
         data[name] = {}
         for depth in depths:
-            config = replace(SimConfig(), max_unresolved=depth)
+            config = replace(base, max_unresolved=depth)
             results = runner.run_policies(name, config, ALL_POLICIES)
             for policy in ALL_POLICIES:
                 ispi = results[policy].total_ispi

@@ -17,6 +17,7 @@ SIM007    float-counter      integer counters never accumulate float literals
 SIM008    fast-parity        every _fast variant has a differential test
 SIM009    event-registry     emitted events are declared in repro.obs.events
 SIM010    branch-seam        branch units constructed only via the factory seam
+SIM011    engine-seam        engines constructed only via build_engine
 ========  =================  ====================================================
 """
 
@@ -25,6 +26,7 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: register)
     conventions,
     defaults,
     determinism,
+    engineseam,
     fastparity,
     floatcounter,
     ordering,

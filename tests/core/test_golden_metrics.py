@@ -65,3 +65,12 @@ def test_metrics_match_golden(tool, policy):
 def test_goldens_cover_every_policy(tool):
     for policy in ALL_POLICIES:
         assert os.path.exists(tool.golden_path(policy))
+
+
+@pytest.mark.slow
+def test_backend_parity_on_golden_spec(tool):
+    # The regen tool refuses to write goldens unless the vector backend
+    # hashes identically to the event loop on the replay-eligible
+    # variant of the golden spec; run that same gate here so drift is
+    # caught without regenerating.
+    tool.verify_backend_parity()

@@ -1,0 +1,91 @@
+"""SIM011 (engine-seam): engines built only through build_engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+POSITIVE = [
+    pytest.param(
+        "engine = FetchEngine(program, config)\n", id="module-level"
+    ),
+    pytest.param(
+        "def run(program, config):\n"
+        "    return FetchEngine(program, config)\n",
+        id="inside-other-function",
+    ),
+    pytest.param(
+        "from repro.core import engine as eng\n"
+        "def run(program, config):\n"
+        "    return eng.FetchEngine(program, config)\n",
+        id="attribute-construction",
+    ),
+    pytest.param(
+        "def run(inner):\n"
+        "    return VectorEngine(inner)\n",
+        id="vector-facade",
+    ),
+    pytest.param(
+        "class Harness:\n"
+        "    def setup(self):\n"
+        "        self.engine = FetchEngine(self.program, self.config)\n",
+        id="method",
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "def build_engine(program, config, observer=None, stream=None):\n"
+        "    if stream is not None:\n"
+        "        return VectorEngine(FetchEngine(program, config))\n"
+        "    return FetchEngine(program, config)\n",
+        id="the-seam-itself",
+    ),
+    pytest.param(
+        "def run(program, config):\n"
+        "    return build_engine(program, config)\n",
+        id="calls-through-seam",
+    ),
+    pytest.param(
+        "def build_engine(program, config):\n"
+        "    def inner():\n"
+        "        return FetchEngine(program, config)\n"
+        "    return inner()\n",
+        id="nested-inside-factory",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_direct_construction(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM011")
+    assert rule_ids(findings) == ["SIM011"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_factory_construction(source: str) -> None:
+    findings = run_rules(source, module="repro.core.fixture", select="SIM011")
+    assert findings == []
+
+
+def test_scoped_to_sim_modules() -> None:
+    # Tooling/benchmark code may build engines directly (e.g. the speed
+    # harness pins one backend on purpose).
+    findings = run_rules(
+        "engine = FetchEngine(p, c)\n",
+        module="repro.report.tables",
+        select="SIM011",
+    )
+    assert findings == []
+
+
+def test_suppressible_inline() -> None:
+    findings = run_rules(
+        "engine = FetchEngine(p, c)  # simlint: disable=SIM011\n",
+        module="repro.core.fixture",
+        select="SIM011",
+    )
+    assert findings == []

@@ -12,6 +12,12 @@ stay at least ``--replay-floor`` (default 1.5) times faster than the
 live sweep, and must not be more than ``--tolerance`` slower than the
 stored warm timing.
 
+When the trajectory records a ``vector_backend`` section, the
+vector-vs-event sweep is also re-measured: the vectorized backend must
+stay at least ``--vector-floor`` (default 5.0) times faster than the
+event loop on perfect-cache cells, and must never be slower than the
+event loop on real-cache cells (``auto`` routes those cells through it).
+
 Usage::
 
     PYTHONPATH=src python tools/check_engine_speed.py
@@ -68,6 +74,14 @@ def main(argv=None) -> int:
         "(default 1.5)",
     )
     parser.add_argument(
+        "--vector-floor",
+        type=float,
+        default=5.0,
+        help="minimum vector-backend speedup over the event loop on "
+        "fully-vectorizable (perfect-cache) replay-eligible cells "
+        "(default 5.0)",
+    )
+    parser.add_argument(
         "--replay-tolerance",
         type=float,
         default=0.25,
@@ -89,7 +103,11 @@ def main(argv=None) -> int:
         trajectory = json.load(handle)
     baseline = trajectory["serial_ips"]
 
-    from benchmarks.bench_engine_speed import _replay_sweep, _serial_rates
+    from benchmarks.bench_engine_speed import (
+        _replay_sweep,
+        _serial_rates,
+        _vector_sweep,
+    )
 
     rates = _serial_rates(repeats=args.repeats)
     failures = []
@@ -130,6 +148,33 @@ def main(argv=None) -> int:
                 f"warm replay sweep is {(warm_ratio - 1.0) * 100:.1f}% slower "
                 f"than BENCH_engine.json ({stored_replay['warm_s']}s); "
                 "re-emit the trajectory if this is intended"
+            )
+
+    stored_vector = trajectory.get("vector_backend")
+    if stored_vector is not None:
+        vector = _vector_sweep(repeats=3)
+        for group in ("perfect_cache", "real_cache"):
+            measured = vector[group]
+            stored = stored_vector[group]
+            print(
+                f"{'vector_' + group:>16}: event {measured['event_s']:.3f}s, "
+                f"vector {measured['vector_s']:.3f}s "
+                f"({measured['speedup']:.2f}x; stored {stored['speedup']:.2f}x)"
+            )
+        if vector["perfect_cache"]["speedup"] < args.vector_floor:
+            failures.append(
+                f"vector backend speedup "
+                f"{vector['perfect_cache']['speedup']:.2f}x on perfect-cache "
+                f"cells is below the {args.vector_floor:.2f}x floor; the "
+                "vectorized backend has lost its reason to exist — profile "
+                "VectorEngine._run_perfect"
+            )
+        if vector["real_cache"]["speedup"] < 1.0:
+            failures.append(
+                f"vector backend is slower than the event loop on real-cache "
+                f"cells ({vector['real_cache']['speedup']:.2f}x); 'auto' "
+                "would now pessimize eligible sweep cells — profile "
+                "VectorEngine._run_probes"
             )
 
     if failures:

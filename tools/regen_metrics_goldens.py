@@ -14,6 +14,7 @@ and review the diff before committing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sys
@@ -65,8 +66,74 @@ def golden_path(policy: FetchPolicy) -> str:
     return os.path.join(GOLDEN_DIR, f"metrics_{policy.name.lower()}.json")
 
 
+def _metrics_hash(metrics: dict) -> str:
+    canonical = json.dumps(metrics, indent=2, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def parity_config(policy: FetchPolicy) -> SimConfig:
+    """The replay-eligible variant of the golden spec for *policy*.
+
+    The golden config itself (timing schedule + prefetch) is
+    vector-ineligible by design, so backend parity is asserted on its
+    nearest eligible sibling: same policy, architectural branch
+    schedule, prefetch off.
+    """
+    from dataclasses import replace
+
+    return replace(
+        golden_config(policy), prefetch=False, branch_schedule="architectural"
+    )
+
+
+def verify_backend_parity() -> None:
+    """Assert both engine backends hash-identically on the golden spec.
+
+    Runs the replay-eligible variant of every policy's golden config
+    through ``engine_backend="event"`` and ``"vector"`` and compares the
+    sha256 of the canonical metrics JSON — the same serialization the
+    goldens use, so there is never a second golden set to keep in sync.
+    """
+    from dataclasses import replace
+
+    from repro.branch.stream import build_stream
+    from repro.core.vector import vector_eligible
+
+    runner = SimulationRunner(
+        trace_length=TRACE_LENGTH, warmup=WARMUP, seed=SEED
+    )
+    run = runner.prepared(BENCHMARK)
+    for policy in ALL_POLICIES:
+        config = parity_config(policy)
+        assert vector_eligible(config), (
+            f"parity_config({policy.name}) must be vector-eligible"
+        )
+        stream = build_stream(run.program, run.trace, config)
+        hashes = {}
+        for backend in ("event", "vector"):
+            observer = Observer()
+            simulate(
+                run.program,
+                run.trace,
+                replace(config, engine_backend=backend),
+                warmup=WARMUP,
+                observer=observer,
+                stream=stream,
+            )
+            snapshot = json.loads(json.dumps(observer.metrics_dict()))
+            hashes[backend] = _metrics_hash(snapshot)
+        if hashes["event"] != hashes["vector"]:
+            raise SystemExit(
+                f"backend parity violated for {policy.name}: "
+                f"event={hashes['event'][:16]} "
+                f"vector={hashes['vector'][:16]}"
+            )
+        print(f"backend parity ok for {policy.name}: {hashes['event'][:16]}")
+
+
 def main() -> int:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
+    verify_backend_parity()
     for policy in ALL_POLICIES:
         path = golden_path(policy)
         with open(path, "w", encoding="utf-8") as handle:
