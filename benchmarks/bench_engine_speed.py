@@ -330,6 +330,49 @@ def _vector_sweep(repeats=3, trace_length=100_000):
     return out
 
 
+def _schedule_overhead(repeats=5, trace_length=200_000, interval=5_000):
+    """Static-schedule seam cost on the paper's (whole-run) configurations.
+
+    The ``PolicySchedule`` seam must be invisible when nothing switches:
+    a plain static run (``adaptive_interval=None``, the paper's regime)
+    is timed against the same run with interval bookkeeping enabled (the
+    per-span snapshot/commit machinery at *interval*-instruction
+    boundaries, still under one policy).  Pairs are interleaved so
+    machine-wide drift cancels; the reported ``overhead`` is the median
+    pair ratio minus one.  Results are asserted identical before any
+    number is reported.
+    """
+    import statistics
+
+    program = build_workload("gcc")
+    trace = generate_trace(program, trace_length, seed=3)
+    plain_cfg = SimConfig(policy=FetchPolicy.RESUME)
+    interval_cfg = replace(plain_cfg, adaptive_interval=interval)
+    plain_best = interval_best = None
+    ratios = []
+    for _ in range(repeats):
+        p_s, plain = _best_of(1, lambda: simulate(program, trace, plain_cfg))
+        i_s, chunked = _best_of(
+            1, lambda: simulate(program, trace, interval_cfg)
+        )
+        assert (
+            plain.penalties == chunked.penalties
+            and plain.counters == chunked.counters
+        ), "interval bookkeeping changed a static run's results"
+        plain_best = p_s if plain_best is None else min(plain_best, p_s)
+        interval_best = (
+            i_s if interval_best is None else min(interval_best, i_s)
+        )
+        ratios.append(i_s / p_s)
+    return {
+        "trace_length": trace_length,
+        "interval": interval,
+        "plain_s": round(plain_best, 4),
+        "interval_s": round(interval_best, 4),
+        "overhead": round(statistics.median(ratios) - 1.0, 4),
+    }
+
+
 def emit(path):
     """Measure everything and write the trajectory JSON to *path*."""
     import json
@@ -339,6 +382,7 @@ def emit(path):
     cache = _artifact_cache_sweep()
     replay = _replay_sweep()
     vector = _vector_sweep()
+    schedule = _schedule_overhead()
     payload = {
         "protocol": {
             "workload": "gcc",
@@ -351,6 +395,7 @@ def emit(path):
         "artifact_cache": cache,
         "stream_replay": replay,
         "vector_backend": vector,
+        "static_schedule": schedule,
         "hot_loop": {
             "pre_fast_path_ips": PRE_FAST_PATH_IPS,
             "ips": serial,

@@ -59,6 +59,19 @@ ALL_POLICIES = (
     FetchPolicy.DECODE,
 )
 
+#: The policies a real machine could implement — everything except the
+#: Oracle yardstick (which needs future knowledge of branch outcomes).
+#: The default candidate set for the adaptive schedules.
+REALIZABLE_POLICIES = (
+    FetchPolicy.OPTIMISTIC,
+    FetchPolicy.RESUME,
+    FetchPolicy.PESSIMISTIC,
+    FetchPolicy.DECODE,
+)
+
+#: Recognised ``SimConfig.policy_schedule`` values.
+POLICY_SCHEDULES = ("static", "script", "tournament", "oracle")
+
 
 @dataclass(frozen=True, slots=True)
 class CacheConfig:
@@ -189,6 +202,33 @@ class SimConfig:
     #: ``"auto"`` (vector when a prediction stream is supplied and the
     #: cell is vector-eligible; see docs/performance.md).
     engine_backend: str = "auto"
+    #: How the fetch policy evolves over the run (docs/adaptive-policy.md):
+    #: ``"static"`` (``policy`` for the whole run — the paper's regime),
+    #: ``"script"`` (``policy_script[k]`` for interval ``k``),
+    #: ``"tournament"`` (shadow-estimator meta-controller switching at
+    #: interval boundaries with hysteresis), or ``"oracle"`` (re-simulate
+    #: every interval under each candidate from the same warm state and
+    #: keep the best — the adaptive upper bound).
+    policy_schedule: str = "static"
+    #: Interval length in correct-path instructions for the per-interval
+    #: schedules.  Required for every non-static schedule; with a static
+    #: schedule it merely turns on per-interval measurement
+    #: (``SimulationResult.intervals``) without changing any timing.
+    adaptive_interval: int | None = None
+    #: Per-interval policy sequence for ``policy_schedule="script"``
+    #: (interval ``k`` runs ``policy_script[min(k, len - 1)]``).
+    policy_script: tuple[FetchPolicy, ...] = ()
+    #: Candidate policies the tournament/oracle schedules choose among.
+    adaptive_policies: tuple[FetchPolicy, ...] = REALIZABLE_POLICIES
+    #: Tournament controller: EWMA history weight expressed as the number
+    #: of intervals over which past estimates decay to ~1/e.
+    tournament_history: int = 4
+    #: Consecutive interval boundaries a challenger must win before the
+    #: tournament controller actually switches (hysteresis).
+    tournament_hysteresis: int = 2
+    #: Minimum relative ISPI advantage (fraction) a challenger needs for
+    #: one of those wins to count.
+    tournament_margin: float = 0.02
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -260,6 +300,78 @@ class SimConfig:
                 f"unknown engine_backend {self.engine_backend!r} "
                 "(expected 'auto', 'event', or 'vector')"
             )
+        if self.policy_schedule not in POLICY_SCHEDULES:
+            raise ConfigError(
+                f"unknown policy_schedule {self.policy_schedule!r} "
+                f"(expected one of {', '.join(POLICY_SCHEDULES)})"
+            )
+        if self.adaptive_interval is not None and self.adaptive_interval <= 0:
+            raise ConfigError(
+                f"adaptive_interval must be a positive instruction count, "
+                f"got {self.adaptive_interval}"
+            )
+        if self.policy_schedule != "static":
+            if self.adaptive_interval is None:
+                raise ConfigError(
+                    f"policy_schedule={self.policy_schedule!r} needs an "
+                    "interval length: set adaptive_interval to the number "
+                    "of instructions per interval"
+                )
+            if self.classify:
+                raise ConfigError(
+                    "miss classification assumes one policy for the whole "
+                    "run (it shadows Optimistic against Oracle); drop "
+                    "classify=True or use policy_schedule='static'"
+                )
+            if self.engine_backend == "vector":
+                raise ConfigError(
+                    "the vector backend cannot switch policy at interval "
+                    f"boundaries; policy_schedule={self.policy_schedule!r} "
+                    "needs engine_backend='event' (or 'auto', which will "
+                    "select the event loop)"
+                )
+        if self.policy_schedule == "script":
+            if not self.policy_script:
+                raise ConfigError(
+                    "policy_schedule='script' needs a non-empty "
+                    "policy_script (one FetchPolicy per interval)"
+                )
+        elif self.policy_script:
+            raise ConfigError(
+                "policy_script is only read by policy_schedule='script'; "
+                f"it would be silently ignored under "
+                f"{self.policy_schedule!r}"
+            )
+        if self.policy_schedule in ("tournament", "oracle"):
+            if len(self.adaptive_policies) < 2:
+                raise ConfigError(
+                    f"policy_schedule={self.policy_schedule!r} needs at "
+                    "least two adaptive_policies to choose between, got "
+                    f"{len(self.adaptive_policies)}"
+                )
+            if len(set(self.adaptive_policies)) != len(self.adaptive_policies):
+                raise ConfigError(
+                    f"adaptive_policies contains duplicates: "
+                    f"{[p.value for p in self.adaptive_policies]}"
+                )
+        if self.engine_backend == "vector" and self.adaptive_interval is not None:
+            raise ConfigError(
+                "the vector backend does not record per-interval stats; "
+                "drop adaptive_interval or use engine_backend='event'/'auto'"
+            )
+        if self.tournament_history < 1:
+            raise ConfigError(
+                f"tournament_history must be >= 1: {self.tournament_history}"
+            )
+        if self.tournament_hysteresis < 1:
+            raise ConfigError(
+                f"tournament_hysteresis must be >= 1: "
+                f"{self.tournament_hysteresis}"
+            )
+        if self.tournament_margin < 0.0:
+            raise ConfigError(
+                f"tournament_margin must be >= 0: {self.tournament_margin}"
+            )
 
     # -- derived slot quantities (1 cycle = issue_width slots) -------------
 
@@ -300,11 +412,17 @@ class SimConfig:
             else f"{self.cache.size_bytes // 1024}K/"
             f"{self.cache.assoc}-way/{self.cache.line_size}B"
         )
+        schedule = (
+            ""
+            if self.policy_schedule == "static"
+            else f" policy-sched={self.policy_schedule}@{self.adaptive_interval}"
+        )
         return (
             f"{self.policy.label} cache={cache} "
             f"penalty={self.miss_penalty_cycles}cyc depth={self.max_unresolved}"
             f"{' +prefetch' if self.prefetch else ''}"
             f"{' sched=arch' if self.branch_schedule == 'architectural' else ''}"
+            f"{schedule}"
         )
 
 

@@ -27,6 +27,7 @@ correct-path resumes  ``t_br + 1 + penalty`` (later if a wrong-path fill
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 from repro.branch.unit import BranchUnit, FetchOutcome
@@ -41,9 +42,11 @@ from repro.config import FetchPolicy, SimConfig
 from repro.core.results import (
     COMPONENTS,
     EngineCounters,
+    IntervalStats,
     PenaltyAccumulator,
     SimulationResult,
 )
+from repro.core.schedule import build_schedule, interval_spans
 from repro.core.wrongpath import iter_wrong_path_lines
 from repro.errors import SimulationError
 from repro.isa import INSTRUCTION_SIZE, InstrKind
@@ -51,7 +54,13 @@ from repro.memory.bus import MemoryBus
 from repro.memory.pending import FillOrigin, PendingFillStation
 from repro.memory.prefetcher import NextLinePrefetcher
 from repro.memory.streambuffer import StreamBufferUnit
-from repro.obs.events import FetchStall, MissService, Redirect
+from repro.obs.events import (
+    EngineFallback,
+    FetchStall,
+    MissService,
+    PolicySwitch,
+    Redirect,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer
 from repro.program.program import Program
@@ -126,7 +135,18 @@ class FetchEngine:
     ) -> None:
         self.program = program
         self.config = config
-        self.policy = config.policy
+        # The policy is a per-interval input read through the schedule
+        # seam (SIM012): interval k runs schedule.policy_for(k).  Static
+        # schedules resolve to config.policy for every interval, keeping
+        # the paper's regime bit-identical.
+        self.schedule = build_schedule(config)
+        self.policy = self.schedule.policy_for(0)
+        self.policy_switches = 0
+        #: Shadow simulations run on forks of this engine (set by the
+        #: adaptive driver; published under ``adaptive.shadow_runs``).
+        self.shadow_runs = 0
+        self.interval_log: list[IntervalStats] = []
+        self._tau = 0
         if stream is not None:
             from repro.branch.stream import replay_eligible
 
@@ -726,6 +746,11 @@ class FetchEngine:
 
         The warmup prefix is simulated in full (it populates the caches and
         predictors) but excluded from every reported metric.
+
+        With ``config.adaptive_interval`` set, the trace is consumed in
+        interval spans: the schedule seam supplies each interval's policy
+        and :class:`IntervalStats` are recorded per span.  Without it the
+        whole trace runs as one span — the exact pre-seam hot loop.
         """
         if trace.program_name != self.program.name:
             raise SimulationError(
@@ -741,9 +766,58 @@ class FetchEngine:
                 f"warmup {warmup_instructions} consumes the whole trace "
                 f"({trace.n_instructions} instructions)"
             )
+        if self.schedule.driver_required:
+            raise SimulationError(
+                f"policy_schedule={self.config.policy_schedule!r} needs "
+                "the adaptive driver (shadow/oracle forks); build the "
+                "engine through build_engine"
+            )
         if self._replay:
             self.unit.rewind()
             self.unit.stream.require_trace(trace)
+        self._tau = 0
+        self.interval_log = []
+        if self.config.adaptive_interval is None:
+            t, _ = self._run_span(trace.records, 0, warmup_instructions)
+        else:
+            t = self._run_intervals(trace.records, warmup_instructions)
+        self._finish_run(t)
+        return self._build_result(trace)
+
+    def _run_intervals(self, records, warmup_instructions: int) -> int:
+        """Consume *records* interval by interval through the schedule."""
+        schedule = self.schedule
+        t = 0
+        warm_left = warmup_instructions
+        for k, (lo, hi) in enumerate(
+            interval_spans(records, self.config.adaptive_interval)
+        ):
+            self.set_policy(schedule.policy_for(k), t=t, interval=k)
+            snapshot = self.snapshot_stats()
+            warm_before = warm_left
+            t, warm_left = self._run_span(records[lo:hi], t, warm_left)
+            reset = warm_before > 0 and warm_left <= 0
+            stats = self.interval_delta(k, snapshot, reset=reset)
+            self.commit_interval(stats, reset=reset)
+            schedule.observe(stats)
+        return t
+
+    def _finish_run(self, t: int) -> None:
+        """Drain the resolution queues after the last span."""
+        self._apply_resolutions(t + self._resolve_slots)
+        if self._arch_live:
+            self._apply_arch_resolutions(self._tau + self._resolve_slots)
+
+    def _run_span(
+        self, records, t: int, warm_left: int
+    ) -> tuple[int, int]:
+        """Run one span of trace *records* starting at slot *t*.
+
+        This is the engine hot loop.  All mutable component state lives on
+        ``self`` and carries across spans; the only span-local state is
+        the cached-locals block below (rebound per span, and after a
+        warmup reset).  Returns the advanced ``(t, warm_left)``.
+        """
         image = self.program.image
         targets = image.targets_list
         base = image.base
@@ -775,10 +849,8 @@ class FetchEngine:
         # of t, making the outcome stream cache/policy-independent.
         arch = self._arch_live
         arch_unresolved = self._arch_unresolved
-        tau = 0
-        warm_left = warmup_instructions
-        t = 0
-        for record in trace.records:
+        tau = self._tau
+        for record in records:
             start, length, kind, taken, next_pc = record
             if warm_left > 0:
                 warm_left -= length
@@ -909,10 +981,119 @@ class FetchEngine:
             t = self._walk_wrong_path(
                 result.wrong_path_start, window_start, window_end, result.outcome
             )
-        self._apply_resolutions(t + resolve_slots)
-        if arch:
-            self._apply_arch_resolutions(tau + resolve_slots)
-        return self._build_result(trace)
+        self._tau = tau
+        return t, warm_left
+
+    # -- per-interval policy machinery -----------------------------------------
+
+    def set_policy(
+        self, policy: FetchPolicy, t: int = 0, interval: int = 0
+    ) -> None:
+        """Swap the fetch policy at an interval boundary.
+
+        In-flight state is deliberately untouched: pending fills keep
+        draining, the bus stays busy until its scheduled time, and the
+        unresolved-branch queues keep gating — the new policy only
+        governs decisions taken from here on.  That is the warm-state
+        handoff the adaptive schedules rely on.
+        """
+        if policy is self.policy:
+            return
+        previous = self.policy
+        self.policy = policy
+        self.policy_switches += 1
+        if self._sink is not None:
+            self._sink.emit(
+                PolicySwitch(
+                    t=t,
+                    interval=interval,
+                    previous=previous.value,
+                    policy=policy.value,
+                )
+            )
+
+    def snapshot_stats(self) -> tuple:
+        """Opaque counter snapshot for :meth:`interval_delta`."""
+        counters = self.counters
+        return (
+            self.penalties.as_dict(),
+            counters.instructions,
+            counters.blocks,
+            counters.right_misses,
+            counters.wrong_misses,
+        )
+
+    def interval_delta(
+        self, index: int, snapshot: tuple, reset: bool = False
+    ) -> IntervalStats:
+        """Stats accumulated since *snapshot*, as one interval record.
+
+        With *reset* (the warmup boundary fell inside the span), the
+        measured counters were zeroed mid-span, so the current totals
+        *are* the delta — subtracting the pre-span snapshot would go
+        negative.
+        """
+        counters = self.counters
+        pen = self.penalties.as_dict()
+        if reset:
+            penalties = pen
+            instructions = counters.instructions
+            blocks = counters.blocks
+            right_misses = counters.right_misses
+            wrong_misses = counters.wrong_misses
+        else:
+            pen0, instr0, blocks0, right0, wrong0 = snapshot
+            penalties = {name: pen[name] - pen0[name] for name in COMPONENTS}
+            instructions = counters.instructions - instr0
+            blocks = counters.blocks - blocks0
+            right_misses = counters.right_misses - right0
+            wrong_misses = counters.wrong_misses - wrong0
+        return IntervalStats(
+            index=index,
+            policy=self.policy,
+            instructions=instructions,
+            blocks=blocks,
+            right_misses=right_misses,
+            wrong_misses=wrong_misses,
+            penalties=penalties,
+        )
+
+    def commit_interval(self, stats: IntervalStats, reset: bool = False) -> None:
+        """Append one finished interval to the run's interval log.
+
+        A warmup reset inside the interval invalidates every earlier
+        entry (their counters were zeroed away), so the log restarts —
+        keeping the partition invariant exact: logged intervals always
+        sum to the measured whole-run totals.
+        """
+        if reset:
+            self.interval_log.clear()
+        self.interval_log.append(stats)
+
+    def fork(self) -> FetchEngine:
+        """A deep copy of this engine's warm state for shadow/oracle runs.
+
+        The immutable cell inputs (program, config, and a replayed
+        prediction stream) are shared, everything mutable — caches,
+        predictor, bus, fill station, queues, counters — is copied.
+        Observation is stripped from the fork: shadow timelines must
+        never leak events or metrics into the committed run's observer.
+        """
+        memo = {
+            id(self.program): self.program,
+            id(self.config): self.config,
+        }
+        if self._replay:
+            memo[id(self.unit.stream)] = self.unit.stream
+        clone = copy.deepcopy(self, memo)
+        clone.observer = None
+        clone._sink = None
+        clone._miss_durations = None
+        clone._redirect_penalties = None
+        clone.station.sink = None
+        if clone.prefetcher is not None:
+            clone.prefetcher.sink = None
+        return clone
 
     def _build_result(self, trace: Trace) -> SimulationResult:
         counters = self.counters
@@ -934,6 +1115,14 @@ class FetchEngine:
             )
         if self.observer is not None:
             self._publish_metrics(self.observer.registry)
+        metadata: dict[str, object] = {
+            "trace_instructions": trace.n_instructions,
+            "trace_blocks": trace.n_blocks,
+            "trace_seed": trace.seed,
+        }
+        if self.interval_log:
+            metadata["policy_switches"] = self.policy_switches
+            metadata["shadow_runs"] = self.shadow_runs
         return SimulationResult(
             program=self.program.name,
             config=self.config,
@@ -942,11 +1131,8 @@ class FetchEngine:
             branch_stats=self.unit.stats,
             cache_stats=self.cache.stats if self.cache is not None else None,
             classification=classification,
-            metadata={
-                "trace_instructions": trace.n_instructions,
-                "trace_blocks": trace.n_blocks,
-                "trace_seed": trace.seed,
-            },
+            metadata=metadata,
+            intervals=tuple(self.interval_log),
         )
 
     def _publish_metrics(self, registry: MetricsRegistry) -> None:
@@ -983,6 +1169,10 @@ class FetchEngine:
         registry.inc("engine.wrong_fills", counters.wrong_fills)
         registry.inc("engine.wrong_instructions", counters.wrong_instructions)
         registry.inc("engine.inflight_merges", counters.inflight_merges)
+        if self.interval_log:
+            registry.inc("adaptive.intervals", len(self.interval_log))
+            registry.inc("adaptive.switches", self.policy_switches)
+            registry.inc("adaptive.shadow_runs", self.shadow_runs)
         self.unit.publish_metrics(registry)
         self.bus.publish_metrics(registry)
         self.station.publish_metrics(registry)
@@ -1023,6 +1213,33 @@ class FetchEngine:
             registry.inc("classify.oracle_fills", counts.oracle_fills)
 
 
+#: Fallback-reason -> per-reason counter name (all under ``engine.*``).
+FALLBACK_COUNTERS = {
+    "missing_stream": "engine.fallback.missing_stream",
+    "ineligible_config": "engine.fallback.ineligible_config",
+    "event_sink": "engine.fallback.event_sink",
+}
+
+
+def _record_fallback(
+    observer: Observer, benchmark: str, config: SimConfig, reason: str
+) -> None:
+    """Count (and, with an enabled sink, narrate) one vector->event
+    fallback so sweeps can explain why they ran slow."""
+    registry = observer.registry
+    registry.inc("engine.fallback_total")
+    registry.inc(FALLBACK_COUNTERS[reason])
+    if observer.sink.enabled:
+        observer.sink.emit(
+            EngineFallback(
+                t=0,
+                benchmark=benchmark,
+                requested=config.engine_backend,
+                reason=reason,
+            )
+        )
+
+
 def build_engine(
     program: Program,
     config: SimConfig,
@@ -1044,18 +1261,54 @@ def build_engine(
     engine's ``backend`` attribute ("event" / "vector") records the
     choice.  Results are bit-identical either way
     (tests/core/test_engine_backends.py).
-    """
-    if config.engine_backend != "event" and stream is not None:
-        # Deferred import: repro.core.vector imports repro.branch.stream.
-        from repro.core.vector import VectorEngine, vector_eligible
 
-        if vector_eligible(config) and (
-            observer is None or not observer.sink.enabled
-        ):
-            return VectorEngine(
-                FetchEngine(program, config, observer=observer, stream=stream)
-            )
-    return FetchEngine(program, config, observer=observer, stream=stream)
+    A fallback that denies an **explicit** ``"vector"`` request is
+    counted under ``engine.fallback_total`` plus a per-reason counter
+    (:data:`FALLBACK_COUNTERS`) and narrated as an
+    :class:`~repro.obs.events.EngineFallback` event, so sweeps pinned to
+    the vector backend can explain why they ran slow.  ``"auto"``
+    fallbacks stay uncounted on purpose: auto promises nothing, and both
+    the golden metric snapshots and the replay-transparency invariant
+    (live metrics == replayed metrics) depend on backend selection not
+    perturbing the registry.
+
+    Controller-driven schedules (``tournament`` / ``oracle``) need
+    warm-state forks per interval, so the built event-loop engine is
+    wrapped in :class:`~repro.core.adaptive.AdaptiveEngine`.
+    """
+    fallback_reason = None
+    if config.engine_backend != "event":
+        explicit = config.engine_backend == "vector"
+        if stream is None:
+            if explicit:
+                fallback_reason = "missing_stream"
+        else:
+            # Deferred import: repro.core.vector imports repro.branch.stream.
+            from repro.core.vector import VectorEngine, vector_eligible
+
+            if not vector_eligible(config):
+                # An adaptive schedule can never reach here explicitly:
+                # SimConfig rejects engine_backend="vector" with one.
+                if explicit:
+                    fallback_reason = "ineligible_config"
+            elif observer is not None and observer.sink.enabled:
+                if explicit:
+                    fallback_reason = "event_sink"
+            else:
+                return VectorEngine(
+                    FetchEngine(
+                        program, config, observer=observer, stream=stream
+                    )
+                )
+    if fallback_reason is not None and observer is not None:
+        _record_fallback(observer, program.name, config, fallback_reason)
+    engine = FetchEngine(program, config, observer=observer, stream=stream)
+    if engine.schedule.driver_required:
+        # Deferred import: repro.core.adaptive imports this module's types.
+        from repro.core.adaptive import AdaptiveEngine
+
+        return AdaptiveEngine(engine)
+    return engine
 
 
 def simulate(

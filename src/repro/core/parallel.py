@@ -318,6 +318,14 @@ class ParallelRunner:
         """*config* with the runner's engine-backend override applied."""
         if self.engine == "auto" or config.engine_backend == self.engine:
             return config
+        if self.engine == "vector" and (
+            config.policy_schedule != "static"
+            or config.adaptive_interval is not None
+        ):
+            # Mirrors SimulationRunner._effective_config: vector cannot
+            # honour per-interval schedules, so adaptive cells keep their
+            # own backend instead of building an invalid SimConfig.
+            return config
         return replace(config, engine_backend=self.engine)
 
     # -- fault-tolerant execution -------------------------------------------

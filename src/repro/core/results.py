@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.branch.unit import BranchStats
 from repro.cache.classify import MissClassification
 from repro.cache.icache import CacheStats
-from repro.config import SimConfig
+from repro.config import FetchPolicy, SimConfig
 from repro.errors import SimulationError
 
 #: Penalty components, in the stacking order of the paper's figures
@@ -119,6 +119,41 @@ class EngineCounters:
 
 
 @dataclass(frozen=True, slots=True)
+class IntervalStats:
+    """Measured statistics of one scheduling interval.
+
+    Recorded whenever ``SimConfig.adaptive_interval`` is set; the partition
+    invariant (enforced by tests/properties/test_interval_partition.py) is
+    that the per-interval counters sum exactly to the whole-run totals —
+    for warmed-up runs, over the intervals at/after the warmup reset.
+    """
+
+    #: Interval number, counted from 0 over the whole trace.
+    index: int
+    #: Fetch policy the engine ran during this interval.
+    policy: FetchPolicy
+    #: Correct-path instructions / blocks measured in the interval.
+    instructions: int
+    blocks: int
+    #: Right-/wrong-path I-cache misses measured in the interval.
+    right_misses: int
+    wrong_misses: int
+    #: Penalty slots per ISPI component (keys: :data:`COMPONENTS`).
+    penalties: dict[str, int]
+
+    @property
+    def penalty_slots(self) -> int:
+        """Total penalty slots charged during the interval."""
+        return sum(self.penalties[name] for name in COMPONENTS)
+
+    @property
+    def ispi(self) -> float:
+        """Slots lost per instruction within the interval."""
+        n = self.instructions
+        return self.penalty_slots / n if n else 0.0
+
+
+@dataclass(frozen=True, slots=True)
 class SimulationResult:
     """Everything measured by one engine run."""
 
@@ -130,6 +165,8 @@ class SimulationResult:
     cache_stats: CacheStats | None
     classification: MissClassification | None = None
     metadata: dict[str, object] = field(default_factory=dict)
+    #: Per-interval measurements (empty unless ``adaptive_interval`` set).
+    intervals: tuple[IntervalStats, ...] = ()
 
     # -- ISPI ---------------------------------------------------------------
 
@@ -257,6 +294,10 @@ class MissingResult:
     @property
     def metadata(self) -> dict[str, object]:
         return {"missing": True}
+
+    @property
+    def intervals(self) -> tuple[()]:
+        return ()
 
     def ispi(self, component: str) -> float:
         return _NAN

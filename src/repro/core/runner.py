@@ -295,6 +295,14 @@ class SimulationRunner:
         """*config* with the runner's engine-backend override applied."""
         if self.engine == "auto" or config.engine_backend == self.engine:
             return config
+        if self.engine == "vector" and (
+            config.policy_schedule != "static"
+            or config.adaptive_interval is not None
+        ):
+            # SimConfig rejects vector + per-interval scheduling outright;
+            # a sweep-wide --engine vector request leaves adaptive cells
+            # on the event loop instead of invalidating their configs.
+            return config
         return replace(config, engine_backend=self.engine)
 
     def prepared(self, name: str) -> WorkloadRun:

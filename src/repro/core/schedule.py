@@ -1,0 +1,241 @@
+"""Per-interval fetch-policy schedules: the ``PolicySchedule`` seam.
+
+The paper treats the fetch policy as a property of the machine; PR 7
+makes it a per-interval *input*.  A schedule answers one question — which
+policy runs during interval ``k`` — and optionally learns from each
+finished interval's :class:`~repro.core.results.IntervalStats`:
+
+* :class:`StaticSchedule`     — one policy for the whole run (the paper's
+  regime; bit-identical to the pre-seam engine by construction);
+* :class:`ScriptSchedule`     — a fixed per-interval policy sequence;
+* :class:`TournamentController` — EWMA shadow-ISPI estimates per
+  candidate, switching at interval boundaries with hysteresis;
+* :class:`OracleSchedule`     — marker for the per-interval upper bound
+  (every interval re-simulated under each candidate from the same warm
+  state; see :mod:`repro.core.adaptive`).
+
+Static and script schedules run directly inside
+:meth:`FetchEngine.run <repro.core.engine.FetchEngine.run>`; the
+controller schedules set ``driver_required`` and are driven by
+:class:`~repro.core.adaptive.AdaptiveEngine`, which can fork warm engine
+state for shadow runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import FetchPolicy, SimConfig
+from repro.errors import SimulationError
+
+
+def interval_spans(records: Sequence, interval: int) -> list[tuple[int, int]]:
+    """Cut *records* into spans of at least *interval* instructions.
+
+    Returns ``[(lo, hi), ...]`` record-index ranges.  Cuts happen at
+    block boundaries (the engine consumes whole trace records), so a span
+    holds the smallest prefix of blocks reaching *interval* instructions;
+    the final span keeps whatever remains.  The cut points depend only on
+    the trace, never on policy or cache state — every schedule (and every
+    shadow run) sees identical interval boundaries.
+    """
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive: {interval}")
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    acc = 0
+    for i, record in enumerate(records):
+        acc += record.length
+        if acc >= interval:
+            spans.append((lo, i + 1))
+            lo = i + 1
+            acc = 0
+    if lo < len(records):
+        spans.append((lo, len(records)))
+    return spans
+
+
+class PolicySchedule:
+    """Base schedule: which fetch policy runs during interval *k*."""
+
+    #: True when the schedule can only be honoured by a driver that forks
+    #: warm engine state per interval (tournament shadow runs, oracle
+    #: re-simulation).  ``FetchEngine.run`` refuses such schedules; they
+    #: go through :class:`~repro.core.adaptive.AdaptiveEngine`.
+    driver_required = False
+
+    def policy_for(self, index: int) -> FetchPolicy:
+        """The policy for interval *index*."""
+        raise NotImplementedError
+
+    def observe(self, stats) -> None:
+        """Feed one finished interval's :class:`IntervalStats` (no-op by
+        default; the tournament controller learns from its driver via
+        :meth:`TournamentController.update` instead)."""
+
+
+class StaticSchedule(PolicySchedule):
+    """One policy for the whole run."""
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: FetchPolicy) -> None:
+        self.policy = policy
+
+    def policy_for(self, index: int) -> FetchPolicy:
+        return self.policy
+
+
+class ScriptSchedule(PolicySchedule):
+    """A fixed per-interval sequence; the last entry repeats forever."""
+
+    __slots__ = ("script",)
+
+    def __init__(self, script: Sequence[FetchPolicy]) -> None:
+        if not script:
+            raise SimulationError("policy script must be non-empty")
+        self.script = tuple(script)
+
+    def policy_for(self, index: int) -> FetchPolicy:
+        if index < len(self.script):
+            return self.script[index]
+        return self.script[-1]
+
+
+class TournamentController(PolicySchedule):
+    """Shadow-estimator meta-controller with hysteresis.
+
+    After every interval the driver hands :meth:`update` one ISPI
+    estimate per candidate — measured for the incumbent, shadow-simulated
+    for the rest.  Estimates are smoothed with an EWMA over
+    ``tournament_history`` intervals; a challenger must beat the
+    incumbent's estimate by at least ``tournament_margin`` (relative) on
+    ``tournament_hysteresis`` *consecutive* boundaries before the
+    controller switches.  Ties and near-ties keep the incumbent — the
+    controller pays a switch only for a sustained, material win.
+    """
+
+    driver_required = True
+
+    __slots__ = (
+        "candidates",
+        "incumbent",
+        "hysteresis",
+        "margin",
+        "switches",
+        "_alpha",
+        "_estimates",
+        "_streak_policy",
+        "_streak",
+    )
+
+    def __init__(
+        self,
+        candidates: Sequence[FetchPolicy],
+        incumbent: FetchPolicy,
+        history: int = 4,
+        hysteresis: int = 2,
+        margin: float = 0.02,
+    ) -> None:
+        if not candidates:
+            raise SimulationError("tournament needs at least one candidate")
+        self.candidates = tuple(candidates)
+        self.incumbent = (
+            incumbent if incumbent in self.candidates else self.candidates[0]
+        )
+        self.hysteresis = hysteresis
+        self.margin = margin
+        self.switches = 0
+        # Standard EWMA span weighting: ~`history` intervals of memory.
+        self._alpha = 2.0 / (history + 1.0)
+        self._estimates: dict[FetchPolicy, float] = {}
+        self._streak_policy: FetchPolicy | None = None
+        self._streak = 0
+
+    def policy_for(self, index: int) -> FetchPolicy:
+        return self.incumbent
+
+    def update(self, estimates: dict[FetchPolicy, float]) -> FetchPolicy:
+        """Fold one interval's per-candidate ISPI estimates in; return the
+        policy for the next interval."""
+        alpha = self._alpha
+        smoothed = self._estimates
+        for policy in self.candidates:
+            value = estimates.get(policy)
+            if value is None:
+                continue
+            prev = smoothed.get(policy)
+            smoothed[policy] = (
+                value if prev is None else prev + alpha * (value - prev)
+            )
+        incumbent_est = smoothed.get(self.incumbent)
+        if incumbent_est is None:
+            return self.incumbent
+        challenger: FetchPolicy | None = None
+        challenger_est = incumbent_est
+        for policy in self.candidates:
+            if policy is self.incumbent:
+                continue
+            est = smoothed.get(policy)
+            if est is not None and est < challenger_est:
+                challenger, challenger_est = policy, est
+        threshold = incumbent_est * (1.0 - self.margin)
+        if challenger is None or challenger_est > threshold:
+            self._streak_policy, self._streak = None, 0
+            return self.incumbent
+        if challenger is self._streak_policy:
+            self._streak += 1
+        else:
+            self._streak_policy, self._streak = challenger, 1
+        if self._streak >= self.hysteresis:
+            self.incumbent = challenger
+            self.switches += 1
+            self._streak_policy, self._streak = None, 0
+        return self.incumbent
+
+
+class OracleSchedule(PolicySchedule):
+    """Marker schedule for the per-interval oracle upper bound.
+
+    The adaptive driver re-simulates each interval under every candidate
+    from the same warm state and keeps the best; the schedule itself only
+    names the candidate set and the first interval's policy.
+    """
+
+    driver_required = True
+
+    __slots__ = ("candidates", "initial")
+
+    def __init__(
+        self, candidates: Sequence[FetchPolicy], initial: FetchPolicy
+    ) -> None:
+        if not candidates:
+            raise SimulationError("oracle schedule needs candidates")
+        self.candidates = tuple(candidates)
+        self.initial = (
+            initial if initial in self.candidates else self.candidates[0]
+        )
+
+    def policy_for(self, index: int) -> FetchPolicy:
+        return self.initial
+
+
+def build_schedule(config: SimConfig) -> PolicySchedule:
+    """Construct the schedule described by *config* (the seam the engine
+    reads its per-interval policy through — SIM012)."""
+    kind = config.policy_schedule
+    if kind == "static":
+        return StaticSchedule(config.policy)
+    if kind == "script":
+        return ScriptSchedule(config.policy_script)
+    if kind == "tournament":
+        return TournamentController(
+            config.adaptive_policies,
+            config.policy,
+            history=config.tournament_history,
+            hysteresis=config.tournament_hysteresis,
+            margin=config.tournament_margin,
+        )
+    if kind == "oracle":
+        return OracleSchedule(config.adaptive_policies, config.policy)
+    raise SimulationError(f"unknown policy_schedule {kind!r}")

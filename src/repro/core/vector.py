@@ -71,7 +71,9 @@ def vector_eligible(config: SimConfig) -> bool:
     Replay eligibility is necessary (the backend consumes the recorded
     outcome arrays); on top of that, every timing-coupled front-end
     extension disqualifies the cell — those paths interleave with the
-    fetch clock per probe and only exist in the event loop.
+    fetch clock per probe and only exist in the event loop.  So does the
+    per-interval policy machinery: the batch kernels assume one policy
+    for the whole run and record no interval stats.
     """
     return (
         replay_eligible(config)
@@ -81,6 +83,8 @@ def vector_eligible(config: SimConfig) -> bool:
         and not config.classify
         and config.l2_size_bytes is None
         and config.fill_buffers == 1
+        and config.policy_schedule == "static"
+        and config.adaptive_interval is None
     )
 
 
@@ -385,7 +389,10 @@ class VectorEngine:
         self.bus = inner.bus
         self.station = inner.station
         self._stream = inner.unit.stream
-        self._policy = config.policy
+        # Eligibility pins the schedule to static, so the inner engine's
+        # per-interval policy is the run-wide policy (the schedule seam —
+        # SIM012 — resolves it once at construction).
+        self._policy = inner.policy
         self._penalty_slots = config.miss_penalty_slots
         self._decode_slots = config.decode_latency_slots
         self._resolve_slots = config.resolve_latency_slots

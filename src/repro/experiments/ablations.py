@@ -21,7 +21,7 @@ from dataclasses import replace
 from repro.config import BranchConfig, CacheConfig, FetchPolicy, SimConfig
 from repro.core.runner import SimulationRunner
 from repro.experiments.base import ExperimentResult
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 
 #: A representative cross-language subset (keeps ablations affordable).
 ABLATION_BENCHMARKS = ("doduc", "gcc", "li", "groff", "lic")
@@ -49,7 +49,7 @@ def run_ablation_btb(
     table.add_separator()
     avg_d = mean(v["decoupled"] for v in data.values())
     avg_c = mean(v["coupled"] for v in data.values())
-    table.add_row("Average", avg_d, avg_c, avg_c / avg_d)
+    table.add_row(average_label(data), avg_d, avg_c, avg_c / avg_d)
     return ExperimentResult(
         experiment_id="ablation_btb",
         title="Decoupled vs coupled BTB",
@@ -85,7 +85,7 @@ def run_ablation_pht(
         table.add_row(*row)
     table.add_separator()
     table.add_row(
-        "Average", *(mean(d[k] for d in data.values()) for k in kinds)
+        average_label(data), *(mean(d[k] for d in data.values()) for k in kinds)
     )
     return ExperimentResult(
         experiment_id="ablation_pht",
@@ -196,7 +196,7 @@ def run_ablation_pht_size(
         table.add_row(*row)
     table.add_separator()
     table.add_row(
-        "Average", *(mean(d[s] for d in data.values()) for s in sizes)
+        average_label(data), *(mean(d[s] for d in data.values()) for s in sizes)
     )
     return ExperimentResult(
         experiment_id="ablation_pht_size",

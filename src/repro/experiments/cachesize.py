@@ -15,7 +15,7 @@ from repro.config import ALL_POLICIES, CacheConfig, SimConfig
 from repro.core.runner import SimulationRunner
 from repro.experiments.base import ExperimentResult
 from repro.program.workloads import SUITE
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 
 #: The paper's large cache size in bytes.
 LARGE_CACHE_BYTES = 32 * 1024
@@ -47,7 +47,7 @@ def run_table6(
         table.add_row(name, *(data[name][p.value] for p in ALL_POLICIES))
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         *(
             mean(d[p.value] for d in data.values())
             for p in ALL_POLICIES

@@ -21,7 +21,7 @@ from repro.config import CacheConfig, FetchPolicy, SimConfig
 from repro.core.runner import SimulationRunner
 from repro.experiments.base import ExperimentResult
 from repro.program.workloads import LANGUAGE, PAPER_REFERENCE, SUITE, get_spec
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 from repro.trace.stats import compute_stats
 
 
@@ -113,7 +113,7 @@ def run_table3(
         )
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         mean(d["miss_8k"] for d in data.values()),
         mean(d["miss_32k"] for d in data.values()),
         mean(d["pht_b1"] for d in data.values()),

@@ -15,7 +15,7 @@ from repro.config import ALL_POLICIES, SimConfig
 from repro.core.runner import SimulationRunner
 from repro.experiments.base import ExperimentResult
 from repro.program.workloads import SUITE
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 
 #: The paper's speculation depths.
 DEPTHS = (1, 2, 4)
@@ -51,7 +51,7 @@ def run_table5(
                 data[name][f"B{depth}-{policy.value}"] = ispi
         table.add_row(*row)
     table.add_separator()
-    avg_row: list[object] = ["Average"]
+    avg_row: list[object] = [average_label(data)]
     for depth in depths:
         for policy in ALL_POLICIES:
             key = f"B{depth}-{policy.value}"

@@ -20,7 +20,7 @@ from repro.core.engine import simulate
 from repro.core.runner import SimulationRunner
 from repro.experiments.base import ExperimentResult
 from repro.program.reorder import function_heat, reorder_program
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 from repro.trace.generator import generate_trace
 
 #: Representative cross-language subset.
@@ -57,7 +57,7 @@ def run_extension_nonblocking(
         table.add_row(*row)
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         *(mean(d[label] for d in data.values()) for label in variants),
     )
     return ExperimentResult(
@@ -121,7 +121,7 @@ def run_extension_prefetch_variants(
         traffic_table.add_row(*traffic_row)
     ispi_table.add_separator()
     ispi_table.add_row(
-        "Average",
+        average_label(data),
         *(
             mean(data[n][label]["ispi"] for n in benchmarks)
             for label in variants
@@ -199,7 +199,7 @@ def run_extension_streambuffer(
         )
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         mean(d["miss"] for d in data.values()),
         *(
             mean(d[f"removed_{label}"] for d in data.values())
@@ -264,7 +264,7 @@ def run_extension_l2(
                 row.append(result.total_ispi)
         table.add_row(*row)
     table.add_separator()
-    avg_row: list[object] = ["Average"]
+    avg_row: list[object] = [average_label(data)]
     for size in l2_sizes:
         for policy in policies:
             key = f"{label(size)}-{policy.label}"

@@ -16,7 +16,7 @@ from repro.core.runner import SimulationRunner
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
 from repro.program.workloads import SUITE
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 
 
 def run_table4(
@@ -49,7 +49,7 @@ def run_table4(
         )
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         mean(d["both_miss"] for d in data.values()),
         mean(d["spec_pollute"] for d in data.values()),
         mean(d["spec_prefetch"] for d in data.values()),

@@ -20,7 +20,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.latency import LONG_MISS_PENALTY_CYCLES
 from repro.program.workloads import FIGURE_BENCHMARKS, SUITE
 from repro.report.figures import breakdown_chart
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 
 #: The subset of policies the paper shows in its prefetch figures.
 PREFETCH_POLICIES = (
@@ -152,7 +152,7 @@ def run_table7(
         table.add_row(*row)
     table.add_separator()
     table.add_row(
-        "Average",
+        average_label(data),
         *(
             mean(d[p.value] for d in data.values())
             for p in PREFETCH_POLICIES

@@ -11,6 +11,7 @@ from collections.abc import Callable
 
 from repro.core.runner import SimulationRunner
 from repro.errors import ExperimentError
+from repro.experiments.adaptive import run_adaptive
 from repro.experiments.ablations import (
     run_ablation_assoc,
     run_ablation_btb,
@@ -70,14 +71,16 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "extension_prefetch_variants": run_extension_prefetch_variants,
     "extension_reorder": run_extension_reorder,
     "extension_streambuffer": run_extension_streambuffer,
+    "adaptive": run_adaptive,
     "robustness": _run_robustness,
 }
 
-#: The experiments reproducing paper artifacts (no ablations/extensions).
+#: The experiments reproducing paper artifacts (no ablations, extensions,
+#: or beyond-the-paper studies like the adaptive scheduler).
 PAPER_EXPERIMENTS: tuple[str, ...] = tuple(
     eid
     for eid in EXPERIMENTS
-    if not eid.startswith(("ablation_", "extension_", "robustness"))
+    if not eid.startswith(("ablation_", "extension_", "robustness", "adaptive"))
 )
 
 

@@ -33,6 +33,7 @@ from repro.lint.findings import SEVERITIES
 #: Counter/histogram namespaces that may appear before the first dot of a
 #: metric name literal (SIM005).
 DEFAULT_METRIC_NAMESPACES = (
+    "adaptive",
     "artifacts",
     "checkpoint",
     "classify",

@@ -18,6 +18,7 @@ SIM008    fast-parity        every _fast variant has a differential test
 SIM009    event-registry     emitted events are declared in repro.obs.events
 SIM010    branch-seam        branch units constructed only via the factory seam
 SIM011    engine-seam        engines constructed only via build_engine
+SIM012    policy-seam        engine hot path reads policy via the schedule seam
 ========  =================  ====================================================
 """
 
@@ -31,5 +32,6 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: register)
     floatcounter,
     ordering,
     picklable,
+    policyseam,
     taxonomy,
 )

@@ -1,0 +1,69 @@
+"""SIM012: the engine hot path reads its policy through the schedule seam.
+
+PR 7 turned the fetch policy from a construction-time constant into a
+per-interval input: the engine asks its ``PolicySchedule``
+(``repro.core.schedule``) which policy governs the current interval and
+caches the answer in ``self.policy``.  A ``config.policy`` read inside
+the engine hot path re-freezes the policy at construction time — under a
+script/tournament/oracle schedule it silently simulates the wrong
+policy for every interval after the first switch, and no differential
+test catches it because the static matrix never switches.
+
+This rule bans ``*.config.policy`` attribute reads in the engine-side
+modules (``repro.core.engine``, ``repro.core.vector``,
+``repro.core.adaptive``).  The sanctioned readers live elsewhere:
+``build_schedule`` (the seam, in ``repro.core.schedule``) and the
+display layer (``repro.core.results``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: Modules whose code runs per-interval and must take the policy from
+#: the schedule seam, never from the frozen config.
+_ENGINE_MODULES = (
+    "repro.core.engine",
+    "repro.core.vector",
+    "repro.core.adaptive",
+)
+
+
+def _is_config_policy(node: ast.Attribute) -> bool:
+    """True for ``config.policy`` / ``<anything>.config.policy``."""
+    if node.attr != "policy":
+        return False
+    value = node.value
+    if isinstance(value, ast.Name):
+        return value.id == "config"
+    if isinstance(value, ast.Attribute):
+        return value.attr == "config"
+    return False
+
+
+@register
+class PolicySeamRule(Rule):
+    id = "SIM012"
+    name = "policy-seam"
+    description = (
+        "engine hot-path modules take the fetch policy from the "
+        "PolicySchedule seam, never from config.policy"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(_ENGINE_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and _is_config_policy(node):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "config.policy read in the engine hot path freezes "
+                    "the policy at construction time; read the current "
+                    "interval's policy through the PolicySchedule seam "
+                    "(engine.policy / schedule.policy_for)",
+                )

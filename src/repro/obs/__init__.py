@@ -8,6 +8,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     INCIDENT_KINDS,
     STALL_CAUSES,
+    EngineFallback,
     Event,
     EventSink,
     FetchStall,
@@ -15,6 +16,7 @@ from repro.obs.events import (
     JsonlSink,
     MissService,
     NullSink,
+    PolicySwitch,
     PrefetchIssue,
     Redirect,
     RingBufferSink,
@@ -36,6 +38,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BOUNDS",
     "EVENT_TYPES",
+    "EngineFallback",
     "Event",
     "INCIDENT_KINDS",
     "EventSink",
@@ -48,6 +51,7 @@ __all__ = [
     "NullSink",
     "Observer",
     "PhaseProfiler",
+    "PolicySwitch",
     "PrefetchIssue",
     "Redirect",
     "RingBufferSink",

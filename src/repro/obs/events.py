@@ -135,9 +135,41 @@ class StreamBuild:
     digest: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class PolicySwitch:
+    """The engine changed fetch policy at an interval boundary.
+
+    Emitted by the per-interval policy schedules (``t`` is the issue-slot
+    time of the boundary, ``interval`` the index of the interval that now
+    begins under ``policy``).
+    """
+
+    t: int
+    interval: int
+    previous: str  # FetchPolicy value
+    policy: str  # FetchPolicy value
+
+
+@dataclass(frozen=True, slots=True)
+class EngineFallback:
+    """An explicit ``engine_backend="vector"`` request ran the event loop.
+
+    Sweep-level (``t`` is always 0): backend selection happens before the
+    simulation starts.  ``requested`` is the cell's ``engine_backend``
+    knob; ``reason`` is one of the keys of
+    :data:`repro.core.engine.FALLBACK_COUNTERS` (``missing_stream``,
+    ``ineligible_config``, ``event_sink``).
+    """
+
+    t: int
+    benchmark: str
+    requested: str
+    reason: str
+
+
 Event = (
     FetchStall | MissService | Redirect | PrefetchIssue | FillInstall
-    | SweepIncident | StreamBuild
+    | SweepIncident | StreamBuild | PolicySwitch | EngineFallback
 )
 
 #: Event classes by their serialised ``type`` name.
@@ -145,7 +177,7 @@ EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         FetchStall, MissService, Redirect, PrefetchIssue, FillInstall,
-        SweepIncident, StreamBuild,
+        SweepIncident, StreamBuild, PolicySwitch, EngineFallback,
     )
 }
 

@@ -12,7 +12,7 @@ from repro.report.figures import (
     StackedBarChart,
     breakdown_chart,
 )
-from repro.report.format import Table, mean
+from repro.report.format import Table, average_label, mean
 from repro.report.json_export import (
     experiment_to_dict,
     experiment_to_json,
@@ -32,6 +32,7 @@ __all__ = [
     "LEGEND",
     "StackedBarChart",
     "Table",
+    "average_label",
     "breakdown_chart",
     "mean",
     "render_stacked_bars_svg",

@@ -86,8 +86,45 @@ class Table:
 
 
 def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean (raises on an empty sequence)."""
+    """Arithmetic mean over the *present* values.
+
+    NaN items — the missing-cell marker that ``on_error="skip"`` sweeps
+    leave behind — are excluded, so one skipped benchmark no longer
+    poisons a whole Average row.  An all-NaN sequence yields NaN (the
+    cell renders empty); a truly empty sequence is a programming error
+    and raises.
+    """
     items = list(values)
     if not items:
         raise ExperimentError("mean of empty sequence")
-    return sum(items) / len(items)
+    present = [v for v in items if not math.isnan(v)]
+    if not present:
+        return float("nan")
+    return sum(present) / len(present)
+
+
+def _iter_floats(value: object) -> Iterable[float]:
+    if isinstance(value, dict):
+        for item in value.values():
+            yield from _iter_floats(item)
+    elif isinstance(value, (int, float)):
+        yield float(value)
+
+
+def average_label(per_benchmark: dict, label: str = "Average") -> str:
+    """Aggregate-row label, annotated with the skipped-benchmark count.
+
+    *per_benchmark* is the ``{benchmark: {key: value, ...}}`` mapping the
+    experiments accumulate (nested dicts are searched recursively).  A
+    benchmark counts as skipped when any of its cells is NaN, so an
+    ``Average (2 skipped)`` row says exactly how many benchmarks the
+    means exclude.
+    """
+    skipped = sum(
+        1
+        for cells in per_benchmark.values()
+        if any(math.isnan(v) for v in _iter_floats(cells))
+    )
+    if skipped:
+        return f"{label} ({skipped} skipped)"
+    return label

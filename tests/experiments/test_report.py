@@ -1,9 +1,18 @@
 """Table and figure rendering."""
 
+import math
+
 import pytest
 
 from repro.errors import ExperimentError
-from repro.report import LEGEND, StackedBarChart, Table, breakdown_chart, mean
+from repro.report import (
+    LEGEND,
+    StackedBarChart,
+    Table,
+    average_label,
+    breakdown_chart,
+    mean,
+)
 
 
 class TestTable:
@@ -68,6 +77,30 @@ class TestMean:
     def test_empty_rejected(self):
         with pytest.raises(ExperimentError):
             mean([])
+
+    def test_nan_cells_are_skipped(self):
+        # A skipped sweep cell (NaN) must not poison the average.
+        assert mean([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_all_nan_yields_nan(self):
+        assert math.isnan(mean([float("nan"), float("nan")]))
+
+
+class TestAverageLabel:
+    def test_no_missing_benchmarks(self):
+        assert average_label({"li": {"a": 1.0}, "gcc": {"a": 2.0}}) == "Average"
+
+    def test_counts_missing_benchmarks(self):
+        data = {
+            "li": {"a": 1.0},
+            "gcc": {"a": float("nan")},
+            "doduc": {"a": float("nan"), "b": 2.0},
+        }
+        assert average_label(data) == "Average (2 skipped)"
+
+    def test_searches_nested_dicts(self):
+        data = {"li": {"base": {"ispi": float("nan")}}}
+        assert average_label(data, label="Geomean") == "Geomean (1 skipped)"
 
 
 class TestStackedBarChart:

@@ -1,0 +1,94 @@
+"""SIM012 (policy-seam): engine hot path never reads config.policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import rule_ids, run_rules
+
+pytestmark = pytest.mark.lint
+
+POSITIVE = [
+    pytest.param(
+        "def probe(config):\n"
+        "    return config.policy is FetchPolicy.RESUME\n",
+        id="bare-config",
+    ),
+    pytest.param(
+        "class Engine:\n"
+        "    def step(self):\n"
+        "        if self.config.policy is FetchPolicy.OPTIMISTIC:\n"
+        "            return 1\n",
+        id="self-config",
+    ),
+    pytest.param(
+        "def drive(inner):\n"
+        "    return inner.config.policy\n",
+        id="nested-attribute",
+    ),
+]
+
+NEGATIVE = [
+    pytest.param(
+        "class Engine:\n"
+        "    def step(self):\n"
+        "        return self.policy\n",
+        id="seam-cached-policy",
+    ),
+    pytest.param(
+        "def pick(schedule, k):\n"
+        "    return schedule.policy_for(k)\n",
+        id="schedule-lookup",
+    ),
+    pytest.param(
+        "def knobs(config):\n"
+        "    return (config.policy_schedule, config.policy_script)\n",
+        id="other-policy-knobs",
+    ),
+    pytest.param(
+        "def describe(config):\n"
+        "    return config.describe()\n",
+        id="unrelated-attribute",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_flags_config_policy_reads(source: str) -> None:
+    findings = run_rules(source, module="repro.core.engine", select="SIM012")
+    assert rule_ids(findings) == ["SIM012"]
+
+
+@pytest.mark.parametrize("source", POSITIVE)
+def test_covers_all_engine_modules(source: str) -> None:
+    for module in ("repro.core.vector", "repro.core.adaptive"):
+        findings = run_rules(source, module=module, select="SIM012")
+        assert rule_ids(findings) == ["SIM012"]
+
+
+@pytest.mark.parametrize("source", NEGATIVE)
+def test_allows_seam_reads(source: str) -> None:
+    findings = run_rules(source, module="repro.core.engine", select="SIM012")
+    assert findings == []
+
+
+def test_scoped_to_engine_modules() -> None:
+    # The seam itself (build_schedule) and the display layer read
+    # config.policy legitimately.
+    for module in ("repro.core.schedule", "repro.core.results"):
+        findings = run_rules(
+            "def build(config):\n    return StaticSchedule(config.policy)\n",
+            module=module,
+            select="SIM012",
+        )
+        assert findings == []
+
+
+def test_suppressible_inline() -> None:
+    findings = run_rules(
+        "def probe(config):\n"
+        "    return config.policy  # simlint: disable=SIM012\n",
+        module="repro.core.engine",
+        select="SIM012",
+    )
+    assert findings == []

@@ -9,12 +9,14 @@ from repro.errors import ObservabilityError
 from repro.obs.events import (
     EVENT_TYPES,
     STALL_CAUSES,
+    EngineFallback,
     EventSink,
     FetchStall,
     FillInstall,
     JsonlSink,
     MissService,
     NullSink,
+    PolicySwitch,
     PrefetchIssue,
     Redirect,
     RingBufferSink,
@@ -34,6 +36,8 @@ SAMPLES = (
     FillInstall(t=30, line=8, origin="prefetch"),
     SweepIncident(t=0, benchmark="li", kind="retry", detail="InjectedFault", attempt=1),
     StreamBuild(t=0, benchmark="gcc", records=412, source="cache"),
+    PolicySwitch(t=4096, interval=3, previous="resume", policy="optimistic"),
+    EngineFallback(t=0, benchmark="li", requested="vector", reason="missing_stream"),
 )
 
 

@@ -1,0 +1,82 @@
+"""Property: interval stats partition whole-run totals exactly.
+
+For every policy × warmup × interval combination, the per-interval
+ISPI components, instruction counts, and miss counters logged by the
+schedule seam must sum to the measured whole-run totals — no slot is
+double-counted at an interval boundary and none falls between two
+intervals, including the boundary interval where the warmup reset
+fires mid-span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ALL_POLICIES, SimConfig
+from repro.core.engine import simulate
+from repro.core.results import COMPONENTS
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
+
+TRACE_LENGTH = 4_000
+
+_PROGRAM = build_workload("li")
+_TRACE = generate_trace(_PROGRAM, TRACE_LENGTH, seed=23)
+
+
+class TestIntervalPartition:
+    @given(
+        policy=st.sampled_from(list(ALL_POLICIES)),
+        warmup=st.integers(min_value=0, max_value=TRACE_LENGTH - 1),
+        interval=st.sampled_from([250, 700, 1_000, 2_500, 10_000]),
+        prefetch=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_intervals_sum_to_totals(self, policy, warmup, interval, prefetch):
+        config = SimConfig(
+            policy=policy, prefetch=prefetch, adaptive_interval=interval
+        )
+        result = simulate(_PROGRAM, _TRACE, config, warmup=warmup)
+        intervals = result.intervals
+        assert intervals, "interval accounting must log at least one span"
+        assert [s.index for s in intervals] == sorted(s.index for s in intervals)
+        assert sum(s.instructions for s in intervals) == (
+            result.counters.instructions
+        )
+        assert sum(s.right_misses for s in intervals) == (
+            result.counters.right_misses
+        )
+        assert sum(s.wrong_misses for s in intervals) == (
+            result.counters.wrong_misses
+        )
+        totals = result.penalties.as_dict()
+        for component in COMPONENTS:
+            assert sum(s.penalties[component] for s in intervals) == (
+                totals[component]
+            ), component
+        # ISPI recomposes from the same partition.
+        slots = sum(s.penalty_slots for s in intervals)
+        assert slots == result.penalties.total_slots
+
+    @given(
+        policy=st.sampled_from(list(ALL_POLICIES)),
+        warmup=st.sampled_from([0, 999, 1_000, 1_001, 3_999]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_partition_matches_unchunked_run(self, policy, warmup):
+        """The partitioned run's totals equal the plain run's (the
+        accounting is observation, not intervention)."""
+        base = SimConfig(policy=policy)
+        plain = simulate(_PROGRAM, _TRACE, base, warmup=warmup)
+        chunked = simulate(
+            _PROGRAM,
+            _TRACE,
+            replace(base, adaptive_interval=1_000),
+            warmup=warmup,
+        )
+        assert plain.penalties.as_dict() == chunked.penalties.as_dict()
+        assert plain.counters.instructions == chunked.counters.instructions
+        assert plain.total_ispi == chunked.total_ispi

@@ -93,3 +93,36 @@ class TestSweepFailure:
             benchmark="li", error_type="X", message="m",
             attempts=1, transient=False,
         ).describe()
+
+
+class TestAverageRowUnderSkip:
+    """A skipped benchmark must not NaN-poison the table's Average row."""
+
+    def test_average_row_skips_missing_benchmark(self, tmp_path):
+        from repro.core.faults import FaultPlan, FaultSpec
+        from repro.core.runner import SimulationRunner
+        from repro.experiments.depth import run_table5
+
+        runner = SimulationRunner(
+            trace_length=2_000, warmup=400, seed=7,
+            retries=0, on_error="skip",
+            fault_plan=FaultPlan(
+                faults=[
+                    FaultSpec(
+                        phase="simulate", kind="bug",
+                        benchmark="gcc", times=50,
+                    )
+                ],
+                state_dir=str(tmp_path / "faults"),
+            ),
+        )
+        result = run_table5(runner, benchmarks=("li", "gcc"), depths=(1,))
+        table = result.tables[0]
+        assert runner.failures  # gcc really was skipped
+        avg = table.row_by_key("Average (1 skipped)")
+        # Every mean averaged over the present benchmark only.
+        assert all(not math.isnan(v) for v in avg[1:])
+        li = table.row_by_key("li")
+        assert avg[1:] == li[1:]
+        # The gcc row rendered as blanks, not "nan".
+        assert "nan" not in table.render()

@@ -123,3 +123,106 @@ class TestPolicyEnum:
     def test_labels_unique(self):
         labels = [p.label for p in ALL_POLICIES]
         assert len(set(labels)) == len(labels)
+
+
+class TestPolicyScheduleConfig:
+    """PR 7 scheduling knobs: every invalid combination is rejected with
+    an actionable message, whether built directly or via replace()."""
+
+    def test_static_default(self):
+        config = SimConfig()
+        assert config.policy_schedule == "static"
+        assert config.adaptive_interval is None
+        assert config.policy_script == ()
+
+    def test_valid_schedules(self):
+        SimConfig(policy_schedule="tournament", adaptive_interval=1000)
+        SimConfig(policy_schedule="oracle", adaptive_interval=1000)
+        SimConfig(
+            policy_schedule="script",
+            adaptive_interval=1000,
+            policy_script=(FetchPolicy.RESUME, FetchPolicy.OPTIMISTIC),
+        )
+        SimConfig(adaptive_interval=1000)  # static + interval accounting
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy_schedule": "greedy"},
+            {"adaptive_interval": 0},
+            {"adaptive_interval": -100},
+            {"policy_schedule": "tournament"},  # no interval
+            {"policy_schedule": "script", "adaptive_interval": 500},  # no script
+            {"policy_script": (FetchPolicy.RESUME,)},  # script without schedule
+            {
+                "policy_schedule": "tournament",
+                "adaptive_interval": 500,
+                "adaptive_policies": (FetchPolicy.RESUME,),  # < 2 candidates
+            },
+            {
+                "policy_schedule": "tournament",
+                "adaptive_interval": 500,
+                "tournament_history": 0,
+            },
+            {
+                "policy_schedule": "tournament",
+                "adaptive_interval": 500,
+                "tournament_hysteresis": 0,
+            },
+            {
+                "policy_schedule": "tournament",
+                "adaptive_interval": 500,
+                "tournament_margin": -0.1,
+            },
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimConfig(**kwargs)
+
+    def test_controller_schedules_reject_classify(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SimConfig(
+                policy=FetchPolicy.OPTIMISTIC,
+                classify=True,
+                policy_schedule="tournament",
+                adaptive_interval=500,
+            )
+        assert "classif" in str(excinfo.value)
+
+    def test_vector_backend_rejects_scheduling(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SimConfig(
+                engine_backend="vector",
+                policy_schedule="tournament",
+                adaptive_interval=500,
+            )
+        assert "vector" in str(excinfo.value)
+        with pytest.raises(ConfigError):
+            SimConfig(engine_backend="vector", adaptive_interval=500)
+
+    def test_replace_built_configs_are_validated(self):
+        from dataclasses import replace
+
+        base = SimConfig()
+        with pytest.raises(ConfigError):
+            replace(base, policy_schedule="tournament")  # no interval
+        with pytest.raises(ConfigError):
+            replace(base, adaptive_interval=-1)
+        with pytest.raises(ConfigError):
+            replace(
+                base,
+                engine_backend="vector",
+                policy_schedule="oracle",
+                adaptive_interval=500,
+            )
+
+    def test_describe_static_unchanged(self):
+        assert "policy-sched" not in SimConfig().describe()
+        assert "policy-sched" not in SimConfig(adaptive_interval=500).describe()
+
+    def test_describe_names_schedule(self):
+        text = SimConfig(
+            policy_schedule="tournament", adaptive_interval=500
+        ).describe()
+        assert "policy-sched=tournament@500" in text

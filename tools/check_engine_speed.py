@@ -18,6 +18,11 @@ stay at least ``--vector-floor`` (default 5.0) times faster than the
 event loop on perfect-cache cells, and must never be slower than the
 event loop on real-cache cells (``auto`` routes those cells through it).
 
+When the trajectory records a ``static_schedule`` section, the
+PolicySchedule seam's bookkeeping is also re-measured: running a static
+configuration with interval accounting enabled must cost less than
+``--schedule-tolerance`` (default 2%) over the plain static run.
+
 Usage::
 
     PYTHONPATH=src python tools/check_engine_speed.py
@@ -89,6 +94,14 @@ def main(argv=None) -> int:
         "BENCH_engine.json (default 0.25; looser than --tolerance because "
         "the sweep is sub-second and noisier — the speedup floor is the "
         "primary replay invariant)",
+    )
+    parser.add_argument(
+        "--schedule-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed fractional overhead of interval bookkeeping on a "
+        "static run (default 0.02 = 2%%; the PolicySchedule seam must be "
+        "invisible when nothing switches)",
     )
     args = parser.parse_args(argv)
 
@@ -175,6 +188,26 @@ def main(argv=None) -> int:
                 f"cells ({vector['real_cache']['speedup']:.2f}x); 'auto' "
                 "would now pessimize eligible sweep cells — profile "
                 "VectorEngine._run_probes"
+            )
+
+    stored_schedule = trajectory.get("static_schedule")
+    if stored_schedule is not None:
+        from benchmarks.bench_engine_speed import _schedule_overhead
+
+        schedule = _schedule_overhead(repeats=5)
+        print(
+            f"{'static_schedule':>16}: plain {schedule['plain_s']:.3f}s, "
+            f"intervalled {schedule['interval_s']:.3f}s "
+            f"({schedule['overhead'] * 100:+.2f}%; stored "
+            f"{stored_schedule['overhead'] * 100:+.2f}%)"
+        )
+        if schedule["overhead"] > args.schedule_tolerance:
+            failures.append(
+                f"static-schedule interval bookkeeping costs "
+                f"{schedule['overhead'] * 100:.2f}% on a static run, above "
+                f"the {args.schedule_tolerance * 100:.0f}% budget; the "
+                "PolicySchedule seam must stay invisible when nothing "
+                "switches — profile FetchEngine._run_intervals"
             )
 
     if failures:
