@@ -106,13 +106,18 @@ class AdaptiveEngine:
         warm_left: int,
         reset: bool,
     ):
-        """Run one interval on *fork* under *policy*; return its stats."""
+        """Run one interval on *fork* under *policy*.
+
+        Returns ``(stats, end_t, end_warm)`` — the interval's stats plus
+        the fork's advanced clock and warmup remainder, so the oracle can
+        adopt the winning fork's end state without re-simulating.
+        """
         lo, hi = span
         fork.set_policy(policy)
         snapshot = fork.snapshot_stats()
-        fork._run_span(records[lo:hi], t, warm_left)
+        end_t, end_warm = fork._run_span(records[lo:hi], t, warm_left)
         self.inner.shadow_runs += 1
-        return fork.interval_delta(index, snapshot, reset=reset)
+        return fork.interval_delta(index, snapshot, reset=reset), end_t, end_warm
 
     # -- the two drivers ----------------------------------------------------
 
@@ -141,7 +146,7 @@ class AdaptiveEngine:
             inner.commit_interval(stats, reset=reset)
             estimates = {incumbent: stats.ispi}
             for policy, fork in shadows:
-                shadow = self._shadow_interval(
+                shadow, _, _ = self._shadow_interval(
                     fork, policy, (lo, hi), records, k, t_before,
                     warm_before, reset,
                 )
@@ -150,9 +155,23 @@ class AdaptiveEngine:
         return t
 
     def _run_oracle(self, records, spans, warmup_instructions: int) -> int:
-        """Best-of-all-candidates per interval, from identical warm state."""
+        """Best-of-all-candidates per interval, from identical warm state.
+
+        Every candidate (including the eventual winner) runs the interval
+        on its own fork; the winner's fork is then *adopted* as the
+        committed timeline (:meth:`~repro.core.engine.FetchEngine.adopt`)
+        — the simulation is deterministic, so re-running the winning
+        interval on the committed engine would reproduce the adopted
+        state bit for bit while costing one extra simulation per
+        interval.  Under a live observer, forks carry no sinks or
+        distribution buffers, so the driver falls back to exactly that
+        re-run (the committed pass is what emits events and samples);
+        results are identical either way, which the differential suite
+        asserts.
+        """
         inner = self.inner
         candidates = self.schedule.candidates
+        adopt = inner.observer is None
         t = 0
         warm_left = warmup_instructions
         for k, (lo, hi) in enumerate(spans):
@@ -161,24 +180,28 @@ class AdaptiveEngine:
             # from the same warm state.  The reset flag is policy
             # independent (warmup is counted in instructions), so probe
             # it on the first candidate's stats via the shared warm path.
-            best_policy = None
+            best = None
             best_slots = None
             reset = warm_before > 0 and warm_before - _span_instructions(
                 records, lo, hi
             ) <= 0
             for policy in candidates:
                 fork = inner.fork()
-                stats = self._shadow_interval(
+                stats, end_t, end_warm = self._shadow_interval(
                     fork, policy, (lo, hi), records, k, t, warm_before, reset
                 )
-                slots = stats.penalty_slots
-                if best_slots is None or slots < best_slots:
-                    best_policy, best_slots = policy, slots
-            inner.set_policy(best_policy, t=t, interval=k)
-            snapshot = inner.snapshot_stats()
-            t, warm_left = inner._run_span(records[lo:hi], t, warm_left)
-            reset = warm_before > 0 and warm_left <= 0
-            stats = inner.interval_delta(k, snapshot, reset=reset)
+                if best_slots is None or stats.penalty_slots < best_slots:
+                    best = (policy, fork, stats, end_t, end_warm)
+                    best_slots = stats.penalty_slots
+            best_policy, best_fork, stats, end_t, end_warm = best
+            if adopt:
+                inner.adopt(best_fork)
+                t, warm_left = end_t, end_warm
+            else:
+                inner.set_policy(best_policy, t=t, interval=k)
+                snapshot = inner.snapshot_stats()
+                t, warm_left = inner._run_span(records[lo:hi], t, warm_left)
+                stats = inner.interval_delta(k, snapshot, reset=reset)
             inner.commit_interval(stats, reset=reset)
             self.schedule.observe(stats)
         return t

@@ -61,8 +61,16 @@ def config_key(config: SimConfig) -> str:
 class CheckpointJournal:
     """Append-only journal of completed sweep cells.
 
-    Safe to share between concurrent processes (atomic writes; the worst
-    race outcome is simulating the same cell twice) and across sessions.
+    Safe to share between concurrent processes and across sessions.
+    Concurrent writers of the *same* cell are **last-write-wins by
+    construction**: every :meth:`store` writes a complete payload to a
+    private temp file and publishes it with a single atomic
+    ``os.replace``, so readers always see exactly one writer's entry in
+    full — never a torn interleaving of two.  Since a cell's result is a
+    pure function of its key, any winner is the right answer; the only
+    cost of the race is the duplicated simulation.  Writers that want to
+    avoid even that (e.g. two sweep-service workers completing the same
+    digest) can elect a single owner up front with :meth:`claim`.
     """
 
     def __init__(self, directory: str | os.PathLike[str] | None) -> None:
@@ -95,6 +103,41 @@ class CheckpointJournal:
             / benchmark
             / f"{key}.pkl"
         )
+
+    # -- concurrency ---------------------------------------------------------
+
+    def claim(
+        self,
+        benchmark: str,
+        config: SimConfig,
+        trace_length: int,
+        warmup: int,
+        seed: int,
+    ) -> bool:
+        """Atomically claim one cell for this writer (``O_EXCL`` style).
+
+        The first caller per cell gets ``True`` and should simulate and
+        :meth:`store`; later callers get ``False`` and should wait for
+        (or poll) the winner's entry instead of duplicating the work.
+        Claims are advisory — :meth:`store` never requires one — and
+        they fail *open*: with the journal disabled, or when the claim
+        marker cannot be created for OS-level reasons, the caller is
+        told to proceed (the worst outcome is the same duplicated
+        simulation the journal always tolerated).
+        """
+        if self.root is None:
+            return True
+        path = self.entry_path(benchmark, config, trace_length, warmup, seed)
+        marker = path.with_suffix(".claim")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True
+        os.close(fd)
+        return True
 
     # -- lookup --------------------------------------------------------------
 

@@ -1095,6 +1095,39 @@ class FetchEngine:
             clone.prefetcher.sink = None
         return clone
 
+    def adopt(self, fork: FetchEngine) -> None:
+        """Absorb *fork*'s warm state as this engine's committed timeline.
+
+        The inverse hand-off of :meth:`fork`: after a shadow fork has
+        already simulated an interval, the driver can *adopt* its end
+        state instead of re-running the same interval on the committed
+        engine — the simulation is deterministic, so the adopted state is
+        bit-identical to what the redundant re-run would have produced.
+
+        Only allowed on an observation-free engine: forks are stripped of
+        sinks and distribution buffers (see :meth:`fork`), so adopting
+        one under a live observer would silently drop the committed
+        interval's events and samples.  The driver falls back to the
+        re-run path in that case.
+
+        Driver-owned bookkeeping stays put: the schedule (shared with the
+        driver by identity), the interval log (committed by the driver
+        via :meth:`commit_interval`), and the shadow-run count (the fork
+        carries a stale pre-interval copy).
+        """
+        if self.observer is not None:
+            raise SimulationError(
+                "adopt() requires an observation-free engine; forks carry "
+                "no events or distribution samples to adopt"
+            )
+        keep = (
+            "observer", "_sink", "_miss_durations", "_redirect_penalties",
+            "schedule", "shadow_runs", "interval_log",
+        )
+        for name, value in fork.__dict__.items():
+            if name not in keep:
+                self.__dict__[name] = value
+
     def _build_result(self, trace: Trace) -> SimulationResult:
         counters = self.counters
         if self.prefetcher is not None:

@@ -35,8 +35,24 @@ from random import Random
 
 from repro.errors import ExperimentError, InjectedFault, JobTimeoutError, ReproError
 
-#: Phases a fault can strike, matching the runners' profiling phases.
-PHASES = ("build", "generate", "cache_load", "cache_store", "simulate")
+#: Worker-side phases, matching the runners' profiling phases.
+WORKER_PHASES = ("build", "generate", "cache_load", "cache_store", "simulate")
+
+#: Service-side phase boundaries (see :mod:`repro.service`):
+#:
+#: * ``dispatch``    — fires in the server's event loop just before a
+#:   cell is submitted to the worker pool (inside the retry loop, so a
+#:   ``crash`` here exercises the service's transient-retry path and an
+#:   ``exit`` kills the whole server — the recovery-journal scenario);
+#: * ``store_write`` — fires around the ResultStore write of a finished
+#:   cell; a ``corrupt`` spec garbles the entry *after* it lands,
+#:   modelling on-disk damage the store must treat as a miss;
+#: * ``response``    — fires just before the HTTP response bytes are
+#:   written, so a client sees a dead/empty connection and must retry.
+SERVICE_PHASES = ("dispatch", "store_write", "response")
+
+#: All phases a fault can strike.
+PHASES = WORKER_PHASES + SERVICE_PHASES
 
 #: Supported failure modes:
 #:
@@ -180,7 +196,7 @@ class FaultPlan:
         benchmarks: tuple[str, ...] = (),
         n_faults: int = 4,
         kinds: tuple[str, ...] = ("crash", "delay", "corrupt"),
-        phases: tuple[str, ...] = PHASES,
+        phases: tuple[str, ...] = WORKER_PHASES,
         max_invocation: int = 2,
     ) -> FaultPlan:
         """A pseudo-random but fully reproducible plan.

@@ -45,6 +45,18 @@ class CheckpointError(ReproError):
     """A sweep checkpoint journal was misconfigured or misused."""
 
 
+class ServiceError(ReproError):
+    """A sweep-service request was malformed, rejected, or failed.
+
+    Raised by :mod:`repro.service` on protocol violations (bad wire
+    payloads), load-shedding rejections, and request-level failures
+    relayed to a client.  Deterministic under the failure taxonomy —
+    a malformed request reproduces identically on retry; the client
+    retries *transport* failures (dead connections, 429/503), never
+    ``ServiceError``.
+    """
+
+
 class JobTimeoutError(ReproError):
     """A sweep job exceeded its watchdog deadline.
 

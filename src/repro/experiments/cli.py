@@ -86,6 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         "%(default)s)",
     )
     parser.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDRESS",
+        help="run sweep cells on a repro.service sweep server at ADDRESS "
+        "(host:port or unix:path) instead of simulating locally: finished "
+        "cells come from the server's content-addressed result store, "
+        "concurrent identical requests are deduplicated, and transport "
+        "failures retry automatically (start one with "
+        "'python -m repro.service --data-dir DIR')",
+    )
+    parser.add_argument(
+        "--client-id",
+        default=None,
+        metavar="NAME",
+        help="client identity reported to --server for fair scheduling "
+        "(default: user@host)",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scheduling priority hint for --server requests (higher runs "
+        "first; default %(default)s)",
+    )
+    parser.add_argument(
         "--cache-prune",
         action="store_true",
         help="before running, delete artifact-cache entries no current "
@@ -221,6 +247,41 @@ def _report_failures(runner, output_dir: str | None) -> None:
         print(f"[failure report written to {path}]", file=sys.stderr)
 
 
+def _build_remote_runner(args):
+    """A RemoteRunner targeting ``--server`` (local knobs don't apply)."""
+    import getpass
+    import socket as socket_module
+
+    from repro.service import RemoteRunner, ServiceClient
+
+    for flag, value in (
+        ("--cache-dir", args.cache_dir),
+        ("--checkpoint", args.checkpoint),
+        ("--inject-faults", args.inject_faults),
+        ("--trace-events", args.trace_events),
+    ):
+        if value:
+            print(
+                f"warning: {flag} is server-side state and is ignored "
+                "with --server",
+                file=sys.stderr,
+            )
+    client_id = args.client_id
+    if not client_id:
+        client_id = (
+            f"{getpass.getuser()}@{socket_module.gethostname()}"
+        )
+    return RemoteRunner(
+        ServiceClient(args.server),
+        trace_length=args.trace_length,
+        seed=args.seed,
+        warmup=args.warmup,
+        on_error=args.on_error,
+        priority=args.priority,
+        client_id=client_id,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -273,20 +334,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                 prefix="repro-faults-"
             )
             fault_plan = FaultPlan.parse(args.inject_faults, state_dir)
-        runner = SimulationRunner(
-            trace_length=args.trace_length,
-            seed=args.seed,
-            warmup=args.warmup,
-            observer=observer,
-            cache_dir=args.cache_dir,
-            retries=args.retries,
-            job_timeout=args.job_timeout,
-            on_error=args.on_error,
-            checkpoint_dir=args.checkpoint,
-            fault_plan=fault_plan,
-            replay=args.replay,
-            engine=args.engine,
-        )
+        if args.server:
+            runner = _build_remote_runner(args)
+        else:
+            runner = SimulationRunner(
+                trace_length=args.trace_length,
+                seed=args.seed,
+                warmup=args.warmup,
+                observer=observer,
+                cache_dir=args.cache_dir,
+                retries=args.retries,
+                job_timeout=args.job_timeout,
+                on_error=args.on_error,
+                checkpoint_dir=args.checkpoint,
+                fault_plan=fault_plan,
+                replay=args.replay,
+                engine=args.engine,
+            )
         try:
             for experiment_id in ids:
                 started = time.perf_counter()

@@ -41,6 +41,7 @@ DEFAULT_METRIC_NAMESPACES = (
     "faults",
     "l2",
     "prefetch",
+    "service",
     "stream",
     "sweep",
 )
@@ -61,13 +62,18 @@ DEFAULT_DETERMINISM_MODULES = (
 DEFAULT_TAXONOMY_MODULES = (
     "repro.core",
     "repro.experiments",
+    "repro.service",
 )
 
 #: Builtin exceptions tolerated by SIM004 even inside taxonomy modules:
 #: protocol-mandated types a library cannot substitute (``__getattr__``
-#: must raise AttributeError) plus the not-implemented convention.
+#: must raise AttributeError), the not-implemented convention, and
+#: ConnectionError — a torn transport read *is* an OS-level connection
+#: failure (``is_transient(OSError)`` is True), so raising it keeps the
+#: client's retry classification honest.
 DEFAULT_TAXONOMY_ALLOWED = (
     "AttributeError",
+    "ConnectionError",
     "NotImplementedError",
 )
 

@@ -19,6 +19,7 @@ SIM009    event-registry     emitted events are declared in repro.obs.events
 SIM010    branch-seam        branch units constructed only via the factory seam
 SIM011    engine-seam        engines constructed only via build_engine
 SIM012    policy-seam        engine hot path reads policy via the schedule seam
+SIM013    service-hygiene    service handlers never swallow errors or block the loop
 ========  =================  ====================================================
 """
 
@@ -33,5 +34,6 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: register)
     ordering,
     picklable,
     policyseam,
+    service,
     taxonomy,
 )

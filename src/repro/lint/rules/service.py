@@ -1,0 +1,126 @@
+"""SIM013: service request handlers stay honest and non-blocking.
+
+The sweep service (``repro.service``) is the one part of the repository
+that runs unattended: a handler bug does not crash a foreground run the
+user is watching, it silently degrades a server other people depend on.
+Two failure patterns are therefore banned outright in service modules:
+
+* **Swallowed failures.**  A bare ``except:`` (which also eats
+  ``asyncio.CancelledError`` and breaks shutdown) or an ``except``
+  handler whose body is nothing but ``pass``.  Every caught failure
+  must leave a trace — a counter bump, a :class:`ServiceIncident`, a
+  journal entry — or use :func:`contextlib.suppress` to declare the
+  suppression explicitly at the call site.
+* **Blocking calls on the event loop.**  ``time.sleep``, ``open``,
+  ``subprocess.*`` and friends called directly inside an ``async def``
+  stall every connected client for the duration.  Await an async
+  equivalent (``asyncio.sleep``) or push the work through
+  ``run_in_executor``.  Nested *sync* ``def`` bodies are exempt — they
+  only run when something schedules them off-loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import RawFinding, Rule, register
+
+#: Module prefixes whose handlers this rule polices.
+_SERVICE_MODULES = ("repro.service",)
+
+#: ``module.attribute`` calls that block the calling thread.
+_BLOCKING_ATTRS = frozenset(
+    {
+        ("time", "sleep"),
+        ("io", "open"),
+        ("os", "system"),
+        ("socket", "create_connection"),
+        ("subprocess", "run"),
+        ("subprocess", "Popen"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+    }
+)
+
+#: Bare-name calls that block the calling thread.
+_BLOCKING_NAMES = frozenset({"open"})
+
+
+def _blocking_call_name(node: ast.Call) -> str | None:
+    """Dotted name of a blacklisted blocking call, or ``None``."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in _BLOCKING_ATTRS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    return None
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes that execute on the event loop inside *func*.
+
+    Nested function definitions are skipped: a nested sync ``def`` runs
+    off-loop (or not at all), and a nested ``async def`` is visited by
+    the outer module walk in its own right.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ServiceHygieneRule(Rule):
+    id = "SIM013"
+    name = "service-hygiene"
+    description = (
+        "repro.service handlers must not swallow exceptions (bare "
+        "except / pass-only handlers) or call blocking APIs inside "
+        "async def"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.in_modules(_SERVICE_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "bare except in a service module swallows "
+                        "CancelledError and unclassified failures; catch "
+                        "explicit exception types",
+                    )
+                elif all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "except handler that only passes hides a service "
+                        "failure; bump a counter, emit a ServiceIncident, "
+                        "or use contextlib.suppress at the call site",
+                    )
+            elif isinstance(node, ast.AsyncFunctionDef):
+                for inner in _async_body_nodes(node):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    name = _blocking_call_name(inner)
+                    if name is not None:
+                        yield (
+                            inner.lineno,
+                            inner.col_offset,
+                            f"blocking call {name}() inside 'async def "
+                            f"{node.name}' stalls the event loop for every "
+                            "connected client; await an async equivalent "
+                            "or use run_in_executor",
+                        )

@@ -7,6 +7,7 @@ the invariants the test suite enforces over them.
 from repro.obs.events import (
     EVENT_TYPES,
     INCIDENT_KINDS,
+    SERVICE_INCIDENT_KINDS,
     STALL_CAUSES,
     EngineFallback,
     Event,
@@ -20,6 +21,7 @@ from repro.obs.events import (
     PrefetchIssue,
     Redirect,
     RingBufferSink,
+    ServiceIncident,
     SweepIncident,
     event_from_dict,
     event_to_dict,
@@ -55,7 +57,9 @@ __all__ = [
     "PrefetchIssue",
     "Redirect",
     "RingBufferSink",
+    "SERVICE_INCIDENT_KINDS",
     "STALL_CAUSES",
+    "ServiceIncident",
     "SweepIncident",
     "event_from_dict",
     "event_to_dict",

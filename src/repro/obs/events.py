@@ -167,9 +167,42 @@ class EngineFallback:
     reason: str
 
 
+#: Service-incident kinds emitted by the sweep service (:mod:`repro.service`).
+SERVICE_INCIDENT_KINDS = (
+    "request",
+    "reject",
+    "dedup",
+    "retry",
+    "timeout",
+    "failure",
+    "recovered",
+    "response_fault",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceIncident:
+    """The sweep service acted on a request or an in-flight cell.
+
+    Service-level rather than cycle-level: ``t`` is always 0.  ``kind``
+    is one of :data:`SERVICE_INCIDENT_KINDS`; ``client`` names the
+    requesting tenant (``"__recovery__"`` for journal replays),
+    ``benchmark`` the affected cell for cell-scoped kinds, and
+    ``attempt`` counts failed attempts for retry/timeout incidents.
+    """
+
+    t: int
+    client: str
+    kind: str
+    benchmark: str = ""
+    detail: str = ""
+    attempt: int = 0
+
+
 Event = (
     FetchStall | MissService | Redirect | PrefetchIssue | FillInstall
     | SweepIncident | StreamBuild | PolicySwitch | EngineFallback
+    | ServiceIncident
 )
 
 #: Event classes by their serialised ``type`` name.
@@ -178,6 +211,7 @@ EVENT_TYPES: dict[str, type] = {
     for cls in (
         FetchStall, MissService, Redirect, PrefetchIssue, FillInstall,
         SweepIncident, StreamBuild, PolicySwitch, EngineFallback,
+        ServiceIncident,
     )
 }
 

@@ -210,6 +210,71 @@ class TestDriverSchedules:
         assert oracle.total_ispi <= min(s.total_ispi for s in statics) + 1e-9
 
 
+class TestOracleAdoption:
+    """The oracle driver adopts the winning fork instead of re-running.
+
+    Differential contract: the adoption path (no observer) and the
+    legacy re-run path (observer present) are bit-identical, and
+    adoption performs exactly one fewer ``_run_span`` per interval —
+    the committed re-run it exists to eliminate.
+    """
+
+    CONFIG = SimConfig(
+        policy_schedule="oracle",
+        adaptive_interval=INTERVAL,
+        adaptive_policies=(FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC),
+    )
+
+    def _count_spans(self, monkeypatch):
+        from repro.core.engine import FetchEngine
+
+        calls = {"n": 0}
+        original = FetchEngine._run_span
+
+        def counting(engine, records, t, warm_left):
+            calls["n"] += 1
+            return original(engine, records, t, warm_left)
+
+        monkeypatch.setattr(FetchEngine, "_run_span", counting)
+        return calls
+
+    def test_adopt_matches_observer_rerun(self, workload, monkeypatch):
+        from repro.obs import Observer
+
+        program, trace = workload
+        calls = self._count_spans(monkeypatch)
+        adopted = simulate(program, trace, self.CONFIG)
+        adopt_spans = calls["n"]
+        calls["n"] = 0
+        rerun = simulate(program, trace, self.CONFIG, observer=Observer())
+        rerun_spans = calls["n"]
+        assert _totals(adopted) == _totals(rerun)
+        assert adopted.total_ispi == rerun.total_ispi
+        assert [s.policy for s in adopted.intervals] == [
+            s.policy for s in rerun.intervals
+        ]
+        assert [s.penalty_slots for s in adopted.intervals] == [
+            s.penalty_slots for s in rerun.intervals
+        ]
+        # Adoption saves exactly the committed re-run, every interval.
+        intervals = len(adopted.intervals)
+        assert intervals > 1
+        assert rerun_spans - adopt_spans == intervals
+
+    def test_adopt_matches_with_warmup(self, workload, monkeypatch):
+        from repro.obs import Observer
+
+        program, trace = workload
+        adopted = simulate(program, trace, self.CONFIG, warmup=1_500)
+        rerun = simulate(
+            program, trace, self.CONFIG, warmup=1_500, observer=Observer()
+        )
+        assert _totals(adopted) == _totals(rerun)
+        assert [s.policy for s in adopted.intervals] == [
+            s.policy for s in rerun.intervals
+        ]
+
+
 class TestScheduleUnits:
     def test_build_schedule_dispatch(self):
         assert isinstance(build_schedule(SimConfig()), StaticSchedule)

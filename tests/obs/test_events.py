@@ -20,6 +20,7 @@ from repro.obs.events import (
     PrefetchIssue,
     Redirect,
     RingBufferSink,
+    ServiceIncident,
     StreamBuild,
     SweepIncident,
     event_from_dict,
@@ -35,6 +36,7 @@ SAMPLES = (
     PrefetchIssue(t=2, line=8, kind="next_line", done=22),
     FillInstall(t=30, line=8, origin="prefetch"),
     SweepIncident(t=0, benchmark="li", kind="retry", detail="InjectedFault", attempt=1),
+    ServiceIncident(t=0, client="alice", kind="timeout", benchmark="li", attempt=2),
     StreamBuild(t=0, benchmark="gcc", records=412, source="cache"),
     PolicySwitch(t=4096, interval=3, previous="resume", policy="optimistic"),
     EngineFallback(t=0, benchmark="li", requested="vector", reason="missing_stream"),
@@ -77,7 +79,7 @@ class TestNullSink:
 
 class TestRingBufferSink:
     def test_keeps_events_in_order(self):
-        sink = RingBufferSink(capacity=10)
+        sink = RingBufferSink(capacity=len(SAMPLES))
         for event in SAMPLES:
             sink.emit(event)
         assert sink.events() == list(SAMPLES)

@@ -4,12 +4,17 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
 
 from repro.config import FetchPolicy, SimConfig
-from repro.core.checkpoint import CheckpointJournal, config_key
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointJournal,
+    config_key,
+)
 from repro.core.faults import FaultPlan, FaultSpec
 from repro.core.parallel import ParallelRunner
 from repro.core.runner import SimulationRunner
@@ -79,6 +84,109 @@ class TestJournal:
         journal = CheckpointJournal(target)
         journal.store("li", ORACLE, TRACE, WARMUP, 7, result)  # no raise
         assert journal.load("li", ORACLE, TRACE, WARMUP, 7) is None
+
+
+class TestConcurrentWriters:
+    """The journal under contention: claims elect one owner, stores
+    never tear.  Threads stand in for processes — ``O_EXCL`` and
+    ``os.replace`` make no distinction."""
+
+    def test_claim_elects_exactly_one_winner(self, tmp_path):
+        contenders = 8
+        start = threading.Barrier(contenders)
+        outcomes: list[bool] = []
+        lock = threading.Lock()
+
+        def contend():
+            journal = CheckpointJournal(tmp_path)  # one instance per writer
+            start.wait()
+            won = journal.claim("li", ORACLE, TRACE, WARMUP, 7)
+            with lock:
+                outcomes.append(won)
+
+        threads = [
+            threading.Thread(target=contend) for _ in range(contenders)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count(True) == 1
+        assert outcomes.count(False) == contenders - 1
+        # A different cell is an independent election.
+        assert CheckpointJournal(tmp_path).claim(
+            "li", RESUME, TRACE, WARMUP, 7
+        )
+
+    def test_claim_fails_open(self, tmp_path):
+        # Disabled journal: everyone proceeds.
+        assert CheckpointJournal(None).claim("li", ORACLE, TRACE, WARMUP, 7)
+        # Unwritable journal (root is a file): proceed rather than wedge.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the journal dir should go")
+        assert CheckpointJournal(blocked).claim(
+            "li", ORACLE, TRACE, WARMUP, 7
+        )
+
+    def test_concurrent_stores_never_torn(self, tmp_path):
+        runner = SimulationRunner(trace_length=TRACE, warmup=WARMUP, seed=7)
+        result_a = runner.run("li", ORACLE)
+        result_b = runner.run("li", RESUME)
+        assert result_a.penalties.as_dict() != result_b.penalties.as_dict()
+        journal = CheckpointJournal(tmp_path)
+        writers = 8
+        start = threading.Barrier(writers + 1)
+        stop = threading.Event()
+        torn: list[object] = []
+
+        def write(result):
+            start.wait()
+            for _ in range(25):
+                journal.store("li", ORACLE, TRACE, WARMUP, 7, result)
+
+        def read():
+            start.wait()
+            reader = CheckpointJournal(tmp_path)
+            while not stop.is_set():
+                loaded = reader.load("li", ORACLE, TRACE, WARMUP, 7)
+                if loaded is None:
+                    continue  # not yet published: a miss, never an error
+                penalties = loaded.penalties.as_dict()
+                if penalties not in (
+                    result_a.penalties.as_dict(),
+                    result_b.penalties.as_dict(),
+                ):
+                    torn.append(penalties)
+
+        threads = [
+            threading.Thread(
+                target=write, args=(result_a if i % 2 else result_b,)
+            )
+            for i in range(writers)
+        ]
+        reader_thread = threading.Thread(target=read)
+        for thread in threads:
+            thread.start()
+        reader_thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        reader_thread.join()
+        assert torn == []
+        # The settled entry is exactly one writer's payload, in full.
+        final = journal.load("li", ORACLE, TRACE, WARMUP, 7)
+        assert final is not None
+        assert final.penalties.as_dict() in (
+            result_a.penalties.as_dict(),
+            result_b.penalties.as_dict(),
+        )
+        # No temp files left behind by the racing writers.
+        leftovers = [
+            path
+            for path in (tmp_path / f"v{CHECKPOINT_FORMAT_VERSION}").rglob("*")
+            if path.is_file() and path.suffix not in (".pkl", ".claim")
+        ]
+        assert leftovers == []
 
 
 class TestResume:

@@ -1,0 +1,194 @@
+"""Chaos acceptance: a faulted service still serves bit-identical sweeps.
+
+The four injected disasters from the issue — a crashing worker, a hung
+cell, a server that dies before answering (then restarts and recovers
+from its journal), and a corrupted result-store entry — must each leave
+the client with results bit-identical to a fault-free serial run; only
+the fault-tolerance and service counters may differ.  The final test
+drives the real CLI (``repro-experiment table5 --server``) against a
+faulted server and asserts the rendered table matches a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.faults import EXIT_STATUS
+from repro.errors import ServiceError
+from repro.service import RemoteRunner, ServiceClient
+
+from tests.service.conftest import (
+    JOBS,
+    REPO_ROOT,
+    SEED,
+    TRACE,
+    WARMUP,
+    assert_results_identical,
+)
+
+
+def _runner(address, client_id="chaos", retries=5):
+    return RemoteRunner(
+        ServiceClient(address, retries=retries, backoff_base=0.0),
+        trace_length=TRACE,
+        warmup=WARMUP,
+        seed=SEED,
+        client_id=client_id,
+    )
+
+
+class TestWorkerCrash:
+    def test_crashing_worker_recovers_bit_identically(
+        self, tmp_path, start_server, serial_reference
+    ):
+        reference, _ = serial_reference
+        server = start_server(
+            tmp_path / "data",
+            "--retries", "3", "--backoff-base", "0.0",
+            "--inject-faults", "simulate:crash:li",
+            "--fault-state", str(tmp_path / "faults"),
+        )
+        runner = _runner(server.address)
+        assert_results_identical(runner.run_jobs(JOBS), reference)
+        counters = ServiceClient(server.address).healthz()["counters"]
+        assert counters["service.retries"] >= 1
+        assert counters["service.cells_simulated"] == len(JOBS)
+
+
+class TestHungCell:
+    def test_watchdog_contains_a_hung_cell(
+        self, tmp_path, start_server, serial_reference
+    ):
+        reference, _ = serial_reference
+        server = start_server(
+            tmp_path / "data",
+            "--retries", "2", "--backoff-base", "0.0",
+            "--job-timeout", "1.0",
+            "--inject-faults", "simulate:delay:li:1:60",
+            "--fault-state", str(tmp_path / "faults"),
+        )
+        runner = _runner(server.address)
+        assert_results_identical(runner.run_jobs(JOBS), reference)
+        counters = ServiceClient(server.address).healthz()["counters"]
+        assert counters["service.timeouts"] >= 1
+        assert counters["service.pool_rebuilds"] >= 1
+
+
+class TestServerDeathAndRecovery:
+    def test_journal_replay_after_crash_before_response(
+        self, tmp_path, start_server, serial_reference
+    ):
+        reference, _ = serial_reference
+        data_dir = tmp_path / "data"
+        doomed = start_server(
+            data_dir,
+            "--inject-faults", "response:exit",
+            "--fault-state", str(tmp_path / "faults"),
+        )
+        # The server computes (and stores) every cell, then dies before
+        # the response bytes reach the client.
+        with pytest.raises(ServiceError, match="unreachable"):
+            _runner(doomed.address, retries=0).run_jobs(JOBS)
+        assert doomed.wait() == EXIT_STATUS
+        # Restart over the same state: the journalled request replays
+        # in the background (all store hits — nothing re-simulates).
+        revived = start_server(data_dir)
+        client = ServiceClient(revived.address)
+        deadline = time.monotonic() + 30
+        while True:
+            counters = client.healthz()["counters"]
+            if counters["service.recovered_requests"] >= 1 and (
+                counters["service.store_entries"] == len(JOBS)
+            ):
+                break
+            assert time.monotonic() < deadline, counters
+            time.sleep(0.05)
+        # The client's retry after the crash: warm, bit-identical.
+        runner = _runner(revived.address)
+        assert_results_identical(runner.run_jobs(JOBS), reference)
+        assert runner.stats["cells_simulated"] == 0
+        assert runner.stats["store_hits"] == len(JOBS)
+        assert client.healthz()["counters"]["service.cells_simulated"] == 0
+
+
+class TestCorruptedStoreEntry:
+    def test_corrupt_entry_is_resimulated_bit_identically(
+        self, tmp_path, start_server, serial_reference
+    ):
+        reference, _ = serial_reference
+        server = start_server(
+            tmp_path / "data",
+            "--inject-faults", "store_write:corrupt:li:1",
+            "--fault-state", str(tmp_path / "faults"),
+        )
+        # First sweep: computed in memory, one li entry lands corrupted.
+        first = _runner(server.address, client_id="first")
+        assert_results_identical(first.run_jobs(JOBS), reference)
+        assert first.stats["cells_simulated"] == len(JOBS)
+        # Second sweep: the torn entry is a miss -> exactly one cell
+        # re-simulates, and the answer is still bit-identical.
+        second = _runner(server.address, client_id="second")
+        assert_results_identical(second.run_jobs(JOBS), reference)
+        assert second.stats["cells_simulated"] == 1
+        assert second.stats["store_hits"] == len(JOBS) - 1
+        # Third sweep: the overwrite healed the store -> fully warm.
+        third = _runner(server.address, client_id="third")
+        assert_results_identical(third.run_jobs(JOBS), reference)
+        assert third.stats["cells_simulated"] == 0
+        assert third.stats["store_hits"] == len(JOBS)
+
+
+class TestCliAcceptance:
+    """``repro-experiment table5 --server`` against a faulted server."""
+
+    CLI_TRACE = "3000"
+
+    def _run_cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p
+            for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH", ""))
+            if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "table5",
+                "--trace-length", self.CLI_TRACE, *args,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        # Strip the wall-clock line; everything else must match.
+        return [
+            line
+            for line in proc.stdout.splitlines()
+            if not line.startswith("[table5 regenerated in")
+        ]
+
+    def test_faulted_server_table_matches_serial(
+        self, tmp_path, start_server
+    ):
+        serial_table = self._run_cli()
+        server = start_server(
+            tmp_path / "data",
+            "--retries", "3", "--backoff-base", "0.0",
+            "--inject-faults", "simulate:crash",
+            "--fault-state", str(tmp_path / "faults"),
+        )
+        served_table = self._run_cli("--server", server.address)
+        assert served_table == serial_table
+        counters = ServiceClient(server.address).healthz()["counters"]
+        assert counters["service.retries"] >= 1
+        # Warm re-run through the CLI: zero simulations server-side.
+        before = counters["service.cells_simulated"]
+        assert self._run_cli("--server", server.address) == serial_table
+        after = ServiceClient(server.address).healthz()["counters"]
+        assert after["service.cells_simulated"] == before

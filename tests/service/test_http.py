@@ -1,0 +1,147 @@
+"""End-to-end over real sockets: server subprocess + blocking client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.errors import ExperimentError, ServiceError
+from repro.service import RemoteRunner, ServiceClient
+
+from tests.service.conftest import (
+    JOBS,
+    SEED,
+    TRACE,
+    WARMUP,
+    ServerProcess,
+    assert_results_identical,
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    process = ServerProcess(tmp_path_factory.mktemp("service-data"))
+    yield process
+    process.stop()
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.address)
+
+
+def _runner(client, **kwargs):
+    kwargs.setdefault("trace_length", TRACE)
+    kwargs.setdefault("warmup", WARMUP)
+    kwargs.setdefault("seed", SEED)
+    return RemoteRunner(client, **kwargs)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "service.requests" in health["counters"]
+        assert "service.store_entries" in health["counters"]
+        assert health["queued"] == 0
+
+    def test_metrics_exposition(self, client):
+        text = client.metrics()
+        assert "# TYPE repro_service_requests counter" in text
+        assert "repro_service_requests" in text
+
+    def test_unknown_route_is_404(self, client):
+        status, body = client.request("GET", "/nope")
+        assert status == 404
+        assert b"no route" in body
+
+    def test_malformed_sweep_body_is_400(self, client):
+        status, body = client.request("POST", "/v1/sweep", b"not an envelope")
+        assert status == 400
+        assert b"error" in body
+
+
+class TestSweepOverHttp:
+    def test_cold_then_warm_sweep(self, server, client, serial_reference):
+        reference, _ = serial_reference
+        runner = _runner(client, client_id="alice")
+        results = runner.run_jobs(JOBS)
+        assert_results_identical(results, reference)
+        assert runner.stats["cells_simulated"] == len(JOBS)
+        # Warm re-request (different client): ZERO simulations.
+        warm = _runner(ServiceClient(server.address), client_id="bob")
+        assert_results_identical(warm.run_jobs(JOBS), reference)
+        assert warm.stats["cells_simulated"] == 0
+        assert warm.stats["store_hits"] == len(JOBS)
+        health = client.healthz()
+        assert health["counters"]["service.store_entries"] == len(JOBS)
+        assert runner.failures == []
+
+    def test_runner_facade_shapes(self, client, serial_reference):
+        reference, _ = serial_reference
+        runner = _runner(client)
+        # run(): one cell, warm by now.
+        single = runner.run("li", SimConfig(policy=FetchPolicy.ORACLE))
+        assert_results_identical([single], reference[:1])
+        # run_policies(): dict keyed by policy.
+        polset = (FetchPolicy.ORACLE, FetchPolicy.RESUME)
+        by_policy = runner.run_policies(
+            "li", SimConfig(), policies=polset
+        )
+        assert set(by_policy) == set(polset)
+        assert_results_identical(
+            [by_policy[FetchPolicy.ORACLE], by_policy[FetchPolicy.RESUME]],
+            reference[:2],
+        )
+        # run_matrix(): names x policies.
+        matrix = runner.run_matrix(["li"], SimConfig(), policies=polset)
+        assert_results_identical(
+            [matrix["li"][p] for p in polset], reference[:2]
+        )
+
+    def test_local_access_refused(self, client):
+        runner = _runner(client)
+        with pytest.raises(ExperimentError, match="cannot run against"):
+            runner.program("li")
+        with pytest.raises(ExperimentError, match="cannot run against"):
+            runner.trace("li")
+
+    def test_transport_retry_counter_stays_zero(self, client):
+        # The healthy path never exercises transport retries; a nonzero
+        # count here means the Content-Length framing regressed (the
+        # forked-worker EOF bug).
+        client.healthz()
+        assert client.transport_retries == 0
+
+
+class TestUnixSocket:
+    def test_healthz_over_unix_domain_socket(self, tmp_path):
+        socket_path = tmp_path / "svc.sock"
+        process = ServerProcess(
+            tmp_path / "data", "--listen", f"unix:{socket_path}"
+        )
+        try:
+            assert process.address == f"unix:{socket_path}"
+            health = ServiceClient(process.address).healthz()
+            assert health["status"] == "ok"
+        finally:
+            process.stop()
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_server(self, start_server):
+        server = start_server()
+        client = ServiceClient(server.address)
+        assert client.healthz()["status"] == "ok"
+        client.shutdown()
+        assert server.wait() == 0
+
+    def test_client_reports_dead_server(self, start_server):
+        server = start_server()
+        address = server.address
+        server.stop()
+        client = ServiceClient(
+            address, retries=1, backoff_base=0.0, timeout=5.0
+        )
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.healthz()

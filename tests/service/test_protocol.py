@@ -1,0 +1,166 @@
+"""Wire format: round trips, validation, and damage handling."""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+
+import pytest
+
+from repro.config import FetchPolicy, SimConfig
+from repro.core.results import MissingResult, SweepFailure
+from repro.core.runner import SimulationRunner
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    WIRE_VERSION,
+    SweepRequest,
+    SweepResponse,
+    decode_error,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_body,
+)
+
+from tests.service.conftest import JOBS, SEED, TRACE, WARMUP
+
+
+def _request(**overrides):
+    fields = dict(
+        cells=tuple(JOBS),
+        trace_length=TRACE,
+        warmup=WARMUP,
+        seed=SEED,
+        client="alice@host",
+        priority=3,
+        on_error="skip",
+    )
+    fields.update(overrides)
+    return SweepRequest(**fields)
+
+
+class TestRequestRoundTrip:
+    def test_everything_survives_the_wire(self):
+        request = _request()
+        decoded = decode_request(encode_request(request))
+        assert decoded.cells == request.cells
+        assert decoded.trace_length == TRACE
+        assert decoded.warmup == WARMUP
+        assert decoded.seed == SEED
+        assert decoded.client == "alice@host"
+        assert decoded.priority == 3
+        assert decoded.on_error == "skip"
+
+    def test_configs_compare_equal_after_transport(self):
+        decoded = decode_request(encode_request(_request()))
+        for (name, config), (ref_name, ref_config) in zip(
+            decoded.cells, JOBS, strict=True
+        ):
+            assert name == ref_name
+            assert config == ref_config
+            assert isinstance(config, SimConfig)
+
+
+class TestRequestValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ServiceError):
+            _request(cells=())
+        with pytest.raises(ServiceError):
+            _request(trace_length=0)
+        with pytest.raises(ServiceError):
+            _request(warmup=TRACE)  # warmup must be < trace_length
+        with pytest.raises(ServiceError):
+            _request(warmup=-1)
+        with pytest.raises(ServiceError):
+            _request(on_error="explode")
+        with pytest.raises(ServiceError):
+            _request(client="")
+        with pytest.raises(ServiceError):
+            _request(client="multi\nline")
+        with pytest.raises(ServiceError):
+            _request(cells=(("li", "not a SimConfig"),))
+
+
+class TestDamagedRequests:
+    def _envelope(self, **overrides):
+        body = json.loads(encode_request(_request()).decode("utf-8"))
+        body.update(overrides)
+        return json.dumps(body).encode("utf-8")
+
+    def test_not_json(self):
+        with pytest.raises(ServiceError, match="not JSON"):
+            decode_request(b"\xff\x00 definitely not json")
+
+    def test_not_an_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            decode_request(b"[1, 2, 3]")
+
+    def test_wire_version_mismatch(self):
+        with pytest.raises(ServiceError, match="wire version"):
+            decode_request(self._envelope(wire_version=WIRE_VERSION + 1))
+
+    def test_undecodable_cells_payload(self):
+        with pytest.raises(ServiceError, match="undecodable"):
+            decode_request(self._envelope(cells="!!! not base64 !!!"))
+        truncated = base64.b64encode(pickle.dumps(list(JOBS))[:7]).decode()
+        with pytest.raises(ServiceError, match="undecodable"):
+            decode_request(self._envelope(cells=truncated))
+
+    def test_cells_payload_wrong_shape(self):
+        packed = base64.b64encode(pickle.dumps({"not": "a list"})).decode()
+        with pytest.raises(ServiceError, match="list"):
+            decode_request(self._envelope(cells=packed))
+
+
+class TestResponseRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        runner = SimulationRunner(trace_length=TRACE, warmup=WARMUP, seed=SEED)
+        return runner.run("li", SimConfig(policy=FetchPolicy.ORACLE))
+
+    def test_results_failures_stats_survive(self, result):
+        failure = SweepFailure(
+            benchmark="doduc", error_type="InjectedFault",
+            message="boom", attempts=3, transient=True, cells=1,
+        )
+        missing = MissingResult(
+            program="doduc", config=SimConfig(policy=FetchPolicy.ORACLE)
+        )
+        response = SweepResponse(
+            results=(result, missing),
+            failures=(failure,),
+            stats={"cells": 2, "store_hits": 1, "failed": 1},
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.results[0].penalties.as_dict() == (
+            result.penalties.as_dict()
+        )
+        assert isinstance(decoded.results[1], MissingResult)
+        assert decoded.failures == (failure,)
+        assert decoded.stats == {"cells": 2, "store_hits": 1, "failed": 1}
+
+    def test_damaged_response_raises(self, result):
+        body = json.loads(
+            encode_response(SweepResponse(results=(result,))).decode("utf-8")
+        )
+        body["results"] = base64.b64encode(
+            pickle.dumps(["not a result"])
+        ).decode()
+        with pytest.raises(ServiceError, match="result objects"):
+            decode_response(json.dumps(body).encode("utf-8"))
+
+
+class TestErrorBodies:
+    def test_round_trip(self):
+        message, data = decode_error(error_body("queue full", retry_after=2))
+        assert message == "queue full"
+        assert data["retry_after"] == 2
+        assert data["wire_version"] == WIRE_VERSION
+
+    def test_never_raises_on_garbage(self):
+        message, data = decode_error(b"\xff\x00 not json")
+        assert isinstance(message, str) and data == {}
+        message, _ = decode_error(b"[1]")
+        assert isinstance(message, str)

@@ -1,13 +1,15 @@
 """Aggregate quality gate: run every repo check in one command.
 
-Runs the four tooling gates in sequence and reports a one-line verdict
+Runs the tooling gates in sequence and reports a one-line verdict
 per gate plus an overall summary:
 
 * ``check_lint``         — simlint static analysis over ``src/``;
 * ``check_overhead``     — zero-overhead observability budget;
 * ``check_engine_speed`` — hot-loop throughput + stream-replay speedup
   guard against ``BENCH_engine.json``;
-* ``check_robustness``   — fault-injected sweep recovery smoke test.
+* ``check_robustness``   — fault-injected sweep recovery smoke test;
+* ``check_service``      — job-server end-to-end: faulted sweep is
+  bit-identical and the warm re-request is all store hits.
 
 Exit codes follow the shared convention: 0 every gate passed, 1 at least
 one gate failed, 2 a gate could not run at all (missing baseline,
@@ -36,6 +38,7 @@ CHECKS = (
     "check_overhead",
     "check_engine_speed",
     "check_robustness",
+    "check_service",
 )
 
 

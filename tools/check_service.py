@@ -1,0 +1,184 @@
+"""End-to-end smoke check for the sweep job server.
+
+Boots a real ``python -m repro.service`` subprocess with an injected
+worker-crash fault, drives a sweep through the blocking client, and
+asserts that
+
+* the faulted sweep completes and is bit-identical to a fault-free
+  serial run (retries engaged, every cell simulated exactly once),
+* a warm re-request is served entirely from the content-addressed
+  result store (zero simulations — a 100% hit rate), and
+* ``POST /v1/shutdown`` stops the server with exit status 0.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_service.py
+    PYTHONPATH=src python tools/check_service.py --trace-length 5000
+
+``tools/check_all.py`` runs this as the ``check_service`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import FetchPolicy, SimConfig  # noqa: E402
+from repro.core.runner import SimulationRunner  # noqa: E402
+from repro.service import RemoteRunner, ServiceClient  # noqa: E402
+
+SEED = 7
+ANNOUNCE = "repro-service listening on "
+
+
+def _jobs():
+    return [
+        ("li", SimConfig(policy=FetchPolicy.ORACLE)),
+        ("li", SimConfig(policy=FetchPolicy.RESUME)),
+        ("doduc", SimConfig(policy=FetchPolicy.ORACLE)),
+        ("doduc", SimConfig(policy=FetchPolicy.PESSIMISTIC)),
+    ]
+
+
+def _start_server(scratch: str) -> tuple[subprocess.Popen, str]:
+    """Boot a faulted server subprocess; returns (process, address)."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (os.path.join(root, "src"), env.get("PYTHONPATH", ""))
+        if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--data-dir", os.path.join(scratch, "data"),
+            "--listen", "127.0.0.1:0",
+            "--max-workers", "2",
+            "--retries", "3",
+            "--backoff-base", "0.0",
+            "--inject-faults", "simulate:crash:li",
+            "--fault-state", os.path.join(scratch, "faults"),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    for line in proc.stdout:
+        if line.startswith(ANNOUNCE):
+            return proc, line[len(ANNOUNCE):].strip()
+    raise RuntimeError(
+        f"server exited (status {proc.wait()}) before announcing an address"
+    )
+
+
+def _identical(mine, theirs) -> bool:
+    return (
+        mine.penalties.as_dict() == theirs.penalties.as_dict()
+        and mine.total_ispi == theirs.total_ispi
+        and mine.counters.instructions == theirs.counters.instructions
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=3_000,
+        help="dynamic instructions per benchmark (default %(default)s; "
+        "the check is about service recovery, not simulation scale)",
+    )
+    args = parser.parse_args(argv)
+    trace_length = args.trace_length
+    warmup = trace_length // 5
+
+    serial = SimulationRunner(
+        trace_length=trace_length, warmup=warmup, seed=SEED
+    )
+    reference = [serial.run(name, config) for name, config in _jobs()]
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        proc, address = _start_server(scratch)
+        try:
+            cold = RemoteRunner(
+                ServiceClient(address, backoff_base=0.0),
+                trace_length=trace_length, warmup=warmup, seed=SEED,
+                client_id="check-cold",
+            )
+            results = cold.run_jobs(_jobs())
+            warm = RemoteRunner(
+                ServiceClient(address, backoff_base=0.0),
+                trace_length=trace_length, warmup=warmup, seed=SEED,
+                client_id="check-warm",
+            )
+            warm_results = warm.run_jobs(_jobs())
+            counters = ServiceClient(address).healthz()["counters"]
+            ServiceClient(address).shutdown()
+            exit_status = proc.wait(timeout=30)
+        finally:
+            proc.kill()
+            proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    print(
+        f"faulted service sweep: {len(results)} cells | "
+        f"{counters['service.retries']} retries | "
+        f"{counters['service.cells_simulated']} simulated | "
+        f"{warm.stats['store_hits']} warm store hits"
+    )
+    if counters["service.retries"] < 1:
+        failures.append("no retries were spent; the injected crash never fired")
+    if counters["service.cells_simulated"] != len(reference):
+        failures.append(
+            f"{counters['service.cells_simulated']} cells simulated; "
+            f"expected exactly {len(reference)} (one per cell, then warm)"
+        )
+    if warm.stats["cells_simulated"] != 0:
+        failures.append(
+            f"warm re-request simulated {warm.stats['cells_simulated']} "
+            "cell(s); the store hit rate must be 100%"
+        )
+    if warm.stats["store_hits"] != len(reference):
+        failures.append(
+            f"warm re-request hit the store {warm.stats['store_hits']} "
+            f"time(s); expected {len(reference)}"
+        )
+    for index, (theirs, served) in enumerate(zip(reference, results)):
+        if not _identical(served, theirs):
+            failures.append(
+                f"cold cell {index} ({theirs.program}) diverged from the "
+                "fault-free serial reference"
+            )
+    for index, (theirs, served) in enumerate(zip(reference, warm_results)):
+        if not _identical(served, theirs):
+            failures.append(
+                f"warm cell {index} ({theirs.program}) diverged from the "
+                "fault-free serial reference"
+            )
+    if exit_status != 0:
+        failures.append(
+            f"shutdown endpoint left exit status {exit_status}; expected 0"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service check passed: faulted sweep bit-identical, warm hits 100%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
