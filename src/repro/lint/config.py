@@ -15,6 +15,8 @@ Recognised keys::
     determinism-modules = [...]       # module prefixes for SIM001/SIM002
     taxonomy-modules = [...]          # module prefixes for SIM004
     tests-path = "tests"              # corpus for SIM008 parity lookups
+    flow = true                       # run whole-program rules (SIM014+)
+    flow-cache = ".cache/simflow"     # summary cache dir, repo-relative
 
     [tool.simlint.severity]
     SIM007 = "warning"                # per-rule severity override
@@ -93,6 +95,10 @@ class LintConfig:
     disabled_rules: tuple[str, ...] = ()
     severity_overrides: dict[str, str] = field(default_factory=dict)
     tests_path: str = "tests"
+    #: Whether the whole-program flow phase runs at all.
+    flow: bool = True
+    #: Repo-relative summary-cache directory ("" = no on-disk cache).
+    flow_cache: str = ""
 
     def severity_for(self, rule_id: str, default: str) -> str:
         """Effective severity for one rule (``"off"`` if disabled)."""
@@ -124,6 +130,8 @@ def config_from_table(table: dict) -> LintConfig:
         "taxonomy-modules",
         "tests-path",
         "severity",
+        "flow",
+        "flow-cache",
     }
     unknown = sorted(set(table) - known)
     if unknown:
@@ -146,6 +154,16 @@ def config_from_table(table: dict) -> LintConfig:
         raise LintConfigError(
             f"[tool.simlint] tests-path must be a string, got {tests_path!r}"
         )
+    flow = table.get("flow", True)
+    if not isinstance(flow, bool):
+        raise LintConfigError(
+            f"[tool.simlint] flow must be a boolean, got {flow!r}"
+        )
+    flow_cache = table.get("flow-cache", "")
+    if not isinstance(flow_cache, str):
+        raise LintConfigError(
+            f"[tool.simlint] flow-cache must be a string, got {flow_cache!r}"
+        )
     extra_namespaces = _string_tuple(table, "metric-namespaces") or ()
     extra_allowed = _string_tuple(table, "taxonomy-allowed") or ()
     return LintConfig(
@@ -162,6 +180,8 @@ def config_from_table(table: dict) -> LintConfig:
         disabled_rules=_string_tuple(table, "disable") or (),
         severity_overrides=dict(severity_table),
         tests_path=tests_path,
+        flow=flow,
+        flow_cache=flow_cache,
     )
 
 

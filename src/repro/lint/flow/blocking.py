@@ -1,0 +1,86 @@
+"""SIM015: async service handlers must not block the loop *transitively*.
+
+SIM013 flags a ``time.sleep()`` or ``open()`` written directly inside an
+``async def`` in ``repro.service``.  Its blind spot is exactly one hop
+wide: the handler calls an innocuous-looking sync method, and the
+blocking call lives in the method (often in a different file — a store,
+a journal, a codec).  The event loop stalls just the same.
+
+This rule propagates a single ``blocks`` label backwards over the call
+graph — through sync callees only — and flags every call edge from an
+async function in the service modules to a sync callee whose sync-only
+closure reaches a blocking call.  The boundaries are deliberate:
+
+* **depth 0 is SIM013's job** — a direct blocking call is an effect on
+  the handler itself, not an edge, so it is never re-reported here;
+* **async callees stop propagation** — an awaited coroutine that itself
+  blocks is flagged at *its* edge (or by SIM013 in its body), not at
+  every transitive awaiter;
+* a nested sync ``def`` is exempt until the handler actually calls it,
+  at which point the call edge carries the taint — closing the gap
+  SIM013's nested-def exemption leaves open.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.context import module_in
+from repro.lint.registry import FlowRawFinding, FlowRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via rules/__init__
+    from repro.lint.flow.project import ProjectContext
+
+#: Module prefixes whose async handlers this rule polices (SIM013's
+#: range, extended transitively).
+_SERVICE_MODULES = ("repro.service",)
+
+
+@register
+class TransitiveBlockingRule(FlowRule):
+    id = "SIM015"
+    name = "flow-blocking"
+    description = (
+        "async service handlers must not reach blocking calls through "
+        "sync callees (transitive SIM013)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[FlowRawFinding]:
+        graph = project.graph
+        sync_only = lambda node: not node.fact.is_async  # noqa: E731
+        blocks = graph.propagate(
+            direct=lambda node: (
+                frozenset({"blocks"}) if node.fact.blocking else frozenset()
+            ),
+            follow=sync_only,
+        )
+        for node in graph:
+            if not node.fact.is_async:
+                continue
+            if not module_in(node.module, _SERVICE_MODULES):
+                continue
+            for callee_id, site in node.edges:
+                callee = graph.nodes[callee_id]
+                if callee.fact.is_async or "blocks" not in blocks[callee_id]:
+                    continue
+                traced = graph.trace(
+                    callee_id,
+                    effect_of=lambda n: (
+                        n.fact.blocking[0] if n.fact.blocking else None
+                    ),
+                    follow=sync_only,
+                )
+                chain = (
+                    graph.render_trace(*traced)
+                    if traced is not None
+                    else callee.display
+                )
+                yield (
+                    node.relpath,
+                    site.line,
+                    site.col,
+                    f"'async def {node.fact.name}' calls a sync function "
+                    f"that blocks the event loop: {chain}; await an async "
+                    f"equivalent or push the chain through run_in_executor",
+                )

@@ -1,0 +1,113 @@
+"""On-disk cache of phase-1 module summaries.
+
+Same conventions as :class:`repro.core.artifacts.ArtifactCache`, scaled
+down to JSON blobs:
+
+* **versioned layout** — ``<root>/v<FLOW_FORMAT_VERSION>/<hh>/<hash>.json``
+  where ``<hash>`` is :func:`repro.lint.flow.facts.content_key` (format
+  version + module name + source bytes) and ``<hh>`` its first two hex
+  digits.  Invalidation is by construction: editing a file changes its
+  hash, bumping the format version abandons the whole tree;
+* **atomic writes** — temp file + ``os.replace``, so concurrent lint
+  runs sharing one cache directory can at worst index a file twice,
+  never read a half-written summary;
+* **corruption = miss** — a truncated or hand-edited entry is silently
+  re-indexed, never an error, and the first OS-level store failure
+  (read-only directory, full disk) disables writes for the rest of the
+  run rather than failing the lint pass.
+
+The cache stores *facts*, not findings: rules always run fresh over the
+assembled project, so a rule change never needs a cache flush (an
+indexer change does, and must bump :data:`FLOW_FORMAT_VERSION`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.flow.facts import FLOW_FORMAT_VERSION, ModuleSummary
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one lint run (asserted in tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    store_failures: int = 0
+
+
+class SummaryCache:
+    """Content-addressed store of :class:`ModuleSummary` JSON blobs.
+
+    ``SummaryCache(None)`` is a disabled no-op passthrough, so the
+    indexing pipeline never branches on whether caching is configured.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike[str] | None) -> None:
+        self.root: Path | None = None if cache_dir is None else Path(cache_dir)
+        self.stats = CacheStats()
+        self._disabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None and not self._disabled
+
+    def entry_path(self, key: str) -> Path:
+        if self.root is None:
+            raise ValueError("summary cache is disabled (no cache_dir)")
+        return self.root / f"v{FLOW_FORMAT_VERSION}" / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> ModuleSummary | None:
+        """The cached summary for *key*, or ``None`` on any miss."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self.entry_path(key), "rb") as handle:
+                data = json.load(handle)
+            summary = ModuleSummary.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Missing entry, torn JSON, or a stale/foreign shape: all
+            # misses.  from_dict re-checks the embedded format version.
+            self.stats.misses += 1
+            return None
+        if summary.content_hash != key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def store(self, summary: ModuleSummary) -> None:
+        """Persist *summary* under its content hash (atomic, degrading)."""
+        if not self.enabled:
+            return
+        try:
+            path = self.entry_path(summary.content_hash)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                summary.to_dict(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        except OSError as exc:
+            self.stats.store_failures += 1
+            self._disabled = True
+            warnings.warn(
+                f"flow summary cache disabled for this run: storing "
+                f"{summary.relpath!r} failed: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )

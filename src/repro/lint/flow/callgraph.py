@@ -1,0 +1,149 @@
+"""Phase 2b: the project call graph and its propagation utilities.
+
+Nodes are indexed functions (``module.qualpath``); edges are resolved
+call sites, kept in source order so every downstream traversal — and
+therefore every finding — is deterministic for a given file set.  Two
+graph algorithms cover all three flow rules:
+
+* :meth:`CallGraph.propagate` — a worklist fixed point computing, for
+  every node, the union of its own labels and its callees' (cycle-safe:
+  recursion just converges).  SIM014 propagates nondeterminism kinds,
+  SIM015 a single "blocks" label, SIM016 a "constructs" label per seam
+  family;
+* :meth:`CallGraph.trace` — shortest call path from a node to the
+  nearest concrete effect, used to render the ``a -> b -> time.sleep()
+  (path:line)`` chains in finding messages.  Taint without a trace is
+  unactionable; the chain is the finding.
+
+Both take a ``follow`` predicate so a rule can stop propagation at
+boundaries the analysis must respect (SIM015 never crosses into
+``async`` callees; SIM016 never looks past a sanctioned factory).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.lint.flow.facts import CallSite, Effect, FunctionFact, ModuleSummary
+from repro.lint.flow.symbols import SymbolTable, node_id
+
+
+@dataclass(slots=True)
+class Node:
+    """One function in the project graph."""
+
+    id: str
+    module: str
+    relpath: str
+    fact: FunctionFact
+    #: Outgoing resolved edges, in source order.
+    edges: list[tuple[str, CallSite]] = field(default_factory=list)
+
+    @property
+    def display(self) -> str:
+        """Human name used in trace chains (module-qualified)."""
+        return f"{self.module}.{self.fact.qualpath}"
+
+
+class CallGraph:
+    """Resolved call graph over one lint run's summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary], symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.nodes: dict[str, Node] = {}
+        for summary in sorted(
+            symbols.modules.values(), key=lambda s: s.relpath
+        ):
+            for qualpath, fact in summary.functions.items():
+                nid = node_id(summary, qualpath)
+                self.nodes[nid] = Node(
+                    id=nid,
+                    module=summary.module,
+                    relpath=summary.relpath,
+                    fact=fact,
+                )
+        for nid, node in self.nodes.items():
+            summary = symbols.modules[node.module]
+            for site in node.fact.calls:
+                callee = symbols.resolve_call(summary, node.fact, site)
+                if callee is not None and callee in self.nodes:
+                    node.edges.append((callee, site))
+
+    def __iter__(self) -> Iterable[Node]:
+        return iter(self.nodes.values())
+
+    # -- label propagation ----------------------------------------------------
+
+    def propagate(
+        self,
+        direct: Callable[[Node], frozenset[str]],
+        follow: Callable[[Node], bool] = lambda node: True,
+    ) -> dict[str, frozenset[str]]:
+        """Transitive label sets: own labels plus every followed callee's.
+
+        ``direct`` gives a node's own labels; a callee contributes only
+        when ``follow(callee)`` holds (the caller is always evaluated —
+        ``follow`` guards *edges into* a node, not the node itself).
+        Fixed point over reverse edges, so cycles simply converge.
+        """
+        labels: dict[str, set[str]] = {
+            nid: set(direct(node)) for nid, node in self.nodes.items()
+        }
+        reverse: dict[str, list[str]] = {nid: [] for nid in self.nodes}
+        for nid, node in self.nodes.items():
+            for callee, _site in node.edges:
+                if follow(self.nodes[callee]):
+                    reverse[callee].append(nid)
+        pending = deque(nid for nid, found in labels.items() if found)
+        while pending:
+            nid = pending.popleft()
+            found = labels[nid]
+            for caller in reverse[nid]:
+                before = len(labels[caller])
+                labels[caller] |= found
+                if len(labels[caller]) != before:
+                    pending.append(caller)
+        return {nid: frozenset(found) for nid, found in labels.items()}
+
+    # -- trace reconstruction -------------------------------------------------
+
+    def trace(
+        self,
+        start: str,
+        effect_of: Callable[[Node], Effect | None],
+        follow: Callable[[Node], bool] = lambda node: True,
+    ) -> tuple[list[Node], Effect] | None:
+        """Shortest path from *start* to the nearest concrete effect.
+
+        Returns ``(nodes, effect)`` where ``nodes`` runs from *start* to
+        the node owning *effect* (inclusive).  Edge expansion respects
+        ``follow`` exactly like :meth:`propagate`, so a traced path is
+        always one the propagation actually used.
+        """
+        origin = self.nodes.get(start)
+        if origin is None:
+            return None
+        parents: dict[str, str | None] = {start: None}
+        queue: deque[str] = deque([start])
+        while queue:
+            nid = queue.popleft()
+            node = self.nodes[nid]
+            effect = effect_of(node)
+            if effect is not None:
+                path = [node]
+                while parents[path[0].id] is not None:
+                    path.insert(0, self.nodes[parents[path[0].id]])
+                return path, effect
+            for callee, _site in node.edges:
+                if callee not in parents and follow(self.nodes[callee]):
+                    parents[callee] = nid
+                    queue.append(callee)
+        return None
+
+    def render_trace(self, path: list[Node], effect: Effect) -> str:
+        """``a -> b -> <detail> (relpath:line)`` chain for messages."""
+        chain = " -> ".join(node.display for node in path)
+        last = path[-1]
+        return f"{chain} -> {effect.detail} ({last.relpath}:{effect.line})"

@@ -1,0 +1,117 @@
+"""SIM016: no call path constructs engines/branch units behind the seam.
+
+SIM010/SIM011 flag direct ``FetchEngine(...)`` / ``BranchUnit(...)``
+constructions — but only inside the determinism modules, and only
+syntactically.  Both limits are bypassable with one wrapper: move the
+construction into a helper outside the scoped prefixes and call the
+helper from anywhere.  The cell still pins one backend and skips every
+check ``build_engine`` performs; no per-file rule can see it.
+
+This rule enforces the seam over the whole call graph:
+
+* a function **leaks** when it constructs a seam class directly, or
+  calls a leaking function — unless it is (or sits inside) a sanctioned
+  factory, which is where constructions are supposed to live;
+* construction sites *outside* the determinism modules are flagged
+  directly (inside them, SIM010/SIM011 already fire — one finding per
+  site, not two);
+* every call edge to a leaking function is flagged, wherever the caller
+  lives — this is the wrapper-bypass case, reported at the call site
+  that launders the construction.
+
+Propagation never crosses a sanctioned factory: calling
+``build_engine`` is the *point* of the seam, not a leak.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.context import module_in
+from repro.lint.flow.facts import (
+    BRANCH_SEAM_CLASSES,
+    SEAM_FACTORIES,
+    FunctionFact,
+)
+from repro.lint.registry import FlowRawFinding, FlowRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via rules/__init__
+    from repro.lint.flow.project import ProjectContext
+
+
+def _in_factory(fact: FunctionFact) -> bool:
+    """Whether *fact* is a sanctioned factory or nested inside one."""
+    return any(part in SEAM_FACTORIES for part in fact.qualpath.split("."))
+
+
+def _remedy(classes: set[str]) -> str:
+    if classes <= BRANCH_SEAM_CLASSES:
+        return "obtain branch units through build_branch_unit"
+    if classes & BRANCH_SEAM_CLASSES:
+        return "route construction through build_engine / build_branch_unit"
+    return "obtain engines through build_engine"
+
+
+@register
+class SeamReachabilityRule(FlowRule):
+    id = "SIM016"
+    name = "flow-seam"
+    description = (
+        "no call path may construct FetchEngine/VectorEngine/BranchUnit/"
+        "ReplayBranchUnit outside the factory seams (transitive SIM010/"
+        "SIM011)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[FlowRawFinding]:
+        scope = project.config.determinism_modules
+        graph = project.graph
+        leaks = graph.propagate(
+            direct=lambda node: (
+                frozenset()
+                if _in_factory(node.fact)
+                else frozenset(e.kind for e in node.fact.constructs)
+            ),
+            follow=lambda node: not _in_factory(node.fact),
+        )
+        for node in graph:
+            if _in_factory(node.fact):
+                continue
+            # Direct constructions, outside SIM010/SIM011's range.
+            if not module_in(node.module, scope):
+                for effect in node.fact.constructs:
+                    yield (
+                        node.relpath,
+                        effect.line,
+                        effect.col,
+                        f"direct {effect.detail} construction bypasses the "
+                        f"factory seam; {_remedy({effect.kind})}",
+                    )
+            # Call edges that launder a construction through a wrapper.
+            for callee_id, site in node.edges:
+                classes = set(leaks[callee_id])
+                if not classes:
+                    continue
+                callee = graph.nodes[callee_id]
+                traced = graph.trace(
+                    callee_id,
+                    effect_of=lambda n: (
+                        None
+                        if _in_factory(n.fact)
+                        else next(iter(n.fact.constructs), None)
+                    ),
+                    follow=lambda n: not _in_factory(n.fact),
+                )
+                chain = (
+                    graph.render_trace(*traced)
+                    if traced is not None
+                    else callee.display
+                )
+                yield (
+                    node.relpath,
+                    site.line,
+                    site.col,
+                    f"call to '{callee.display}' reaches a "
+                    f"{'/'.join(sorted(classes))} construction outside "
+                    f"the factory seam: {chain}; {_remedy(classes)}",
+                )

@@ -1,0 +1,198 @@
+"""Phase 2a: the repo-wide symbol table.
+
+Joins the per-module summaries into one name space and answers the only
+question the call-graph builder asks: *which indexed function does this
+call site refer to?*  Resolution handles
+
+* plain module members (``repro.core.engine.build_engine``);
+* import chasing through re-exports — ``from repro.lint import run_lint``
+  resolves through ``repro.lint.__init__``'s own import of
+  ``repro.lint.runner.run_lint`` (bounded depth, cycle-safe);
+* relative imports (``from .store import ResultStore``), absolutised
+  against the importing module's package;
+* class constructions (``ResultStore(...)`` → ``ResultStore.__init__``)
+  and method calls, including single-level base-class chasing;
+* ``self.method(...)`` against the enclosing class, and
+  ``self.attr.method(...)`` through the indexer's syntactic attribute
+  types (``self.store = ResultStore(...)``).
+
+Everything stays syntactic and conservative: a name that does not chase
+to an indexed function yields no edge.  The flow rules are taint
+analyses — a missed edge costs recall, a fabricated edge costs a false
+positive in a gate, and the gate matters more.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.facts import (
+    MODULE_BODY,
+    CallSite,
+    ClassFact,
+    FunctionFact,
+    ModuleSummary,
+)
+
+#: Import-chase depth bound (re-export chains are short in practice).
+_MAX_CHASE = 8
+
+
+def node_id(summary: ModuleSummary, qualpath: str) -> str:
+    """Stable graph-node id for one function of one module."""
+    return f"{summary.module}.{qualpath}"
+
+
+class SymbolTable:
+    """Name-resolution index over one lint run's summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        #: dotted module name -> summary.  Out-of-package scripts index
+        #: under their bare stem; a stem collision keeps the last one
+        #: (scripts are leaves — nothing resolves *into* them by name).
+        self.modules: dict[str, ModuleSummary] = {}
+        #: node id -> (summary, fact) for every indexed function.
+        self.functions: dict[str, tuple[ModuleSummary, FunctionFact]] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        for summary in self.modules.values():
+            for qualpath, fact in summary.functions.items():
+                self.functions[node_id(summary, qualpath)] = (summary, fact)
+
+    # -- call-site resolution -------------------------------------------------
+
+    def resolve_call(
+        self, summary: ModuleSummary, caller: FunctionFact, site: CallSite
+    ) -> str | None:
+        """Node id of the function *site* calls, or ``None``."""
+        if site.kind == "local":
+            candidate = node_id(summary, site.target)
+            return candidate if candidate in self.functions else None
+        if site.kind == "self":
+            return self._resolve_self(summary, caller, site.target)
+        return self.resolve_dotted(site.target)
+
+    def _resolve_self(
+        self, summary: ModuleSummary, caller: FunctionFact, target: str
+    ) -> str | None:
+        class_name = caller.class_name
+        if class_name is None:
+            return None
+        cls = summary.classes.get(class_name)
+        if cls is None:
+            return None
+        parts = target.split(".")
+        if len(parts) == 1:
+            return self._method(summary, cls, parts[0], 0)
+        if len(parts) == 2:
+            attr_class = cls.attr_types.get(parts[0])
+            if attr_class is None:
+                return None
+            resolved = self.resolve_class(attr_class, 0)
+            if resolved is None:
+                return None
+            return self._method(*resolved, parts[1], 0)
+        return None
+
+    # -- dotted-name resolution -----------------------------------------------
+
+    def resolve_dotted(self, dotted: str, depth: int = 0) -> str | None:
+        """Node id for an absolute dotted name, chasing re-exports."""
+        if depth > _MAX_CHASE:
+            return None
+        module, rest = self._split_module(dotted)
+        if module is None or not rest:
+            return None
+        return self._resolve_in(module, rest, depth)
+
+    def resolve_class(
+        self, dotted: str, depth: int
+    ) -> tuple[ModuleSummary, ClassFact] | None:
+        """The summary and fact of the class *dotted* names, if indexed."""
+        if depth > _MAX_CHASE:
+            return None
+        module, rest = self._split_module(dotted)
+        if module is None or not rest:
+            return None
+        parts = rest.split(".")
+        head = parts[0]
+        if head in module.classes and len(parts) == 1:
+            return module, module.classes[head]
+        origin = self._import_origin(module, head)
+        if origin is not None:
+            tail = ".".join(parts[1:])
+            return self.resolve_class(
+                origin + ("." + tail if tail else ""), depth + 1
+            )
+        return None
+
+    def _split_module(
+        self, dotted: str
+    ) -> tuple[ModuleSummary | None, str]:
+        """Longest indexed module prefix of *dotted* plus the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return self.modules[prefix], ".".join(parts[cut:])
+        return None, dotted
+
+    def _resolve_in(
+        self, summary: ModuleSummary, rest: str, depth: int
+    ) -> str | None:
+        """Resolve *rest* (``f`` / ``C.m`` / re-export) inside *summary*."""
+        if rest in summary.functions and rest != MODULE_BODY:
+            return node_id(summary, rest)
+        parts = rest.split(".")
+        head = parts[0]
+        if head in summary.classes:
+            cls = summary.classes[head]
+            if len(parts) == 1:
+                # Construction: the edge lands on __init__ when defined.
+                return self._method(summary, cls, "__init__", depth)
+            if len(parts) == 2:
+                return self._method(summary, cls, parts[1], depth)
+            return None
+        origin = self._import_origin(summary, head)
+        if origin is not None:
+            tail = ".".join(parts[1:])
+            return self.resolve_dotted(
+                origin + ("." + tail if tail else ""), depth + 1
+            )
+        return None
+
+    def _import_origin(
+        self, summary: ModuleSummary, name: str
+    ) -> str | None:
+        """Absolute dotted origin of an import binding, or ``None``."""
+        origin = summary.imports.get(name)
+        if origin is None:
+            return None
+        if not origin.startswith("."):
+            return origin
+        # Relative import: absolutise against the importing package.
+        level = len(origin) - len(origin.lstrip("."))
+        remainder = origin[level:]
+        package_parts = summary.module.split(".") if summary.module else []
+        if not summary.relpath.endswith("__init__.py"):
+            package_parts = package_parts[:-1]
+        package_parts = package_parts[: len(package_parts) - (level - 1)]
+        if not package_parts:
+            return None
+        base = ".".join(package_parts)
+        return f"{base}.{remainder}" if remainder else base
+
+    def _method(
+        self, summary: ModuleSummary, cls: ClassFact, method: str, depth: int
+    ) -> str | None:
+        """Node id of ``cls.method``, chasing declared bases if needed."""
+        if method in cls.methods:
+            return node_id(summary, f"{cls.name}.{method}")
+        if depth > _MAX_CHASE:
+            return None
+        for base in cls.bases:
+            resolved = self.resolve_class(base, depth + 1)
+            if resolved is None:
+                continue
+            found = self._method(*resolved, method, depth + 1)
+            if found is not None:
+                return found
+        return None

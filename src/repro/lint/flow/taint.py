@@ -1,0 +1,106 @@
+"""SIM014: nondeterminism must not flow into simulator code transitively.
+
+SIM001/SIM002 police *direct* sources inside the determinism modules —
+a ``time.time()`` or unordered ``set`` iteration written in
+``repro.core`` is flagged where it stands.  The classic laundering
+pattern survives them: the source moves one module over, into a helper
+outside the scoped prefixes, and the simulator calls the helper.  The
+per-file rules see a clean call expression; the run is just as
+irreproducible.
+
+This rule closes that hole at the *scope boundary*: it propagates taint
+kinds (``clock``, ``entropy``, ``rng``, ``id``, ``ordering``) backwards
+over the project call graph and flags every call edge that leaves the
+determinism modules for a callee whose transitive closure reaches a
+source.  Edges between two in-scope functions are never flagged — any
+source on that path has its own crossing edge (or is SIM001/SIM002's
+direct business), so each laundering route is reported exactly once, at
+the point where scoped code reaches out.
+
+Sanitizers mirror the per-file rules: a seeded RNG construction is not
+a source at all (the indexer drops it), and wrapping the offending call
+in ``sorted(...)`` at the call site kills the ``ordering`` kind — and
+only that kind — for that edge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.context import module_in
+from repro.lint.registry import FlowRawFinding, FlowRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via rules/__init__
+    from repro.lint.flow.callgraph import CallGraph, Node
+    from repro.lint.flow.project import ProjectContext
+
+#: Remedy fragment per taint kind, appended to the finding message.
+_REMEDIES = {
+    "clock": "inject the simulated clock instead of reading wall time",
+    "entropy": "thread entropy through an explicit seeded source",
+    "rng": "construct the RNG with an explicit seed and pass it down",
+    "id": "derive keys from stable fields, not object identity",
+    "ordering": "sort before iterating (or wrap the call in sorted(...))",
+}
+
+
+@register
+class TransitiveDeterminismRule(FlowRule):
+    id = "SIM014"
+    name = "flow-determinism"
+    description = (
+        "determinism-scoped code must not reach nondeterminism sources "
+        "through helpers outside the scoped modules (transitive SIM001/"
+        "SIM002)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[FlowRawFinding]:
+        scope = project.config.determinism_modules
+        graph = project.graph
+        tainted = graph.propagate(
+            direct=lambda node: frozenset(e.kind for e in node.fact.nondet)
+        )
+        for node in graph:
+            if not module_in(node.module, scope):
+                continue
+            for callee_id, site in node.edges:
+                callee = graph.nodes[callee_id]
+                if module_in(callee.module, scope):
+                    continue
+                kinds = set(tainted[callee_id])
+                if site.in_sorted:
+                    kinds.discard("ordering")
+                if not kinds:
+                    continue
+                yield (
+                    node.relpath,
+                    site.line,
+                    site.col,
+                    self._message(graph, node, callee, kinds),
+                )
+
+    def _message(
+        self, graph: CallGraph, node: Node, callee: Node, kinds: set[str]
+    ) -> str:
+        traced = graph.trace(
+            callee.id,
+            effect_of=lambda n: next(
+                (e for e in n.fact.nondet if e.kind in kinds), None
+            ),
+        )
+        ordered = sorted(kinds)
+        chain = (
+            graph.render_trace(*traced)
+            if traced is not None
+            else callee.display
+        )
+        message = (
+            f"'{node.display}' calls outside the determinism scope and "
+            f"reaches a nondeterminism source "
+            f"({', '.join(ordered)}): {chain}"
+        )
+        if node.fact.mutates:
+            touched = ", ".join(f"self.{attr}" for attr in node.fact.mutates)
+            message += f"; the caller mutates simulator state ({touched})"
+        return f"{message}; {_REMEDIES[ordered[0]]}"

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON, and SARIF reporters for lint results.
 
 The text form is for humans at a terminal (one ``path:line:col`` line
 per finding, grouped naturally by the sort order, with a one-line
@@ -6,7 +6,7 @@ summary).  The JSON form is a stable machine schema consumed by the
 gate tooling and asserted structurally in ``tests/lint``::
 
     {
-      "version": 1,
+      "version": 2,
       "files_checked": 87,
       "suppressed": 2,
       "findings": [
@@ -16,18 +16,32 @@ gate tooling and asserted structurally in ``tests/lint``::
         ...
       ],
       "parse_errors": [{"path": "...", "message": "..."}],
+      "flow": {"files_indexed": 87, "cache_hits": 0, "cache_misses": 87,
+               "store_failures": 0, "jobs": 1},
       "summary": {"errors": 1, "warnings": 0, "by_rule": {"SIM001": 1}}
     }
+
+(``flow`` is ``null`` when the whole-program phase was skipped via
+``--no-flow`` or rule selection.)  The SARIF form is the 2.1.0 subset
+GitHub code scanning and most SARIF viewers consume: one run, one
+``tool.driver`` listing the rules that fired, one result per finding,
+and parse errors as tool-execution notifications.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.lint.registry import all_rules
 from repro.lint.runner import LintResult
 
 #: Schema version of the JSON report (bump on breaking changes).
-JSON_REPORT_VERSION = 1
+#: 2: added the ``flow`` key; ``parse_errors`` paths are repo-relative.
+JSON_REPORT_VERSION = 2
+
+#: The SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(result: LintResult) -> str:
@@ -68,10 +82,100 @@ def render_json(result: LintResult) -> str:
             {"path": path, "message": message}
             for path, message in result.parse_errors
         ],
+        "flow": (
+            None if result.flow_stats is None else result.flow_stats.as_dict()
+        ),
         "summary": {
             "errors": len(result.errors),
             "warnings": len(result.warnings),
             "by_rule": {rule: by_rule[rule] for rule in sorted(by_rule)},
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative forward-slash URI, per SARIF artifactLocation."""
+    return path.replace("\\", "/")
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report for CI code-scanning upload."""
+    catalogue = {rule.id: rule for rule in all_rules()}
+    fired = sorted({finding.rule for finding in result.findings})
+    rules = []
+    for rule_id in fired:
+        rule = catalogue.get(rule_id)
+        entry: dict[str, object] = {"id": rule_id}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description}
+        rules.append(entry)
+    rule_index = {rule_id: pos for pos, rule_id in enumerate(fired)}
+    results = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error" if finding.severity == "error" else "warning",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _sarif_uri(finding.path),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"parse error: {message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(path),
+                            "uriBaseId": "SRCROOT",
+                        }
+                    }
+                }
+            ],
+        }
+        for path, message in result.parse_errors
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "docs/static-analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": True,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

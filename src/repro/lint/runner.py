@@ -2,9 +2,18 @@
 
 :func:`run_lint` is the single entry point shared by the CLI, the
 ``tools/check_lint.py`` gate, and the in-tree self-clean test, so all
-three see byte-identical results.  The outcome is a :class:`LintResult`
-holding the surviving findings (sorted by location) plus the bookkeeping
-reporters need: files checked, suppression count, and per-rule totals.
+three see byte-identical results.  A run has two phases: the per-file
+rules stream over each parsed file as before, and — when any flow rule
+is active — the same parsed files are indexed into module summaries
+(cache-first, optionally across a process pool) and the whole-program
+rules run once over the assembled call graph.  Flow findings pass
+through the same inline-suppression filter and land in the same sorted
+finding list, so reporters cannot tell the phases apart.
+
+The outcome is a :class:`LintResult` holding the surviving findings
+(sorted by location) plus the bookkeeping reporters need: files
+checked, suppression count, parse errors (repo-relative, like
+findings), and the flow phase's cache statistics.
 """
 
 from __future__ import annotations
@@ -15,7 +24,14 @@ from pathlib import Path
 from repro.lint.config import LintConfig, find_pyproject, load_config
 from repro.lint.context import FileContext, RepoContext, collect_files
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules
+from repro.lint.flow.cache import SummaryCache
+from repro.lint.flow.project import (
+    FlowStats,
+    IndexEntry,
+    ProjectContext,
+    index_entries,
+)
+from repro.lint.registry import FlowRule, Rule, all_rules
 
 
 @dataclass
@@ -25,8 +41,10 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
-    #: Files that could not be parsed: (path, message).
+    #: Files that could not be parsed: (repo-relative path, message).
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: Flow-phase accounting (``None`` when the flow phase did not run).
+    flow_stats: FlowStats | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -56,8 +74,16 @@ def _active_rules(
     return active
 
 
+def _relative_to_root(path: Path, root: Path) -> str:
+    """Repo-relative display path (same convention as FileContext)."""
+    try:
+        return str(path.resolve().relative_to(root))
+    except ValueError:
+        return str(path)
+
+
 def lint_file(ctx: FileContext, rules: list[tuple[Rule, str]], result: LintResult) -> None:
-    """Run every active rule over one parsed file."""
+    """Run every active per-file rule over one parsed file."""
     for rule, severity in rules:
         for line, col, message in rule.check(ctx):
             if ctx.suppressions.suppresses(rule.id, line):
@@ -76,11 +102,57 @@ def lint_file(ctx: FileContext, rules: list[tuple[Rule, str]], result: LintResul
             )
 
 
+def _run_flow_phase(
+    contexts: list[FileContext],
+    rules: list[tuple[FlowRule, str]],
+    repo: RepoContext,
+    result: LintResult,
+    cache_dir: str | Path | None,
+    jobs: int,
+) -> None:
+    """Index every parsed file, assemble the project, run flow rules."""
+    entries = [
+        IndexEntry(
+            relpath=ctx.relpath,
+            module=ctx.module,
+            source=ctx.source,
+            tree=ctx.tree,
+        )
+        for ctx in contexts
+    ]
+    summaries, stats = index_entries(entries, SummaryCache(cache_dir), jobs)
+    result.flow_stats = stats
+    project = ProjectContext(
+        root=repo.root, config=repo.config, summaries=summaries, stats=stats
+    )
+    suppressions = {ctx.relpath: ctx.suppressions for ctx in contexts}
+    for rule, severity in rules:
+        for relpath, line, col, message in rule.check_project(project):
+            known = suppressions.get(relpath)
+            if known is not None and known.suppresses(rule.id, line):
+                result.suppressed += 1
+                continue
+            result.findings.append(
+                Finding(
+                    rule=rule.id,
+                    name=rule.name,
+                    severity=severity,
+                    path=relpath,
+                    line=line,
+                    col=col,
+                    message=message,
+                )
+            )
+
+
 def run_lint(
     paths: list[str | Path],
     config: LintConfig | None = None,
     root: str | Path | None = None,
     select: tuple[str, ...] | None = None,
+    flow: bool = True,
+    flow_cache: str | Path | None = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Lint *paths* (files or directories) and return the result.
 
@@ -88,6 +160,10 @@ def run_lint(
     first path (or *root*) supplies ``[tool.simlint]``; *root* anchors
     repo-relative paths in findings and the registry/tests lookups.
     *select* restricts the run to the given rule ids (CLI ``--select``).
+    ``flow=False`` skips the whole-program phase (CLI ``--no-flow``);
+    *flow_cache* names the on-disk summary-cache directory (``None``
+    indexes from scratch); *jobs* fans phase-1 indexing across a
+    process pool when > 1.
     """
     path_objs = [Path(p) for p in paths]
     if root is None:
@@ -101,14 +177,30 @@ def run_lint(
         config = load_config(pyproject)
     repo = RepoContext(root=root_path.resolve(), config=config)
     rules = _active_rules(config, select)
+    file_rules = [
+        (rule, sev) for rule, sev in rules if not isinstance(rule, FlowRule)
+    ]
+    flow_rules = [
+        (rule, sev) for rule, sev in rules if isinstance(rule, FlowRule)
+    ]
+    run_flow = flow and config.flow and bool(flow_rules)
+    if flow_cache is None and config.flow_cache:
+        flow_cache = repo.root / config.flow_cache
     result = LintResult()
+    contexts: list[FileContext] = []
     for file_path in collect_files(path_objs):
         try:
             ctx = FileContext.load(file_path, repo)
         except (SyntaxError, ValueError) as exc:
-            result.parse_errors.append((str(file_path), str(exc)))
+            result.parse_errors.append(
+                (_relative_to_root(file_path, repo.root), str(exc))
+            )
             continue
         result.files_checked += 1
-        lint_file(ctx, rules, result)
+        lint_file(ctx, file_rules, result)
+        if run_flow:
+            contexts.append(ctx)
+    if run_flow:
+        _run_flow_phase(contexts, flow_rules, repo, result, flow_cache, jobs)
     result.findings.sort(key=Finding.sort_key)
     return result

@@ -399,6 +399,9 @@ class SweepService:
             generation = self._pool_generation
             try:
                 if self.fault_plan is not None:
+                    # A "delay" fault sleeps on purpose: dispatch-phase
+                    # faults model a stalled loop, latency included.
+                    # simlint: disable=SIM015
                     self.fault_plan.fire("dispatch", job.benchmark)
                 payload = (
                     job.benchmark, (job.config,), job.trace_length,
@@ -415,6 +418,9 @@ class SweepService:
                     ret = await future
                 spec = None
                 if self.fault_plan is not None:
+                    # Same as dispatch: injected store_write delays are
+                    # meant to stall the loop.
+                    # simlint: disable=SIM015
                     spec = self.fault_plan.fire("store_write", job.benchmark)
             except asyncio.CancelledError:
                 raise
@@ -503,6 +509,11 @@ class SweepService:
 
     async def handle_sweep(self, request: SweepRequest) -> SweepResponse:
         """Admit and await one request; the whole service in one call."""
+        # Admission reads cached results synchronously on purpose: the
+        # journal must record the request *before* any job dispatches,
+        # and the store reads are small local files on the admission
+        # path.  Moving them off-loop would reorder crash recovery.
+        # simlint: disable=SIM015
         entries, admit_stats = self.admit(request)
         results: list = []
         failures: list[SweepFailure] = []

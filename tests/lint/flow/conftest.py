@@ -1,0 +1,53 @@
+"""Harness for the whole-program (flow) lint suite.
+
+Flow rules are cross-module by nature, so every test here builds a
+miniature multi-file repo under ``tmp_path``: a pyproject, an
+``src/repro/...`` package tree, one file per dotted module name.
+:func:`lint_repo` then lints it exactly the way the CLI does, so module
+naming, config loading, phase-1 indexing, and call-graph assembly all
+run for real.  The point of each fixture is the *pair* of assertions:
+the per-file rule provably misses the pattern, the flow rule catches
+it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.runner import LintResult, run_lint
+
+
+def write_repo(root: Path, modules: dict[str, str]) -> Path:
+    """Materialise a mini repo: dotted module name -> dedented source."""
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "pyproject.toml").write_text("[tool.simlint]\n", encoding="utf-8")
+    src = root / "src"
+    src.mkdir(exist_ok=True)
+    for dotted, source in modules.items():
+        parts = dotted.split(".")
+        directory = src
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+        (directory / f"{parts[-1]}.py").write_text(
+            textwrap.dedent(source), encoding="utf-8"
+        )
+    return root
+
+
+def lint_repo(root: Path, **kwargs) -> LintResult:
+    """Lint the mini repo's ``src`` tree (flow phase included)."""
+    return run_lint([root / "src"], root=root, **kwargs)
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    return [finding.rule for finding in result.findings]
+
+
+def findings_for(result: LintResult, rule_id: str) -> list[Finding]:
+    return [f for f in result.findings if f.rule == rule_id]

@@ -1,0 +1,138 @@
+"""SIM015: transitive event-loop blocking SIM013 cannot see."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.lint.flow.conftest import findings_for, lint_repo, rule_ids, write_repo
+
+pytestmark = pytest.mark.lint
+
+
+def test_async_to_sync_to_open_chain_across_files(tmp_path: Path) -> None:
+    # The exact blind spot: the handler calls an innocuous sync method,
+    # the blocking call lives two files away in the store.
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.service.store": """
+                class Store:
+                    def __init__(self, base):
+                        self.base = base
+
+                    def load(self, key):
+                        with open(key, "rb") as handle:
+                            return handle.read()
+            """,
+            "repro.service.server": """
+                from repro.service.store import Store
+
+                class Service:
+                    def __init__(self, base):
+                        self.store = Store(base)
+
+                    def admit(self, request):
+                        return self.store.load(request)
+
+                    async def handle(self, request):
+                        return self.admit(request)
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # SIM013 sees no blocking call inside the async body: it misses this.
+    assert "SIM013" not in rule_ids(result)
+    found = findings_for(result, "SIM015")
+    assert len(found) == 1
+    finding = found[0]
+    assert finding.path == str(Path("src/repro/service/server.py"))
+    assert "Service.admit" in finding.message
+    assert "Store.load" in finding.message
+    assert "open()" in finding.message
+
+
+def test_async_to_nested_sync_def_with_sleep(tmp_path: Path) -> None:
+    # SIM013 exempts nested sync defs (they run off-loop *unless* the
+    # handler calls them) — the call edge closes that exemption's gap.
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.service.server": """
+                import time
+
+                async def handle(request):
+                    def backoff():
+                        time.sleep(0.1)
+                    backoff()
+                    return request
+            """,
+        },
+    )
+    result = lint_repo(root)
+    assert "SIM013" not in rule_ids(result)
+    found = findings_for(result, "SIM015")
+    assert len(found) == 1
+    assert found[0].line == 7  # the backoff() call, not the sleep
+    assert "time.sleep()" in found[0].message
+
+
+def test_direct_blocking_is_sim013_territory(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.service.server": """
+                import time
+
+                async def handle(request):
+                    time.sleep(0.1)
+                    return request
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # Depth 0 belongs to SIM013 alone — no double report.
+    assert rule_ids(result) == ["SIM013"]
+
+
+def test_async_callees_stop_propagation(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.service.server": """
+                import time
+
+                async def inner(request):
+                    time.sleep(0.1)
+                    return request
+
+                async def outer(request):
+                    return await inner(request)
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # The sleep is flagged once, in inner's own body (SIM013); awaiting
+    # inner is not a second finding.
+    assert rule_ids(result) == ["SIM013"]
+
+
+def test_only_service_handlers_are_scoped(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.analysis.driver": """
+                import time
+
+                def pause():
+                    time.sleep(0.1)
+
+                async def run(request):
+                    pause()
+                    return request
+            """,
+        },
+    )
+    # Async code outside repro.service is out of SIM015's range.
+    assert findings_for(lint_repo(root), "SIM015") == []

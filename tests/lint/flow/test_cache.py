@@ -1,0 +1,116 @@
+"""The flow summary cache: warm runs, invalidation, corruption, failure."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.flow.cache import SummaryCache
+from repro.lint.flow.facts import FLOW_FORMAT_VERSION
+from repro.lint.report import render_json
+from tests.lint.flow.conftest import findings_for, lint_repo, write_repo
+
+pytestmark = pytest.mark.lint
+
+#: Three modules, one latent SIM014 chain, to make findings non-trivial.
+MODULES = {
+    "repro.util.helpers": """
+        import time
+
+        def now_stamp():
+            return time.time()
+    """,
+    "repro.util.plain": """
+        def double(x):
+            return 2 * x
+    """,
+    "repro.core.run": """
+        from repro.util.helpers import now_stamp
+
+        def step(state):
+            return now_stamp()
+    """,
+}
+
+
+def _payload_sans_stats(result) -> dict:
+    payload = json.loads(render_json(result))
+    payload.pop("flow")
+    return payload
+
+
+def test_warm_run_reindexes_nothing_and_matches_cold(tmp_path: Path) -> None:
+    root = write_repo(tmp_path / "repo", MODULES)
+    cache = tmp_path / "cache"
+    cold = lint_repo(root, flow_cache=cache)
+    files = cold.files_checked
+    assert cold.flow_stats.files_indexed == files
+    assert cold.flow_stats.cache_misses == files
+    warm = lint_repo(root, flow_cache=cache)
+    assert warm.flow_stats.files_indexed == 0
+    assert warm.flow_stats.cache_hits == files
+    # Acceptance criterion: warm findings byte-identical to cold.
+    assert _payload_sans_stats(warm) == _payload_sans_stats(cold)
+    assert len(findings_for(cold, "SIM014")) == 1
+
+
+def test_editing_one_file_reindexes_only_that_file(tmp_path: Path) -> None:
+    root = write_repo(tmp_path / "repo", MODULES)
+    cache = tmp_path / "cache"
+    lint_repo(root, flow_cache=cache)
+    helper = root / "src" / "repro" / "util" / "helpers.py"
+    # Fix the helper: the clock becomes an injected parameter.
+    helper.write_text(
+        "def now_stamp(clock):\n    return clock()\n", encoding="utf-8"
+    )
+    edited = lint_repo(root, flow_cache=cache)
+    assert edited.flow_stats.files_indexed == 1
+    assert edited.flow_stats.cache_hits == edited.files_checked - 1
+    # And the analysis saw the edit: the taint chain is gone.
+    assert findings_for(edited, "SIM014") == []
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(tmp_path: Path) -> None:
+    root = write_repo(tmp_path / "repo", MODULES)
+    cache = tmp_path / "cache"
+    cold = lint_repo(root, flow_cache=cache)
+    entries = sorted(cache.rglob("*.json"))
+    assert entries  # the cache materialised under the versioned layout
+    assert all(
+        entry.parts[entry.parts.index(cache.name) + 1]
+        == f"v{FLOW_FORMAT_VERSION}"
+        for entry in entries
+    )
+    entries[0].write_text("{torn", encoding="utf-8")
+    healed = lint_repo(root, flow_cache=cache)
+    assert healed.flow_stats.files_indexed == 1
+    assert _payload_sans_stats(healed) == _payload_sans_stats(cold)
+
+
+def test_unwritable_cache_degrades_to_a_full_run(tmp_path: Path) -> None:
+    root = write_repo(tmp_path / "repo", MODULES)
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file where the cache dir should be")
+    with pytest.warns(RuntimeWarning, match="cache disabled"):
+        result = lint_repo(root, flow_cache=blocker / "cache")
+    # The lint pass itself is unharmed.
+    assert result.flow_stats.files_indexed == result.files_checked
+    assert result.flow_stats.store_failures == 1
+    assert len(findings_for(result, "SIM014")) == 1
+
+
+def test_disabled_cache_is_a_passthrough(tmp_path: Path) -> None:
+    cache = SummaryCache(None)
+    assert not cache.enabled
+    assert cache.load("0" * 64) is None
+    assert cache.stats.hits == cache.stats.misses == 0
+
+
+def test_parallel_indexing_matches_serial(tmp_path: Path) -> None:
+    root = write_repo(tmp_path / "repo", MODULES)
+    serial = lint_repo(root, jobs=1)
+    pooled = lint_repo(root, jobs=2)
+    assert pooled.flow_stats.jobs == 2
+    assert _payload_sans_stats(pooled) == _payload_sans_stats(serial)

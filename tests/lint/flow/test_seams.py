@@ -1,0 +1,162 @@
+"""SIM016: seam bypass through wrappers SIM010/SIM011 cannot see."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.lint.flow.conftest import findings_for, lint_repo, rule_ids, write_repo
+
+pytestmark = pytest.mark.lint
+
+#: A minimal engine module with the real factory name.
+ENGINE = """
+    class FetchEngine:
+        def __init__(self, program):
+            self.program = program
+
+    def build_engine(program):
+        return FetchEngine(program)
+"""
+
+
+def test_wrapper_bypass_is_flagged_at_both_ends(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.core.engine": ENGINE,
+            "repro.util.mk": """
+                from repro.core.engine import FetchEngine
+
+                def make_raw(program):
+                    return FetchEngine(program)
+            """,
+            "repro.core.run": """
+                from repro.util.mk import make_raw
+
+                def run(program):
+                    return make_raw(program)
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # SIM011 only looks inside the determinism modules: the wrapper
+    # lives outside them and the in-scope caller has no construction.
+    assert "SIM011" not in rule_ids(result)
+    found = findings_for(result, "SIM016")
+    assert len(found) == 2
+    by_path = {finding.path: finding for finding in found}
+    wrapper = by_path[str(Path("src/repro/util/mk.py"))]
+    assert "FetchEngine(...)" in wrapper.message
+    caller = by_path[str(Path("src/repro/core/run.py"))]
+    assert "repro.util.mk.make_raw" in caller.message
+    assert "build_engine" in caller.message
+
+
+def test_sanctioned_factory_is_not_a_leak(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.core.engine": ENGINE,
+            "repro.core.run": """
+                from repro.core.engine import build_engine
+
+                def run(program):
+                    return build_engine(program)
+            """,
+            "repro.analysis.driver": """
+                from repro.core.engine import build_engine
+
+                def drive(program):
+                    return build_engine(program)
+            """,
+        },
+    )
+    assert findings_for(lint_repo(root), "SIM016") == []
+
+
+def test_in_scope_construction_stays_sim011s(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.core.engine": ENGINE,
+            "repro.core.run": """
+                from repro.core.engine import FetchEngine
+
+                def run(program):
+                    return FetchEngine(program)
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # Inside the determinism modules the per-file rule owns the direct
+    # construction site; SIM016 must not double-report it.
+    in_run = [
+        f.rule
+        for f in result.findings
+        if f.path == str(Path("src/repro/core/run.py"))
+    ]
+    assert in_run == ["SIM011"]
+
+
+def test_branch_unit_wrapper_names_the_branch_factory(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.branch.unit": """
+                class BranchUnit:
+                    def __init__(self, table_bits):
+                        self.table_bits = table_bits
+
+                def build_branch_unit(table_bits):
+                    return BranchUnit(table_bits)
+            """,
+            "repro.util.mk": """
+                from repro.branch.unit import BranchUnit
+
+                def raw_unit(bits):
+                    return BranchUnit(bits)
+            """,
+        },
+    )
+    found = findings_for(lint_repo(root), "SIM016")
+    assert len(found) == 1
+    assert "build_branch_unit" in found[0].message
+
+
+def test_transitive_wrapper_chain_is_traced(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.core.engine": ENGINE,
+            "repro.util.inner": """
+                from repro.core.engine import FetchEngine
+
+                def make(program):
+                    return FetchEngine(program)
+            """,
+            "repro.util.outer": """
+                from repro.util.inner import make
+
+                def convenience(program):
+                    return make(program)
+            """,
+            "repro.core.run": """
+                from repro.util.outer import convenience
+
+                def run(program):
+                    return convenience(program)
+            """,
+        },
+    )
+    found = findings_for(lint_repo(root), "SIM016")
+    caller = [
+        f for f in found if f.path == str(Path("src/repro/core/run.py"))
+    ]
+    assert len(caller) == 1
+    message = caller[0].message
+    # The trace walks the whole laundering chain to the construction.
+    assert "repro.util.outer.convenience" in message
+    assert "repro.util.inner.make" in message
+    assert "FetchEngine(...)" in message

@@ -1,0 +1,197 @@
+"""SIM014: determinism taint through helpers the per-file rules miss."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.lint.flow.conftest import findings_for, lint_repo, rule_ids, write_repo
+
+pytestmark = pytest.mark.lint
+
+
+def test_clock_laundered_through_helper_module(tmp_path: Path) -> None:
+    # The canonical laundering: the wall clock moves one module outside
+    # the determinism scope and the simulator calls the wrapper.
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.util.helpers": """
+                import time
+
+                def now_stamp():
+                    return time.time()
+            """,
+            "repro.core.run": """
+                from repro.util.helpers import now_stamp
+
+                def step(state):
+                    state.append(now_stamp())
+                    return state
+            """,
+        },
+    )
+    result = lint_repo(root)
+    # SIM001 sees a clean call expression in repro.core and a source in
+    # an out-of-scope module: it provably misses this.
+    assert "SIM001" not in rule_ids(result)
+    found = findings_for(result, "SIM014")
+    assert len(found) == 1
+    finding = found[0]
+    assert finding.path == str(Path("src/repro/core/run.py"))
+    assert "repro.util.helpers.now_stamp" in finding.message
+    assert "time.time()" in finding.message
+    assert "clock" in finding.message
+    assert result.exit_code() == 1
+
+
+def test_taint_propagates_through_two_helpers(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.util.inner": """
+                import os
+
+                def entropy():
+                    return os.urandom(8)
+            """,
+            "repro.util.outer": """
+                from repro.util.inner import entropy
+
+                def token():
+                    return entropy().hex()
+            """,
+            "repro.core.run": """
+                from repro.util.outer import token
+
+                def label(state):
+                    return token()
+            """,
+        },
+    )
+    found = findings_for(lint_repo(root), "SIM014")
+    assert len(found) == 1
+    # The message carries the whole chain down to the concrete source.
+    message = found[0].message
+    assert "repro.util.outer.token" in message
+    assert "repro.util.inner.entropy" in message
+    assert "os.urandom()" in message
+
+
+def test_seeded_rng_is_sanitized_at_the_fact_level(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.util.rngs": """
+                import random
+
+                def make_rng(seed):
+                    return random.Random(seed)
+
+                def make_wild():
+                    return random.Random()
+            """,
+            "repro.core.run": """
+                from repro.util.rngs import make_rng
+
+                def step(state, seed):
+                    return make_rng(seed).random()
+            """,
+        },
+    )
+    # Only the seeded constructor is called from scoped code: no taint.
+    assert findings_for(lint_repo(root), "SIM014") == []
+
+
+def test_unseeded_rng_still_taints(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.util.rngs": """
+                import random
+
+                def make_wild():
+                    return random.Random()
+            """,
+            "repro.core.run": """
+                from repro.util.rngs import make_wild
+
+                def step(state):
+                    return make_wild().random()
+            """,
+        },
+    )
+    found = findings_for(lint_repo(root), "SIM014")
+    assert len(found) == 1
+    assert "unseeded random.Random()" in found[0].message
+
+
+def test_sorted_wrapper_kills_the_ordering_kind(tmp_path: Path) -> None:
+    modules = {
+        "repro.util.views": """
+            def names(table):
+                return [key for key in table.keys()]
+        """,
+        "repro.core.run": """
+            from repro.util.views import names
+
+            def ordered(table):
+                return sorted(names(table))
+
+            def unordered(table):
+                return list(names(table))
+        """,
+    }
+    root = write_repo(tmp_path, modules)
+    found = findings_for(lint_repo(root), "SIM014")
+    # Only the unsanitized call site fires; sorted(...) kills "ordering".
+    assert len(found) == 1
+    assert found[0].line == 8  # the list(names(...)) site
+    assert "ordering" in found[0].message
+
+
+def test_in_scope_edges_are_never_flagged(tmp_path: Path) -> None:
+    # A direct source inside the scope is SIM001's business; the edge
+    # between two in-scope functions must not duplicate it.
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.core.clock": """
+                import time
+
+                def stamp():
+                    return time.time()  # simlint: disable=SIM001
+            """,
+            "repro.core.run": """
+                from repro.core.clock import stamp
+
+                def step(state):
+                    return stamp()
+            """,
+        },
+    )
+    assert findings_for(lint_repo(root), "SIM014") == []
+
+
+def test_inline_suppression_applies_to_flow_findings(tmp_path: Path) -> None:
+    root = write_repo(
+        tmp_path,
+        {
+            "repro.util.helpers": """
+                import time
+
+                def now_stamp():
+                    return time.time()
+            """,
+            "repro.core.run": """
+                from repro.util.helpers import now_stamp
+
+                def step(state):
+                    return now_stamp()  # simlint: disable=SIM014
+            """,
+        },
+    )
+    result = lint_repo(root)
+    assert findings_for(result, "SIM014") == []
+    assert result.suppressed == 1

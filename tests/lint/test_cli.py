@@ -105,8 +105,11 @@ def test_json_schema(mini_repo: Path, capsys) -> None:
         "suppressed",
         "findings",
         "parse_errors",
+        "flow",
         "summary",
     }
+    # The whole-program phase ran and indexed every checked file.
+    assert payload["flow"]["files_indexed"] == payload["files_checked"]
     assert payload["files_checked"] == 3  # two __init__.py + dirty.py
     for finding in payload["findings"]:
         assert set(finding) == {

@@ -33,6 +33,10 @@ def test_src_is_lint_clean() -> None:
     assert result.parse_errors == []
     assert result.findings == [], "\n" + render_text(result)
     assert result.exit_code() == 0
+    # The whole-program phase ran over everything, not a subset: the
+    # SIM014-016 self-clean claim is only as good as this assertion.
+    assert result.flow_stats is not None
+    assert result.flow_stats.files_indexed == result.files_checked
 
 
 def test_tools_and_benchmarks_are_lint_clean() -> None:
@@ -75,4 +79,30 @@ def test_reintroducing_unseeded_random_fails_the_gate(tmp_path: Path) -> None:
     )
     result = run_lint([tmp_path / "src"], root=REPO_ROOT)
     assert {finding.rule for finding in result.findings} == {"SIM001"}
+    assert result.exit_code() == 1
+
+
+def test_laundering_the_clock_through_a_helper_fails_the_gate(
+    tmp_path: Path,
+) -> None:
+    # Acceptance criterion for the flow layer: moving the wall clock one
+    # module outside the determinism scope defeats SIM001 but must still
+    # trip SIM014 on the cross-module call edge.
+    src = tmp_path / "src" / "repro"
+    util = src / "util"
+    core = src / "core"
+    for directory in (src, util, core):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "__init__.py").write_text("")
+    (util / "wallclock.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    (core / "stamped.py").write_text(
+        "from repro.util.wallclock import now\n\n\n"
+        "def stamp(state):\n    return now()\n",
+        encoding="utf-8",
+    )
+    result = run_lint([tmp_path / "src"], root=REPO_ROOT)
+    assert {finding.rule for finding in result.findings} == {"SIM014"}
     assert result.exit_code() == 1

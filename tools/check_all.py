@@ -88,6 +88,12 @@ def main(argv=None) -> int:
         if code != 0 or args.verbose:
             indented = "\n".join(f"    {line}" for line in output.splitlines())
             lines.append(indented)
+        elif name == "check_lint":
+            # Surface the cold/warm cache timing even when the gate is
+            # quiet — it is the one latency number worth watching.
+            for line in output.splitlines():
+                if line.startswith("lint timing:"):
+                    lines.append(f"    {line}")
         # An un-runnable gate (2) outranks a failing one (1).
         worst = max(worst, min(code, 2)) if code else worst
     print("\n".join(lines))

@@ -1,34 +1,106 @@
-"""Static-analysis gate: run simlint over the source tree.
+"""Static-analysis gate: run simlint (per-file + flow) over the tree.
 
-Thin wrapper over ``python -m repro.lint`` so the lint gate slots into
-the same tooling row as ``check_overhead.py`` / ``check_engine_speed.py``
-/ ``check_robustness.py``.  Exit codes follow the shared convention:
-0 clean, 1 findings, 2 internal error.
+With arguments this stays a thin wrapper over ``python -m repro.lint``
+(same flags, same exit codes).  With *no* arguments it runs the full
+gate the way CI wants it:
+
+* a **cold** run against a fresh flow-summary cache, then a **warm**
+  run against the same cache — the pair proves the cache is sound
+  (warm findings must be byte-identical to cold) and that warm runs
+  re-index nothing when no file changed;
+* a **wall-clock budget** on the warm run (``SIMLINT_WARM_BUDGET``
+  seconds, default 20): the whole point of caching phase 1 is that the
+  warm pre-commit loop stays interactive, so a regression here is a
+  gate failure, not a shrug;
+* one ``lint timing: cold Xs warm Ys`` line that
+  ``tools/check_all.py`` surfaces even when the gate passes.
+
+Exit codes follow the shared convention: 0 clean, 1 findings (or a
+busted budget / cache divergence), 2 internal error.
 
 Usage::
 
     PYTHONPATH=src python tools/check_lint.py
-    PYTHONPATH=src python tools/check_lint.py --format json
-    PYTHONPATH=src python tools/check_lint.py src tools benchmarks
-
-The same pass also runs inside tier-1 pytest via
-``tests/lint/test_self_clean.py``, so CI needs no extra plumbing; this
-script exists for pre-commit use and for machines that want the JSON
-report.
+    PYTHONPATH=src python tools/check_lint.py --format json src tools
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import tempfile
+import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.lint.cli import main  # noqa: E402
+from repro.lint.cli import main as cli_main  # noqa: E402
+from repro.lint.report import render_json, render_text  # noqa: E402
+from repro.lint.runner import run_lint  # noqa: E402
+
+#: Paths the gate lints (the self-clean surface).
+GATE_PATHS = ("src", "tools", "benchmarks", "examples")
+
+#: Warm-run wall-clock budget in seconds (override for slow machines).
+WARM_BUDGET_SECONDS = float(os.environ.get("SIMLINT_WARM_BUDGET", "20"))
+
+
+def _findings_payload(result) -> dict:
+    """The report payload minus cache statistics (must not vary)."""
+    payload = json.loads(render_json(result))
+    payload.pop("flow", None)
+    return payload
+
+
+def run_gate() -> int:
+    """Cold + warm lint with cache-soundness and latency checks."""
+    with tempfile.TemporaryDirectory(prefix="simflow-gate-") as cache_dir:
+        started = time.perf_counter()
+        cold = run_lint(list(GATE_PATHS), root=".", flow_cache=cache_dir)
+        cold_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_lint(list(GATE_PATHS), root=".", flow_cache=cache_dir)
+        warm_elapsed = time.perf_counter() - started
+    print(render_text(cold))
+    reindexed = warm.flow_stats.files_indexed if warm.flow_stats else 0
+    print(
+        f"lint timing: cold {cold_elapsed:.2f}s warm {warm_elapsed:.2f}s "
+        f"({cold.files_checked} files, {reindexed} re-indexed warm)"
+    )
+    failed = cold.exit_code()
+    if _findings_payload(cold) != _findings_payload(warm):
+        print(
+            "error: warm (cached) lint run diverged from the cold run; "
+            "the flow summary cache is unsound",
+            file=sys.stderr,
+        )
+        failed = 1
+    if reindexed != 0:
+        print(
+            f"error: warm run re-indexed {reindexed} file(s) although "
+            f"nothing changed; cache keys are unstable",
+            file=sys.stderr,
+        )
+        failed = 1
+    if warm_elapsed > WARM_BUDGET_SECONDS:
+        print(
+            f"error: warm lint run took {warm_elapsed:.2f}s, over the "
+            f"{WARM_BUDGET_SECONDS:.0f}s budget (SIMLINT_WARM_BUDGET)",
+            file=sys.stderr,
+        )
+        failed = 1
+    return failed
+
 
 if __name__ == "__main__":
     repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     os.chdir(repo_root)
-    sys.exit(main(sys.argv[1:] or ["src"]))
+    if sys.argv[1:]:
+        sys.exit(cli_main(sys.argv[1:]))
+    try:
+        sys.exit(run_gate())
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        sys.exit(2)
