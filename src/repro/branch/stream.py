@@ -33,6 +33,7 @@ predictions and the stream is not shareable; see
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
@@ -408,6 +409,71 @@ def build_stream(program: Program, trace: Trace, config: SimConfig) -> Predictio
     )
 
 
+class _LoweredStream:
+    """Plain-list forms of one stream's record arrays (read-only).
+
+    List indexing is ~3x faster than ndarray scalar indexing in the
+    per-branch hot loop, and the conversion pages mmapped arrays in
+    exactly once.  Lowered lists are shared: every facade built from
+    the same stream object — including :meth:`FetchEngine.fork` clones
+    made for ``AdaptiveEngine`` shadow/oracle runs, which share the
+    stream by identity — reuses one lowering via :func:`_lowered_lists`.
+    """
+
+    __slots__ = (
+        "outcome",
+        "cause",
+        "penalty",
+        "delay",
+        "wslots",
+        "wstart",
+        "pht_index",
+        "pred_taken",
+        "wp_off",
+        "wp_pc",
+        "wp_n",
+    )
+
+    def __init__(self, stream: PredictionStream) -> None:
+        self.outcome = stream.outcome.tolist()
+        self.cause = stream.cause.tolist()
+        self.penalty = stream.penalty.tolist()
+        self.delay = stream.delay.tolist()
+        self.wslots = stream.wslots.tolist()
+        self.wstart = stream.wstart.tolist()
+        self.pht_index = stream.pht_index.tolist()
+        self.pred_taken = stream.pred_taken.tolist()
+        self.wp_off = stream.wp_off.tolist()
+        self.wp_pc = stream.wp_pc.tolist()
+        self.wp_n = stream.wp_n.tolist()
+
+
+_LOWERED_CAP = 8
+# Keyed by id(stream); each entry pins the stream so the id cannot be
+# recycled while the entry lives (same scheme as repro.core.vector_kernels).
+_lowered_memo: dict[int, tuple[PredictionStream, _LoweredStream]] = {}
+_n_lowerings = 0
+
+
+def stream_lowerings() -> int:
+    """Stream lowerings actually performed — a test hook (see
+    ``tests/core/test_lowering_sharing.py``), not a metric."""
+    return _n_lowerings
+
+
+def _lowered_lists(stream: PredictionStream) -> _LoweredStream:
+    entry = _lowered_memo.get(id(stream))
+    if entry is not None:
+        return entry[1]
+    global _n_lowerings
+    if len(_lowered_memo) >= _LOWERED_CAP:
+        _lowered_memo.pop(next(iter(_lowered_memo)))
+    _n_lowerings += 1
+    value = _LoweredStream(stream)
+    _lowered_memo[id(stream)] = (stream, value)
+    return value
+
+
 class ReplayBranchUnit:
     """Drop-in :class:`BranchUnit` facade that replays a recorded stream.
 
@@ -448,25 +514,34 @@ class ReplayBranchUnit:
         self.mispredict_penalty_slots = config.mispredict_penalty_slots
         self._cursor = 0
         self._last = -1
-        # Plain Python lists: ~3x faster than ndarray scalar indexing in
-        # the per-branch hot loop, and the conversion pages mmapped
-        # arrays in exactly once per facade.
-        self._outcome = stream.outcome.tolist()
-        self._cause = stream.cause.tolist()
-        self._penalty = stream.penalty.tolist()
-        self._delay = stream.delay.tolist()
-        self._wslots = stream.wslots.tolist()
-        self._wstart = stream.wstart.tolist()
-        self._pht_index = stream.pht_index.tolist()
-        self._pred_taken = stream.pred_taken.tolist()
-        self._wp_off = stream.wp_off.tolist()
-        self._wp_pc = stream.wp_pc.tolist()
-        self._wp_n = stream.wp_n.tolist()
+        lowered = _lowered_lists(stream)
+        self._outcome = lowered.outcome
+        self._cause = lowered.cause
+        self._penalty = lowered.penalty
+        self._delay = lowered.delay
+        self._wslots = lowered.wslots
+        self._wstart = lowered.wstart
+        self._pht_index = lowered.pht_index
+        self._pred_taken = lowered.pred_taken
+        self._wp_off = lowered.wp_off
+        self._wp_pc = lowered.wp_pc
+        self._wp_n = lowered.wp_n
         # Deferred import (cycle: repro.core imports this module); bound
         # once per facade, not per wrong-path walk.
         from repro.core.wrongpath import iter_lines_from_runs
 
         self._split_lines = iter_lines_from_runs
+
+    def __deepcopy__(self, memo: dict) -> ReplayBranchUnit:
+        """Fork-friendly copy: the stream and its lowered lists are
+        read-only, so an engine fork shares them and deep-copies only
+        the mutable replay state (:class:`BranchStats`, cursor)."""
+        clone = object.__new__(ReplayBranchUnit)
+        memo[id(self)] = clone
+        for name in ReplayBranchUnit.__slots__:
+            setattr(clone, name, getattr(self, name))
+        clone.stats = copy.deepcopy(self.stats, memo)
+        return clone
 
     def rewind(self) -> None:
         """Reset the replay cursor to the start of the stream."""

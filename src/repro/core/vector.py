@@ -7,13 +7,35 @@ replay-eligible cells the remaining interpreter overhead is pure
 bookkeeping.  This module removes it: the trace is lowered once into a
 flat *probe stream* (one entry per cache-line access the event loop
 would make), segmented at the replayed redirect boundaries, and the
-i-cache state between redirects is advanced with NumPy kernels —
-set-index/tag arithmetic, bulk tag matching with find-first-miss,
-LRU-stack span updates, and latency accumulation over whole runs.
-Misses, wrong-path walks and the single-slot fill station fall back to
-exact scalar mirrors of the event-loop code, so every counter and every
-stall slot is reproduced **bit-identically** (enforced by
-tests/core/test_engine_backends.py and the hypothesis kernel suite).
+i-cache state between redirects is advanced with the NumPy kernels of
+:mod:`repro.core.vector_kernels` — set-index/tag arithmetic, bulk tag
+matching with find-first-miss, LRU-stack span updates, latency
+accumulation over whole runs, and the wrong-path window cutoff.
+
+What cannot be batched falls back to exact scalar mirrors of the
+event-loop code, kept cheap three ways (the real-cache speed work of
+PR 10):
+
+* every recorded wrong-path walk is lowered to flat per-redirect line
+  arrays once per (stream, line size) — the **batched walker** — and a
+  walk's leading all-hit stretch is retired with one tag-match plus the
+  ``walk_cutoff`` kernel;
+* while Resume's single-slot fill station is in flight, its install
+  time is resolved up front — the **station timeline**: every probe
+  before the first miss or the first probe of the station line's set is
+  provably unaffected by the pending install, so those spans run
+  through the bulk hit path instead of the per-probe station mirror;
+* consecutive right-path misses and segments below the scalar
+  threshold run through one tight list-backed loop — the **miss-run
+  batcher** — instead of re-entering the window machinery per miss.
+
+Every counter and every stall slot is reproduced **bit-identically**
+(enforced by tests/core/test_engine_backends.py and the hypothesis
+kernel suite) for *any* scalar threshold; the threshold only moves the
+batch/scalar split.  The default is a measured crossover, recalibrated
+by ``benchmarks/bench_engine_speed.py`` (the engine itself is
+clock-free — simlint SIM001 — so the measurement lives there) and
+installed via :func:`set_scalar_threshold`.
 
 Eligibility is stricter than replay eligibility: timing-coupled
 front-end extensions (prefetchers, stream buffers, L2, multi-entry fill
@@ -46,23 +68,61 @@ from repro.branch.stream import replay_eligible
 from repro.branch.unit import BranchStats
 from repro.config import FetchPolicy, SimConfig
 from repro.core.results import EngineCounters, PenaltyAccumulator, SimulationResult
-from repro.core.wrongpath import iter_lines_from_runs
-from repro.errors import SimulationError
-from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.core.vector_kernels import (  # noqa: F401  (kernel re-exports)
+    ProbeArrays,
+    TraceArrays,
+    accumulate_positions,
+    depth_gate_positions,
+    expand_runs,
+    lru_update_spans,
+    match_tags,
+    probe_arrays,
+    probe_split,
+    split_sets,
+    trace_arrays,
+    walk_arrays,
+    walk_cutoff,
+    walk_split,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.isa import InstrKind
 from repro.trace.event import Trace
 
 _PLAIN = int(InstrKind.PLAIN)
 _COND = int(InstrKind.COND_BRANCH)
 
-#: Line-origin codes in the NumPy tag mirror (the eligible cells never
+#: Line-origin codes in the tag mirrors (the eligible cells never
 #: prefetch, so LineOrigin.PREFETCH has no code here).
 _ORG_RIGHT = 0
 _ORG_WRONG = 1
 
-#: Segments shorter than this many probes are walked one probe at a time
-#: through the scalar mirror; per-window NumPy call overhead (~2us per
-#: array op) exceeds the vectorization win below roughly this size.
-_SCALAR_SEGMENT = 32
+#: Default batch/scalar crossover, in probes: segments (and walks)
+#: shorter than this are walked through the scalar mirror, since fixed
+#: per-window NumPy call overhead (~2us per array op) exceeds the
+#: vectorization win below roughly this size.  Measured on the gcc 100k
+#: protocol (benchmarks/bench_engine_speed.py recalibrates and installs
+#: the host's crossover before timing); results are bit-identical for
+#: any value — the threshold only moves work between the two paths.
+_DEFAULT_SCALAR_THRESHOLD = 256
+
+_scalar_threshold = _DEFAULT_SCALAR_THRESHOLD
+
+
+def scalar_threshold() -> int:
+    """The current batch/scalar crossover (probes)."""
+    return _scalar_threshold
+
+
+def set_scalar_threshold(n: int) -> None:
+    """Install a measured batch/scalar crossover (see module docstring).
+
+    Engines pick the value up at construction; results never depend on
+    it (only the batch/scalar split does).
+    """
+    global _scalar_threshold
+    if n < 1:
+        raise ConfigError(f"scalar threshold must be >= 1: {n}")
+    _scalar_threshold = int(n)
 
 
 def vector_eligible(config: SimConfig) -> bool:
@@ -86,234 +146,6 @@ def vector_eligible(config: SimConfig) -> bool:
         and config.policy_schedule == "static"
         and config.adaptive_interval is None
     )
-
-
-# -- kernels -----------------------------------------------------------------
-#
-# Each kernel is pure (or mutates only its designated state arrays) and
-# has a straight-Python reference implementation in
-# tests/properties/test_vector_kernels.py.
-
-
-def split_sets(lines, set_mask: int, set_shift: int):
-    """Set-index / tag split of an array of line numbers."""
-    lines = np.asarray(lines, dtype=np.int64)
-    return lines & set_mask, lines >> set_shift
-
-
-def expand_runs(run_pc, run_n, line_size: int):
-    """Expand instruction runs into per-line probes.
-
-    Mirrors the event loop's ``_issue_run`` chunking: a run of *n*
-    instructions starting at *pc* probes each cache line it touches
-    once, issuing ``min(per_line - idx % per_line, remaining)``
-    instructions from it.  Returns ``(probe_run, probe_line,
-    probe_chunk)`` with one entry per probe.
-    """
-    run_pc = np.asarray(run_pc, dtype=np.int64)
-    run_n = np.asarray(run_n, dtype=np.int64)
-    shift = line_size.bit_length() - 1
-    first = run_pc >> shift
-    last = (run_pc + (run_n - 1) * INSTRUCTION_SIZE) >> shift
-    count = last - first + 1
-    total = int(count.sum())
-    probe_run = np.repeat(np.arange(len(run_pc), dtype=np.int64), count)
-    offsets = np.cumsum(count) - count
-    within = np.arange(total, dtype=np.int64) - offsets[probe_run]
-    probe_line = first[probe_run] + within
-    per_line = line_size // INSTRUCTION_SIZE
-    idx0 = run_pc // INSTRUCTION_SIZE
-    lo = np.maximum(probe_line * per_line, idx0[probe_run])
-    hi = np.minimum((probe_line + 1) * per_line, idx0[probe_run] + run_n[probe_run])
-    probe_chunk = hi - lo
-    return probe_run, probe_line, probe_chunk
-
-
-def match_tags(tag_state, sets, tags):
-    """Bulk tag match: hit mask for probes against the tag mirror.
-
-    ``tag_state`` is either the direct-mapped per-set tag array (1-D,
-    ``-1`` = empty) or the set-associative ``(n_sets, assoc)`` table
-    (invalid ways hold ``-1``; real tags are non-negative).
-    """
-    state = np.asarray(tag_state)
-    sets = np.asarray(sets, dtype=np.int64)
-    tags = np.asarray(tags, dtype=np.int64)
-    if state.ndim == 1:
-        return state[sets] == tags
-    return (state[sets] == tags[:, None]).any(axis=1)
-
-
-def lru_update_spans(tag_table, origin_table, counts, sets, tags) -> None:
-    """Apply a hit-only access span to the LRU tag table, in place.
-
-    Every ``(set, tag)`` access must be a hit.  Sequentially moving each
-    accessed way to the MRU slot leaves: untouched ways first in their
-    original relative order, then the touched tags ordered by *last*
-    access.  The kernel computes that final arrangement directly —
-    last-access order per set via a lexsort — instead of replaying the
-    accesses one by one.
-    """
-    sets = np.asarray(sets, dtype=np.int64)
-    tags = np.asarray(tags, dtype=np.int64)
-    if sets.size == 0:
-        return
-    pos = np.arange(sets.size)
-    order = np.lexsort((pos, tags, sets))
-    s = sets[order]
-    g = tags[order]
-    p = pos[order]
-    last = np.ones(s.size, dtype=bool)
-    last[:-1] = (s[1:] != s[:-1]) | (g[1:] != g[:-1])
-    u_set = s[last]
-    u_tag = g[last]
-    u_pos = p[last]
-    by_access = np.lexsort((u_pos, u_set))
-    u_set = u_set[by_access]
-    u_tag = u_tag[by_access]
-    starts = np.flatnonzero(np.r_[True, u_set[1:] != u_set[:-1]])
-    ends = np.r_[starts[1:], [u_set.size]]
-    for a, b in zip(starts.tolist(), ends.tolist()):
-        set_idx = int(u_set[a])
-        touched = u_tag[a:b].tolist()
-        cnt = int(counts[set_idx])
-        row = tag_table[set_idx]
-        orow = origin_table[set_idx]
-        resident = row[:cnt].tolist()
-        origin_of = dict(zip(resident, orow[:cnt].tolist()))
-        touched_set = set(touched)
-        new_tags = [tg for tg in resident if tg not in touched_set] + touched
-        row[:cnt] = new_tags
-        orow[:cnt] = [origin_of[tg] for tg in new_tags]
-
-
-def depth_gate_positions(base, recent, resolve_slots: int, depth: int):
-    """Gate a sequence of conditional-branch fetch positions.
-
-    ``base`` holds the stall-free issue positions of consecutive gated
-    terminators (every earlier stall shifts all later positions equally,
-    which holds whenever no other timing feedback occurs between them —
-    all-hit spans and perfect-cache runs).  ``recent`` seeds the window
-    of outstanding resolve times.  Returns ``(stalls, issue, recent')``:
-    per-branch stall slots, post-gate issue positions, and the resolve
-    window to carry forward.
-    """
-    base = np.asarray(base, dtype=np.int64)
-    n = base.size
-    window = list(recent)[-depth:] if depth > 0 else []
-    stalls = np.zeros(n, dtype=np.int64)
-    if n == 0:
-        return stalls, base.copy(), window
-    m = len(window)
-    if n >= 8:
-        # No-stall fast path: if nothing stalls, the resolve times are
-        # exactly recent ++ (base + resolve_slots), and branch k gates on
-        # the depth-th previous resolve.  If all those lie at or before
-        # base[k], no gate ever fires (induction over k) and the whole
-        # call collapses to array ops.
-        resolves = np.concatenate(
-            [np.asarray(window, dtype=np.int64), base + resolve_slots]
-        )
-        back = np.arange(n) + m - depth
-        valid = back >= 0
-        if not valid.any() or bool(np.all(resolves[back[valid]] <= base[valid])):
-            tail = resolves[-depth:] if depth > 0 else resolves[:0]
-            return stalls, base.copy(), [int(v) for v in tail]
-    issue = np.empty(n, dtype=np.int64)
-    shift = 0
-    for k in range(n):
-        t = int(base[k]) + shift
-        if len(window) == depth and window[0] > t:
-            stall = window[0] - t
-            stalls[k] = stall
-            shift += stall
-            t = window[0]
-        issue[k] = t
-        window.append(t + resolve_slots)
-        if len(window) > depth:
-            del window[0]
-    return stalls, issue, window
-
-
-def accumulate_positions(lengths, extra):
-    """Start positions of consecutive segments: exclusive cumulative sum
-    of per-segment durations (``lengths + extra``)."""
-    total = np.asarray(lengths, dtype=np.int64) + np.asarray(extra, dtype=np.int64)
-    return np.cumsum(total) - total
-
-
-# -- trace lowering (memoized) ----------------------------------------------
-#
-# The record arrays depend only on the trace identity; the probe stream
-# additionally depends on the line size.  Both are keyed the same way
-# require_trace keys stream/trace compatibility, so a sweep over cache
-# geometries re-lowers the trace at most once per line size.
-
-_MEMO_CAP = 8
-
-
-class _TraceArrays:
-    __slots__ = ("starts", "lengths", "kinds", "cum", "ev_rec", "n_records")
-
-    def __init__(self, trace: Trace) -> None:
-        n = trace.n_blocks
-        records = trace.records
-        self.starts = np.fromiter((r[0] for r in records), np.int64, n)
-        self.lengths = np.fromiter((r[1] for r in records), np.int64, n)
-        self.kinds = np.fromiter((r[2] for r in records), np.int64, n)
-        self.cum = np.cumsum(self.lengths)
-        self.ev_rec = np.flatnonzero(self.kinds != _PLAIN)
-        self.n_records = n
-
-
-class _ProbeArrays:
-    __slots__ = ("line", "chunk", "gate", "chunk_cumsum", "last_probe", "n_probes")
-
-    def __init__(self, ta: _TraceArrays, line_size: int) -> None:
-        is_cond = ta.kinds == _COND
-        prefix_n = np.where(is_cond, ta.lengths - 1, ta.lengths)
-        has_prefix = prefix_n > 0
-        runs_per_rec = has_prefix.astype(np.int64) + is_cond
-        run_off = np.cumsum(runs_per_rec) - runs_per_rec
-        total_runs = int(runs_per_rec.sum())
-        run_pc = np.zeros(total_runs, dtype=np.int64)
-        run_n = np.zeros(total_runs, dtype=np.int64)
-        run_gate = np.zeros(total_runs, dtype=bool)
-        prefix_at = run_off[has_prefix]
-        run_pc[prefix_at] = ta.starts[has_prefix]
-        run_n[prefix_at] = prefix_n[has_prefix]
-        term_addr = ta.starts + (ta.lengths - 1) * INSTRUCTION_SIZE
-        term_at = (run_off + has_prefix)[is_cond]
-        run_pc[term_at] = term_addr[is_cond]
-        run_n[term_at] = 1
-        run_gate[term_at] = True
-        run_rec = np.repeat(np.arange(ta.n_records, dtype=np.int64), runs_per_rec)
-        probe_run, self.line, self.chunk = expand_runs(run_pc, run_n, line_size)
-        self.gate = run_gate[probe_run]
-        probe_rec = run_rec[probe_run]
-        probes_per_rec = np.bincount(probe_rec, minlength=ta.n_records)
-        self.last_probe = np.cumsum(probes_per_rec) - 1
-        self.chunk_cumsum = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(self.chunk)]
-        )
-        self.n_probes = int(self.line.size)
-
-
-_trace_memo: dict[tuple, _TraceArrays] = {}
-_probe_memo: dict[tuple, _ProbeArrays] = {}
-
-
-def _memo_get(memo: dict, key: tuple, build):
-    value = memo.get(key)
-    if value is None:
-        if len(memo) >= _MEMO_CAP:
-            memo.pop(next(iter(memo)))
-        value = memo[key] = build()
-    return value
-
-
-def _trace_key(trace: Trace) -> tuple:
-    return (trace.program_name, trace.seed, trace.n_instructions, trace.n_blocks)
 
 
 # -- per-window statistics ---------------------------------------------------
@@ -409,14 +241,21 @@ class VectorEngine:
             self._set_shift = self.cache._set_shift
             n_sets = self._set_mask + 1
             if self._assoc == 1:
+                # Twin tag mirrors: NumPy arrays feed the batch kernels,
+                # plain lists feed the scalar mirrors (list indexing is
+                # ~3x faster per probe); _fill keeps them in lockstep.
                 self._tag_state = np.full(n_sets, -1, dtype=np.int64)
                 self._origin_state = np.zeros(n_sets, dtype=np.int8)
+                self._tags_l = [-1] * n_sets
+                self._orgs_l = [0] * n_sets
                 self._tag_table = None
                 self._origin_table = None
                 self._counts = None
             else:
                 self._tag_state = None
                 self._origin_state = None
+                self._tags_l = None
+                self._orgs_l = None
                 self._tag_table = np.full((n_sets, self._assoc), -1, dtype=np.int64)
                 self._origin_table = np.zeros((n_sets, self._assoc), dtype=np.int8)
                 self._counts = np.zeros(n_sets, dtype=np.int64)
@@ -433,6 +272,27 @@ class VectorEngine:
         self._meas = _Window()
         self._win = self._meas
         self._window = 256
+        self._scalar_threshold = _scalar_threshold
+        # Per-policy wrong-path walk behavior (None = outcome-dependent:
+        # Decode fills only on a confirmed mispredict, outcome code 2).
+        policy = self._policy
+        if policy is FetchPolicy.OPTIMISTIC:
+            self._walk_fills, self._walk_blocking = True, True
+        elif policy is FetchPolicy.RESUME:
+            self._walk_fills, self._walk_blocking = True, False
+        elif policy is FetchPolicy.DECODE:
+            self._walk_fills, self._walk_blocking = None, True
+        else:  # Oracle / Pessimistic: probe ahead, never fill.
+            self._walk_fills, self._walk_blocking = False, True
+        self._walk_decode_slots = (
+            self._decode_slots if policy is FetchPolicy.DECODE else 0
+        )
+        # Batch/scalar split diagnostics (plain attributes, never
+        # published: metric parity with the event loop is asserted).
+        self.probes_scalar = 0
+        self.probes_bulk = 0
+        self.walk_probes_scalar = 0
+        self.walk_probes_bulk = 0
 
     # -- entry point ---------------------------------------------------------
 
@@ -456,8 +316,7 @@ class VectorEngine:
             )
         self.unit.rewind()
         self._stream.require_trace(trace)
-        key = _trace_key(trace)
-        ta = _memo_get(_trace_memo, key, lambda: _TraceArrays(trace))
+        ta = trace_arrays(trace)
         if warmup_instructions > 0:
             boundary_rec = int(
                 np.searchsorted(ta.cum, warmup_instructions, side="left")
@@ -480,17 +339,14 @@ class VectorEngine:
         if self.cache is None:
             self._run_perfect(ta, boundary_rec)
         else:
-            pa = _memo_get(
-                _probe_memo,
-                key + (self._line_size,),
-                lambda: _ProbeArrays(ta, self._line_size),
-            )
+            self._trace = trace
+            pa = probe_arrays(trace, self._line_size)
             self._run_cached(ta, pa, boundary_rec)
         return self._finish(trace, ta, boundary_rec)
 
     # -- perfect cache --------------------------------------------------------
 
-    def _run_perfect(self, ta: _TraceArrays, boundary_rec: int) -> None:
+    def _run_perfect(self, ta: TraceArrays, boundary_rec: int) -> None:
         """Perfect-cache timeline: pure clock accumulation + depth gate."""
         redirect = self._ev_outcome != 0
         pen_per_rec = np.zeros(ta.n_records, dtype=np.int64)
@@ -508,24 +364,32 @@ class VectorEngine:
 
     # -- real cache -----------------------------------------------------------
 
-    def _run_cached(self, ta: _TraceArrays, pa: _ProbeArrays, boundary_rec: int) -> None:
+    def _run_cached(self, ta: TraceArrays, pa: ProbeArrays, boundary_rec: int) -> None:
         self._pa = pa
-        self._probe_set, self._probe_tag = split_sets(
-            pa.line, self._set_mask, self._set_shift
+        ps = probe_split(
+            self._trace, self._line_size, self._set_mask, self._set_shift
         )
+        self._probe_set = ps.set
+        self._probe_tag = ps.tag
+        self._ptuples = ps.tuples
+        wa = walk_arrays(self._stream, self._line_size)
+        ws = walk_split(
+            self._stream, self._line_size, self._set_mask, self._set_shift
+        )
+        self._wa = wa
+        self._wa_set = ws.set
+        self._wa_tag = ws.tag
+        self._wtuples = ws.tuples
         redirect = self._ev_outcome != 0
         red_ev = np.flatnonzero(redirect)
         red_probe = pa.last_probe[ta.ev_rec[red_ev]]
         self._red_ev = red_ev
         # Scalar-access copies of the per-event stream fields (list
         # indexing is ~3x faster than ndarray scalar indexing here).
-        self._ev_penalty_l = self.unit._penalty
-        self._ev_delay_l = self.unit._delay
-        self._ev_outcome_l = self.unit._outcome
-        self._ev_wstart_l = self.unit._wstart
-        self._wp_off_l = self.unit._wp_off
-        self._wp_pc_l = self.unit._wp_pc
-        self._wp_n_l = self.unit._wp_n
+        ev_penalty_l = self._ev_penalty_l = self.unit._penalty
+        ev_delay_l = self._ev_delay_l = self.unit._delay
+        ev_outcome_l = self._ev_outcome_l = self.unit._outcome
+        ev_wstart_l = self._ev_wstart_l = self.unit._wstart
         boundary_probe = (
             int(pa.last_probe[boundary_rec - 1]) + 1 if boundary_rec > 0 else 0
         )
@@ -535,6 +399,7 @@ class VectorEngine:
         red_ev_l = red_ev.tolist()
         n_red = len(red_probe_l)
         n_probes = pa.n_probes
+        threshold = self._scalar_threshold
         i = 0
         r = 0
         while i < n_probes:
@@ -547,30 +412,47 @@ class VectorEngine:
                 redirect_here = False
             else:
                 redirect_here = r < n_red
-            self._run_probes(i, seg_end)
+            if seg_end - i < threshold and not self._has_station:
+                self._scalar_span(i, seg_end)
+            else:
+                self._run_probes(i, seg_end)
             i = seg_end
             if redirect_here:
-                self._handle_redirect(red_ev_l[r])
+                # Inlined _handle_redirect: the redirect block runs once
+                # per control-transfer event — worth skipping two call
+                # frames on the (common) walk-free redirects.
+                e = red_ev_l[r]
+                penalty = ev_penalty_l[e]
+                t_br = self._t - 1
+                self._win.branch += penalty
+                window_start = t_br + 1 + ev_delay_l[e]
+                window_end = t_br + 1 + penalty
+                if ev_wstart_l[e] >= 0 and window_start < window_end:
+                    self._t = self._walk(
+                        e, window_start, window_end, ev_outcome_l[e]
+                    )
+                else:
+                    self._t = window_end
                 r += 1
 
     def _run_probes(self, i: int, end: int) -> None:
         """Advance the probe cursor from *i* to *end* (all within one
-        redirect-free segment): bulk hit spans, scalar misses.  Segments
-        shorter than ``_SCALAR_SEGMENT`` probes go through the per-probe
-        scalar mirror instead — redirect-dense traces produce thousands
-        of tiny segments, where fixed per-window array overhead costs
-        more than it saves."""
+        redirect-free segment): bulk hit spans, scalar miss runs.
+        Segments shorter than the calibrated scalar threshold skip the
+        window machinery entirely — redirect-dense traces produce
+        thousands of tiny segments, where fixed per-window array
+        overhead costs more than it saves."""
         probe_set = self._probe_set
         probe_tag = self._probe_tag
         direct = self._assoc == 1
+        threshold = self._scalar_threshold
         while i < end:
             if self._has_station:
-                i = self._probe_scalar(i)
+                i = self._station_span(i, end)
                 continue
-            if end - i < _SCALAR_SEGMENT:
-                self._probe_scalar_simple(i)
-                i += 1
-                continue
+            if end - i < threshold:
+                self._scalar_span(i, end)
+                return
             w = min(end - i, self._window)
             sets = probe_set[i : i + w]
             tags = probe_tag[i : i + w]
@@ -585,8 +467,16 @@ class VectorEngine:
                 self._advance_hits(i, i + span)
                 i += span
             if span < w:
-                self._miss_scalar(i)
-                i += 1
+                # Miss-run batcher: the window mask already bounds the
+                # consecutive-miss run; retire it in one scalar span (a
+                # fill can flip a later "miss" to a hit, so every probe
+                # is re-checked there) instead of re-windowing per miss.
+                # Hits the stale mask claims *beyond* the run are
+                # discarded — an eviction could have invalidated them.
+                hit_at = np.flatnonzero(hits[span:])
+                run = int(hit_at[0]) if hit_at.size else w - span
+                self._scalar_span(i, i + run)
+                i += run
                 self._window = max(64, self._window >> 1)
             elif w == self._window:
                 self._window = min(16384, self._window << 1)
@@ -598,6 +488,7 @@ class VectorEngine:
         win.probes += n
         win.hits += n
         win.right_probes += n
+        self.probes_bulk += n
         if self._assoc == 1:
             if self._wrong_lines:
                 win.wrongpath_hits += int((self._origin_state[sets] == _ORG_WRONG).sum())
@@ -614,93 +505,193 @@ class VectorEngine:
 
     def _advance_hits(self, i: int, j: int) -> None:
         """Clock advance over an all-hit span, applying depth gates."""
-        cumsum = self._pa.chunk_cumsum
-        dt = int(cumsum[j] - cumsum[i])
-        gates = self._pa.gate[i:j]
-        if not gates.any():
+        pa = self._pa
+        cum_l = pa.cum_l
+        dt = cum_l[j] - cum_l[i]
+        next_gate = pa.next_gate
+        k = next_gate[i]
+        if k >= j:
             self._t += dt
             return
         t0 = self._t
+        base0 = t0 - cum_l[i]
         shift = 0
         recent = self._recent
         depth = self._depth
         resolve_slots = self._resolve_slots
-        for k in np.flatnonzero(gates).tolist():
-            pre = t0 + int(cumsum[i + k] - cumsum[i]) + shift
+        win = self._win
+        while k < j:
+            pre = base0 + cum_l[k] + shift
             if len(recent) == depth and recent[0] > pre:
                 stall = recent[0] - pre
-                self._win.branch_full += stall
+                win.branch_full += stall
                 shift += stall
                 pre = recent[0]
             recent.append(pre + resolve_slots)
             if len(recent) > depth:
                 del recent[0]
+            k = next_gate[k + 1]
         self._t = t0 + dt + shift
 
-    def _miss_scalar(self, i: int) -> None:
-        """One right-path miss with an idle fill station — the mirror of
-        ``_fetch_right_line``'s miss path (station empty: right-path
-        fills are blocking, so the station only holds Resume wrong-path
-        fills, handled in ``_probe_scalar``)."""
-        win = self._win
+    def _scalar_span(self, i: int, end: int) -> None:
+        """Exact scalar mirror of the station-free right-path probe loop
+        over [i, end) — one tight list-backed pass shared by
+        below-threshold segments and batched miss runs (the event-loop
+        semantics of ``_fetch_right_line`` with an idle station: probes,
+        depth gates, the conservative force-resolve guard, blocking
+        fills).  Right-path misses never create a station, so the
+        station-free precondition holds for the whole span."""
+        if self._assoc != 1:
+            while i < end:
+                self._probe_scalar_simple(i)
+                i += 1
+            return
+        tags_l = self._tags_l
+        orgs_l = self._orgs_l
+        tag_state = self._tag_state
+        origin_state = self._origin_state
         t = self._t
-        recent = self._recent
-        gated = bool(self._pa.gate[i])
-        if gated and len(recent) == self._depth and recent[0] > t:
-            win.branch_full += recent[0] - t
-            t = recent[0]
-        line = int(self._pa.line[i])
-        win.probes += 1
-        win.misses += 1
-        win.right_probes += 1
-        win.right_misses += 1
-        policy = self._policy
-        if policy is FetchPolicy.PESSIMISTIC or policy is FetchPolicy.DECODE:
-            guard = t - 1 + self._decode_slots
-            if policy is FetchPolicy.PESSIMISTIC and recent and recent[-1] > guard:
-                guard = recent[-1]
-            if guard > t:
-                win.force_resolve += guard - t
-                t = guard
-        duration = self._penalty_slots
         busy = self._busy_until
-        start = busy if busy > t else t
-        done = start + duration
-        self._busy_until = done if self._interleave is None else start + self._interleave
-        win.bus_requests += 1
-        win.bus_wait += start - t
-        if start > t:
-            win.bus += start - t
-            t = start
-        win.rt_icache += duration
-        self._miss_fills += 1
-        t = done
-        self._fill(line, _ORG_RIGHT)
-        win.right_fills += 1
-        t += int(self._pa.chunk[i])
-        if gated:
-            recent.append(t - 1 + self._resolve_slots)
-            if len(recent) > self._depth:
-                del recent[0]
+        recent = self._recent
+        depth = self._depth
+        resolve_slots = self._resolve_slots
+        decode_slots = self._decode_slots
+        duration = self._penalty_slots
+        interleave = self._interleave
+        policy = self._policy
+        conservative = (
+            policy is FetchPolicy.PESSIMISTIC or policy is FetchPolicy.DECODE
+        )
+        pessimistic = policy is FetchPolicy.PESSIMISTIC
+        wrong_lines = self._wrong_lines
+        n_probes = end - i
+        n_hits = 0
+        n_wrong_hits = 0
+        n_evict = 0
+        bus_wait = 0
+        bus_pen = 0
+        force_pen = 0
+        full_pen = 0
+        full = len(recent) == depth
+        # One slice of prebuilt (set, tag, chunk, gate) tuples instead
+        # of four list subscripts per probe — the single biggest lever
+        # in this loop (the span always runs to *end*, so no index is
+        # needed, and `full` tracks the resolve window's saturation so
+        # len() drops out of the steady state).
+        for set_idx, tag, chunk, gated in self._ptuples[i:end]:
+            if gated and full and recent[0] > t:
+                full_pen += recent[0] - t
+                t = recent[0]
+            if tags_l[set_idx] == tag:
+                n_hits += 1
+                if wrong_lines and orgs_l[set_idx]:
+                    n_wrong_hits += 1
+            else:
+                if conservative:
+                    guard = t - 1 + decode_slots
+                    if pessimistic and recent and recent[-1] > guard:
+                        guard = recent[-1]
+                    if guard > t:
+                        force_pen += guard - t
+                        t = guard
+                start = busy if busy > t else t
+                done = start + duration
+                busy = done if interleave is None else start + interleave
+                bus_wait += start - t
+                if start > t:
+                    bus_pen += start - t
+                    t = start
+                if tags_l[set_idx] != -1:
+                    n_evict += 1
+                tags_l[set_idx] = tag
+                orgs_l[set_idx] = 0
+                tag_state[set_idx] = tag
+                origin_state[set_idx] = 0
+                t = done
+            t += chunk
+            if gated:
+                recent.append(t - 1 + resolve_slots)
+                if full:
+                    del recent[0]
+                else:
+                    full = len(recent) == depth
+        n_misses = n_probes - n_hits
         self._t = t
+        self._busy_until = busy
+        self._miss_fills += n_misses
+        self.probes_scalar += n_probes
+        win = self._win
+        win.probes += n_probes
+        win.hits += n_hits
+        win.misses += n_misses
+        win.right_probes += n_probes
+        win.right_misses += n_misses
+        win.right_fills += n_misses
+        win.fills += n_misses
+        win.evictions += n_evict
+        win.wrongpath_hits += n_wrong_hits
+        win.bus_requests += n_misses
+        win.bus_wait += bus_wait
+        win.bus += bus_pen
+        win.rt_icache += n_misses * duration
+        win.force_resolve += force_pen
+        win.branch_full += full_pen
+
+    def _station_span(self, i: int, end: int) -> int:
+        """Probes while a wrong-path fill is in flight (Resume only).
+
+        The station timeline is resolved up front: the fill's install
+        time is already known (``_station_done``), and until the clock
+        reaches it the pending fill is unobservable to any probe that
+        (a) hits and (b) does not touch the station line's set — the
+        install only mutates that one set, and the install moment
+        itself is untimed (the installed counter lands in the same
+        window either way, since segments never span a window switch).
+        So the leading such stretch runs through the bulk hit path; the
+        first miss, set conflict, or drained station falls back to the
+        per-probe station mirror (``_probe_scalar``).  The span never
+        covers the segment's last probe: ending each station-era segment
+        with a per-probe drain check pins the install to the same
+        counter window the event loop charges it to, and guarantees a
+        fill still pending at the end of the trace is left pending
+        exactly when the event loop leaves it pending."""
+        if self._station_done <= self._t:
+            self._install_station()
+            return i
+        if self._assoc != 1 or end - i - 1 < self._scalar_threshold:
+            return self._probe_scalar(i)
+        w = min(end - i - 1, self._window)
+        sets = self._probe_set[i : i + w]
+        tags = self._probe_tag[i : i + w]
+        ok = (self._tag_state[sets] == tags) & (
+            sets != (self._station_line & self._set_mask)
+        )
+        bad = np.flatnonzero(~ok)
+        span = int(bad[0]) if bad.size else w
+        if span == 0:
+            return self._probe_scalar(i)
+        self._account_hits(i, i + span, sets[:span], tags[:span])
+        self._advance_hits(i, i + span)
+        return i + span
 
     def _probe_scalar_simple(self, i: int) -> None:
         """One right-path probe with no fill station in flight — the
-        short-segment scalar mirror of the ``_account_hits`` /
-        ``_advance_hits`` / ``_miss_scalar`` combination (gated
-        terminator probes have chunk 1, so appending ``t - 1 +
-        resolve_slots`` after the chunk equals the pre-chunk resolve
-        time the bulk path records)."""
+        per-probe scalar mirror for associative cells (direct-mapped
+        spans take ``_scalar_span``; gated terminator probes have chunk
+        1, so appending ``t - 1 + resolve_slots`` after the chunk equals
+        the pre-chunk resolve time the bulk path records)."""
         win = self._win
         t = self._t
         recent = self._recent
-        gated = bool(self._pa.gate[i])
+        pa = self._pa
+        gated = pa.gate_l[i]
         if gated and len(recent) == self._depth and recent[0] > t:
             win.branch_full += recent[0] - t
             t = recent[0]
-        line = int(self._pa.line[i])
+        line = pa.line_l[i]
         hit = self._probe_hit_scalar(line)
         win.right_probes += 1
+        self.probes_scalar += 1
         if not hit:
             win.right_misses += 1
             policy = self._policy
@@ -732,7 +723,7 @@ class VectorEngine:
             t = done
             self._fill(line, _ORG_RIGHT)
             win.right_fills += 1
-        t += int(self._pa.chunk[i])
+        t += pa.chunk_l[i]
         if gated:
             recent.append(t - 1 + self._resolve_slots)
             if len(recent) > self._depth:
@@ -746,15 +737,17 @@ class VectorEngine:
         win = self._win
         t = self._t
         recent = self._recent
-        gated = bool(self._pa.gate[i])
+        pa = self._pa
+        gated = pa.gate_l[i]
         if gated and len(recent) == self._depth and recent[0] > t:
             win.branch_full += recent[0] - t
             t = recent[0]
         if self._has_station and self._station_done <= t:
             self._install_station()
-        line = int(self._pa.line[i])
+        line = pa.line_l[i]
         hit = self._probe_hit_scalar(line)
         win.right_probes += 1
+        self.probes_scalar += 1
         if not hit:
             win.right_misses += 1
             if self._has_station and self._station_line == line:
@@ -784,7 +777,7 @@ class VectorEngine:
                     self._install_station()
                 self._fill(line, _ORG_RIGHT)
                 win.right_fills += 1
-        t += int(self._pa.chunk[i])
+        t += pa.chunk_l[i]
         if gated:
             recent.append(t - 1 + self._resolve_slots)
             if len(recent) > self._depth:
@@ -794,48 +787,77 @@ class VectorEngine:
 
     # -- redirects and wrong paths --------------------------------------------
 
-    def _handle_redirect(self, e: int) -> None:
-        """Mirror of the event loop's redirect block for stream event *e*."""
-        win = self._win
-        penalty = self._ev_penalty_l[e]
-        t_br = self._t - 1
-        win.branch += penalty
-        window_start = t_br + 1 + self._ev_delay_l[e]
-        window_end = t_br + 1 + penalty
-        self._t = self._walk(e, window_start, window_end, self._ev_outcome_l[e])
-
     def _walk(self, e: int, window_start: int, window_end: int, outcome: int) -> int:
-        """Mirror of ``_walk_wrong_path`` over the recorded runs of
-        stream event *e*; returns the right-path resume slot."""
-        wstart = self._ev_wstart_l[e]
-        if wstart < 0 or window_start >= window_end:
-            return window_end
-        policy = self._policy
-        if policy is FetchPolicy.OPTIMISTIC:
-            fills, blocking = True, True
-        elif policy is FetchPolicy.RESUME:
-            fills, blocking = True, False
-        elif policy is FetchPolicy.DECODE:
-            # Decode walks always happen; fills only once the redirect is
-            # known to be a mispredict (outcome code 2).
-            fills, blocking = outcome == 2, True
-        else:  # Oracle / Pessimistic: probe ahead, never fill.
-            fills, blocking = False, True
+        """Mirror of ``_walk_wrong_path`` over the pre-lowered line
+        probes of stream event *e*; returns the right-path resume slot.
+
+        The batched walker: the walk's probes were split at line
+        boundaries once per (stream, line size) lowering, so a walk is a
+        slice of flat arrays.  With no fill in flight, the leading
+        all-hit stretch is pure accounting — one bulk tag match plus the
+        ``walk_cutoff`` kernel retire it in O(array ops) when the walk
+        is long enough to pay for them; shorter all-hit stretches run
+        through a tight list loop.  The first miss (fills, station
+        traffic) drops to the full scalar mirror.
+        """
+        # Decode walks always happen; fills only once the redirect is
+        # known to be a mispredict (outcome code 2).
+        fills = self._walk_fills
+        if fills is None:
+            fills = outcome == 2
+        blocking = self._walk_blocking
         win = self._win
         cur = window_start
-        lo = self._wp_off_l[e]
-        hi = self._wp_off_l[e + 1]
+        wa = self._wa
+        idx = wa.ev_off_l[e]
+        hi = wa.ev_off_l[e + 1]
+        direct = self._assoc == 1
+        if hi - idx >= self._scalar_threshold and not self._has_station:
+            state = self._tag_state if direct else self._tag_table
+            hmask = match_tags(state, self._wa_set[idx:hi], self._wa_tag[idx:hi])
+            miss_at = np.flatnonzero(~hmask)
+            p = int(miss_at[0]) if miss_at.size else hi - idx
+            if p:
+                k, consumed = walk_cutoff(
+                    wa.chunk[idx : idx + p], window_end - cur
+                )
+                win.wrong_probes += k
+                win.wrong_instructions += consumed
+                self.walk_probes_bulk += k
+                cur += consumed
+                idx += k
+        n_l = wa.chunk_l
         duration = self._penalty_slots
-        for line, n in iter_lines_from_runs(
-            zip(self._wp_pc_l[lo:hi], self._wp_n_l[lo:hi]), self._line_size
-        ):
+        n_scalar = 0
+        n_instr = 0
+        if direct and not self._has_station:
+            # All-hit fast loop: probes that hit an idle-station cache
+            # mutate nothing, so only local accumulators move until the
+            # first miss (or the window closes).
+            tags_l = self._tags_l
+            for s_idx, wtag, n in self._wtuples[idx:hi]:
+                if cur >= window_end or tags_l[s_idx] != wtag:
+                    break
+                n_scalar += 1
+                n_instr += n
+                cur += n
+                idx += 1
+        line_l = wa.line_l
+        while idx < hi:
             if cur >= window_end:
                 break
             if self._has_station and self._station_done <= cur:
                 self._install_station()
-            win.wrong_probes += 1
-            if self._contains(line):
-                win.wrong_instructions += n
+            line = line_l[idx]
+            n = n_l[idx]
+            idx += 1
+            n_scalar += 1
+            if direct:
+                hit = self._tags_l[line & self._set_mask] == line >> self._set_shift
+            else:
+                hit = self._contains(line)
+            if hit:
+                n_instr += n
                 cur += n
                 continue
             win.wrong_misses += 1
@@ -844,7 +866,7 @@ class VectorEngine:
                 if not blocking and done < window_end:
                     cur = done
                     self._install_station()
-                    win.wrong_instructions += n
+                    n_instr += n
                     cur += n
                     continue
                 break
@@ -853,9 +875,7 @@ class VectorEngine:
             if self._has_station:
                 # Resume's single fill slot is busy: stop walking.
                 break
-            request_at = cur + (
-                self._decode_slots if policy is FetchPolicy.DECODE else 0
-            )
+            request_at = cur + self._walk_decode_slots
             busy = self._busy_until
             start = busy if busy > request_at else request_at
             done = start + duration
@@ -871,22 +891,28 @@ class VectorEngine:
                 self._wrong_lines = True
                 if done >= window_end:
                     win.wrong_icache += done - window_end
+                    win.wrong_probes += n_scalar
+                    win.wrong_instructions += n_instr
+                    self.walk_probes_scalar += n_scalar
                     return done
                 cur = done
-                win.wrong_instructions += n
+                n_instr += n
                 cur += n
                 continue
             if done <= window_end:
                 self._fill(line, _ORG_WRONG)
                 self._wrong_lines = True
                 cur = done
-                win.wrong_instructions += n
+                n_instr += n
                 cur += n
                 continue
             self._station_line = line
             self._station_done = done
             self._has_station = True
             break
+        win.wrong_probes += n_scalar
+        win.wrong_instructions += n_instr
+        self.walk_probes_scalar += n_scalar
         return window_end
 
     def _install_station(self) -> None:
@@ -901,7 +927,7 @@ class VectorEngine:
         set_idx = line & self._set_mask
         tag = line >> self._set_shift
         if self._assoc == 1:
-            return bool(self._tag_state[set_idx] == tag)
+            return self._tags_l[set_idx] == tag
         row = self._tag_table[set_idx]
         cnt = int(self._counts[set_idx])
         for k in range(cnt):
@@ -915,9 +941,9 @@ class VectorEngine:
         set_idx = line & self._set_mask
         tag = line >> self._set_shift
         if self._assoc == 1:
-            if self._tag_state[set_idx] == tag:
+            if self._tags_l[set_idx] == tag:
                 win.hits += 1
-                if self._origin_state[set_idx] == _ORG_WRONG:
+                if self._orgs_l[set_idx]:
                     win.wrongpath_hits += 1
                 return True
             win.misses += 1
@@ -946,9 +972,11 @@ class VectorEngine:
         set_idx = line & self._set_mask
         tag = line >> self._set_shift
         if self._assoc == 1:
-            resident = self._tag_state[set_idx]
+            resident = self._tags_l[set_idx]
             if resident != -1 and resident != tag:
                 win.evictions += 1
+            self._tags_l[set_idx] = tag
+            self._orgs_l[set_idx] = origin
             self._tag_state[set_idx] = tag
             self._origin_state[set_idx] = origin
             return
@@ -978,7 +1006,7 @@ class VectorEngine:
 
     # -- result construction ---------------------------------------------------
 
-    def _finish(self, trace: Trace, ta: _TraceArrays, boundary_rec: int) -> SimulationResult:
+    def _finish(self, trace: Trace, ta: TraceArrays, boundary_rec: int) -> SimulationResult:
         """Write the measured window back into the wrapped event-loop
         engine and delegate result/metrics construction to it."""
         inner = self.inner
@@ -1027,7 +1055,7 @@ class VectorEngine:
             ]
         return inner._build_result(trace)
 
-    def _branch_stats(self, ta: _TraceArrays, boundary_rec: int) -> BranchStats:
+    def _branch_stats(self, ta: TraceArrays, boundary_rec: int) -> BranchStats:
         """Reconstruct the measured-window BranchStats from the stream."""
         first = int(np.searchsorted(ta.ev_rec, boundary_rec, side="left"))
         kinds = ta.kinds[ta.ev_rec[first:]]

@@ -1,0 +1,442 @@
+"""NumPy kernels and lowered array state for the vectorized backend.
+
+:mod:`repro.core.vector` is two things: an engine (``VectorEngine``,
+the bit-identical batch mirror of the event loop) and the pure batch
+machinery it runs on.  This module is the machinery:
+
+* **kernels** — pure array transforms (or in-place updates of their
+  designated state arrays), each with a straight-Python reference in
+  ``tests/properties/test_vector_kernels.py``: set/tag arithmetic
+  (:func:`split_sets`), run-to-probe expansion (:func:`expand_runs`),
+  bulk tag matching (:func:`match_tags`), LRU span updates
+  (:func:`lru_update_spans`), speculation-depth gating
+  (:func:`depth_gate_positions`), segment positioning
+  (:func:`accumulate_positions`), and the wrong-path window cutoff
+  (:func:`walk_cutoff`);
+
+* **lowered state** — the per-trace / per-line-size / per-geometry
+  array forms the engine consumes (:class:`TraceArrays`,
+  :class:`ProbeArrays`, :class:`WalkArrays`, and their set/tag splits
+  :class:`ProbeSplit` / :class:`WalkSplit`), obtained only through the
+  memoized factories :func:`trace_arrays`, :func:`probe_arrays`,
+  :func:`walk_arrays`, :func:`probe_split` and :func:`walk_split`.
+  The lowered state is pure read-only data, so one lowering serves
+  every engine (and every ``AdaptiveEngine`` fork) simulating the same
+  trace — simlint SIM011 flags direct constructions, exactly as it
+  does for the engines themselves.
+
+Each lowered class carries both NumPy arrays (for the batch kernels)
+and plain-list mirrors (for the exact scalar mirrors: list indexing is
+~3x faster than ndarray scalar indexing in per-probe Python code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wrongpath import lines_from_runs_arrays
+from repro.isa import INSTRUCTION_SIZE, InstrKind
+from repro.trace.event import Trace
+
+_PLAIN = int(InstrKind.PLAIN)
+_COND = int(InstrKind.COND_BRANCH)
+
+
+# -- kernels -----------------------------------------------------------------
+
+
+def split_sets(lines, set_mask: int, set_shift: int):
+    """Set-index / tag split of an array of line numbers."""
+    lines = np.asarray(lines, dtype=np.int64)
+    return lines & set_mask, lines >> set_shift
+
+
+def expand_runs(run_pc, run_n, line_size: int):
+    """Expand instruction runs into per-line probes.
+
+    Mirrors the event loop's ``_issue_run`` chunking: a run of *n*
+    instructions starting at *pc* probes each cache line it touches
+    once, issuing ``min(per_line - idx % per_line, remaining)``
+    instructions from it.  Returns ``(probe_run, probe_line,
+    probe_chunk)`` with one entry per probe.
+    """
+    line, chunk, run_off = lines_from_runs_arrays(run_pc, run_n, line_size)
+    counts = run_off[1:] - run_off[:-1]
+    probe_run = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    return probe_run, line, chunk
+
+
+def match_tags(tag_state, sets, tags):
+    """Bulk tag match: hit mask for probes against the tag mirror.
+
+    ``tag_state`` is either the direct-mapped per-set tag array (1-D,
+    ``-1`` = empty) or the set-associative ``(n_sets, assoc)`` table
+    (invalid ways hold ``-1``; real tags are non-negative).
+    """
+    state = np.asarray(tag_state)
+    sets = np.asarray(sets, dtype=np.int64)
+    tags = np.asarray(tags, dtype=np.int64)
+    if state.ndim == 1:
+        return state[sets] == tags
+    return (state[sets] == tags[:, None]).any(axis=1)
+
+
+def lru_update_spans(tag_table, origin_table, counts, sets, tags) -> None:
+    """Apply a hit-only access span to the LRU tag table, in place.
+
+    Every ``(set, tag)`` access must be a hit.  Sequentially moving each
+    accessed way to the MRU slot leaves: untouched ways first in their
+    original relative order, then the touched tags ordered by *last*
+    access.  The kernel computes that final arrangement directly —
+    last-access order per set via a lexsort — instead of replaying the
+    accesses one by one.
+    """
+    sets = np.asarray(sets, dtype=np.int64)
+    tags = np.asarray(tags, dtype=np.int64)
+    if sets.size == 0:
+        return
+    pos = np.arange(sets.size)
+    order = np.lexsort((pos, tags, sets))
+    s = sets[order]
+    g = tags[order]
+    p = pos[order]
+    last = np.ones(s.size, dtype=bool)
+    last[:-1] = (s[1:] != s[:-1]) | (g[1:] != g[:-1])
+    u_set = s[last]
+    u_tag = g[last]
+    u_pos = p[last]
+    by_access = np.lexsort((u_pos, u_set))
+    u_set = u_set[by_access]
+    u_tag = u_tag[by_access]
+    starts = np.flatnonzero(np.r_[True, u_set[1:] != u_set[:-1]])
+    ends = np.r_[starts[1:], [u_set.size]]
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        set_idx = int(u_set[a])
+        touched = u_tag[a:b].tolist()
+        cnt = int(counts[set_idx])
+        row = tag_table[set_idx]
+        orow = origin_table[set_idx]
+        resident = row[:cnt].tolist()
+        origin_of = dict(zip(resident, orow[:cnt].tolist()))
+        touched_set = set(touched)
+        new_tags = [tg for tg in resident if tg not in touched_set] + touched
+        row[:cnt] = new_tags
+        orow[:cnt] = [origin_of[tg] for tg in new_tags]
+
+
+def depth_gate_positions(base, recent, resolve_slots: int, depth: int):
+    """Gate a sequence of conditional-branch fetch positions.
+
+    ``base`` holds the stall-free issue positions of consecutive gated
+    terminators (every earlier stall shifts all later positions equally,
+    which holds whenever no other timing feedback occurs between them —
+    all-hit spans and perfect-cache runs).  ``recent`` seeds the window
+    of outstanding resolve times.  Returns ``(stalls, issue, recent')``:
+    per-branch stall slots, post-gate issue positions, and the resolve
+    window to carry forward.
+    """
+    base = np.asarray(base, dtype=np.int64)
+    n = base.size
+    window = list(recent)[-depth:] if depth > 0 else []
+    stalls = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return stalls, base.copy(), window
+    m = len(window)
+    if n >= 8:
+        # No-stall fast path: if nothing stalls, the resolve times are
+        # exactly recent ++ (base + resolve_slots), and branch k gates on
+        # the depth-th previous resolve.  If all those lie at or before
+        # base[k], no gate ever fires (induction over k) and the whole
+        # call collapses to array ops.
+        resolves = np.concatenate(
+            [np.asarray(window, dtype=np.int64), base + resolve_slots]
+        )
+        back = np.arange(n) + m - depth
+        valid = back >= 0
+        if not valid.any() or bool(np.all(resolves[back[valid]] <= base[valid])):
+            tail = resolves[-depth:] if depth > 0 else resolves[:0]
+            return stalls, base.copy(), [int(v) for v in tail]
+    issue = np.empty(n, dtype=np.int64)
+    shift = 0
+    for k in range(n):
+        t = int(base[k]) + shift
+        if len(window) == depth and window[0] > t:
+            stall = window[0] - t
+            stalls[k] = stall
+            shift += stall
+            t = window[0]
+        issue[k] = t
+        window.append(t + resolve_slots)
+        if len(window) > depth:
+            del window[0]
+    return stalls, issue, window
+
+
+def accumulate_positions(lengths, extra):
+    """Start positions of consecutive segments: exclusive cumulative sum
+    of per-segment durations (``lengths + extra``)."""
+    total = np.asarray(lengths, dtype=np.int64) + np.asarray(extra, dtype=np.int64)
+    return np.cumsum(total) - total
+
+
+def walk_cutoff(chunks, budget: int):
+    """Depth/penalty cutoff over an all-hit wrong-path prefix.
+
+    ``chunks`` holds the instruction counts of consecutive hitting line
+    probes of one walk; *budget* is the redirect window's remaining
+    instruction slots.  A probe issues iff the instructions consumed
+    before it still lie below the budget — exactly the event loop's
+    ``cur >= window_end`` break, hoisted out of the per-probe loop.
+    Returns ``(k, consumed)``: how many probes issue and how many
+    instruction slots they consume.
+    """
+    chunks = np.asarray(chunks, dtype=np.int64)
+    if budget <= 0 or chunks.size == 0:
+        return 0, 0
+    cum = np.cumsum(chunks)
+    k = int(np.searchsorted(cum - chunks, budget, side="left"))
+    consumed = int(cum[k - 1]) if k else 0
+    return k, consumed
+
+
+# -- lowered state (memoized) ------------------------------------------------
+#
+# The record arrays depend only on the trace; the probe stream
+# additionally depends on the line size; the walk probes additionally
+# depend on the stream.  All memos key on *object identity* — each
+# entry pins a strong reference to its source object, so an ``id()``
+# cannot be recycled while the entry lives.  Content keys would need a
+# digest the Trace doesn't carry, and test suites legitimately build
+# distinct programs under one name/seed/shape.  Identity keying still
+# shares everything that should be shared: a policy sweep passes one
+# trace object to every engine, and ``FetchEngine.fork()`` shares the
+# program/config/stream with its forks by identity.
+
+_MEMO_CAP = 8
+
+#: Lowerings actually performed, by kind — a test hook (see
+#: tests/core/test_lowering_sharing.py), not a metric.
+LOWERING_COUNTS = {
+    "trace": 0,
+    "probe": 0,
+    "walk": 0,
+    "probe_split": 0,
+    "walk_split": 0,
+}
+
+
+class TraceArrays:
+    """Per-record arrays of one trace (line-size independent)."""
+
+    __slots__ = ("starts", "lengths", "kinds", "cum", "ev_rec", "n_records")
+
+    def __init__(self, trace: Trace) -> None:
+        n = trace.n_blocks
+        records = trace.records
+        self.starts = np.fromiter((r[0] for r in records), np.int64, n)
+        self.lengths = np.fromiter((r[1] for r in records), np.int64, n)
+        self.kinds = np.fromiter((r[2] for r in records), np.int64, n)
+        self.cum = np.cumsum(self.lengths)
+        self.ev_rec = np.flatnonzero(self.kinds != _PLAIN)
+        self.n_records = n
+
+
+class ProbeArrays:
+    """The right-path probe stream of one trace at one line size.
+
+    One entry per cache-line access the event loop would make, with
+    scalar-mirror list forms (``*_l``) alongside the kernel arrays.
+    ``next_gate[i]`` is the first gated probe at or after ``i`` (with a
+    trailing ``n_probes`` sentinel), so hit spans can skip the gate
+    bookkeeping entirely when no terminator falls inside them.
+    """
+
+    __slots__ = (
+        "line",
+        "chunk",
+        "gate",
+        "chunk_cumsum",
+        "last_probe",
+        "n_probes",
+        "line_l",
+        "chunk_l",
+        "gate_l",
+        "cum_l",
+        "next_gate",
+    )
+
+    def __init__(self, ta: TraceArrays, line_size: int) -> None:
+        is_cond = ta.kinds == _COND
+        prefix_n = np.where(is_cond, ta.lengths - 1, ta.lengths)
+        has_prefix = prefix_n > 0
+        runs_per_rec = has_prefix.astype(np.int64) + is_cond
+        run_off = np.cumsum(runs_per_rec) - runs_per_rec
+        total_runs = int(runs_per_rec.sum())
+        run_pc = np.zeros(total_runs, dtype=np.int64)
+        run_n = np.zeros(total_runs, dtype=np.int64)
+        run_gate = np.zeros(total_runs, dtype=bool)
+        prefix_at = run_off[has_prefix]
+        run_pc[prefix_at] = ta.starts[has_prefix]
+        run_n[prefix_at] = prefix_n[has_prefix]
+        term_addr = ta.starts + (ta.lengths - 1) * INSTRUCTION_SIZE
+        term_at = (run_off + has_prefix)[is_cond]
+        run_pc[term_at] = term_addr[is_cond]
+        run_n[term_at] = 1
+        run_gate[term_at] = True
+        run_rec = np.repeat(np.arange(ta.n_records, dtype=np.int64), runs_per_rec)
+        probe_run, self.line, self.chunk = expand_runs(run_pc, run_n, line_size)
+        self.gate = run_gate[probe_run]
+        probe_rec = run_rec[probe_run]
+        probes_per_rec = np.bincount(probe_rec, minlength=ta.n_records)
+        self.last_probe = np.cumsum(probes_per_rec) - 1
+        self.chunk_cumsum = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(self.chunk)]
+        )
+        n = int(self.line.size)
+        self.n_probes = n
+        self.line_l = self.line.tolist()
+        self.chunk_l = self.chunk.tolist()
+        self.gate_l = self.gate.tolist()
+        self.cum_l = self.chunk_cumsum.tolist()
+        gate_pos = np.where(self.gate, np.arange(n, dtype=np.int64), n)
+        if n:
+            gate_pos = np.minimum.accumulate(gate_pos[::-1])[::-1]
+        self.next_gate = np.append(gate_pos, n).tolist()
+
+
+class WalkArrays:
+    """Every recorded wrong-path walk of one stream, pre-split at one
+    line size.
+
+    ``ev_off_l[e] : ev_off_l[e + 1]`` indexes stream event *e*'s line
+    probes in the flat ``line``/``chunk`` arrays — the lowering the
+    scalar walker previously re-derived per redirect through
+    ``iter_lines_from_runs``.
+    """
+
+    __slots__ = ("line", "chunk", "ev_off_l", "line_l", "chunk_l", "n_events")
+
+    def __init__(self, wp_pc, wp_n, wp_off, line_size: int) -> None:
+        self.line, self.chunk, run_off = lines_from_runs_arrays(
+            wp_pc, wp_n, line_size
+        )
+        ev_off = run_off[np.asarray(wp_off, dtype=np.int64)]
+        self.ev_off_l = ev_off.tolist()
+        self.line_l = self.line.tolist()
+        self.chunk_l = self.chunk.tolist()
+        self.n_events = len(self.ev_off_l) - 1
+
+
+class ProbeSplit:
+    """The right-path probe stream split for one cache geometry.
+
+    The set/tag split depends on the cache's set count, so it cannot
+    live in :class:`ProbeArrays` (keyed by line size only); memoizing it
+    separately keeps a policy sweep at fixed geometry from re-deriving
+    it per engine.  ``tuples`` pre-zips ``(set, tag, chunk, gate)`` per
+    probe: the scalar mirror iterates one slice of prebuilt tuples
+    instead of subscripting four lists per probe.
+    """
+
+    __slots__ = ("set", "tag", "tuples")
+
+    def __init__(self, pa: ProbeArrays, set_mask: int, set_shift: int) -> None:
+        self.set, self.tag = split_sets(pa.line, set_mask, set_shift)
+        self.tuples = list(
+            zip(self.set.tolist(), self.tag.tolist(), pa.chunk_l, pa.gate_l)
+        )
+
+
+class WalkSplit:
+    """The wrong-path walk probes split for one cache geometry.
+
+    ``tuples`` pre-zips ``(set, tag, chunk)`` per walk probe for the
+    scalar walker's all-hit fast loop.
+    """
+
+    __slots__ = ("set", "tag", "tuples")
+
+    def __init__(self, wa: WalkArrays, set_mask: int, set_shift: int) -> None:
+        self.set, self.tag = split_sets(wa.line, set_mask, set_shift)
+        self.tuples = list(
+            zip(self.set.tolist(), self.tag.tolist(), wa.chunk_l)
+        )
+
+
+_trace_memo: dict[int, tuple[Trace, TraceArrays]] = {}
+_probe_memo: dict[tuple, tuple[Trace, ProbeArrays]] = {}
+_walk_memo: dict[tuple, tuple[object, WalkArrays]] = {}
+_probe_split_memo: dict[tuple, tuple[Trace, ProbeSplit]] = {}
+_walk_split_memo: dict[tuple, tuple[object, WalkSplit]] = {}
+
+
+def _memo_get(memo: dict, anchor, key, kind: str, build):
+    entry = memo.get(key)
+    if entry is not None:
+        return entry[1]
+    if len(memo) >= _MEMO_CAP:
+        memo.pop(next(iter(memo)))
+    LOWERING_COUNTS[kind] += 1
+    value = build()
+    memo[key] = (anchor, value)
+    return value
+
+
+def trace_arrays(trace: Trace) -> TraceArrays:
+    """The (memoized) per-record arrays of *trace*."""
+    return _memo_get(
+        _trace_memo, trace, id(trace), "trace", lambda: TraceArrays(trace)
+    )
+
+
+def probe_arrays(trace: Trace, line_size: int) -> ProbeArrays:
+    """The (memoized) right-path probe stream of *trace* at *line_size*."""
+    ta = trace_arrays(trace)
+    return _memo_get(
+        _probe_memo,
+        trace,
+        (id(trace), line_size),
+        "probe",
+        lambda: ProbeArrays(ta, line_size),
+    )
+
+
+def walk_arrays(stream, line_size: int) -> WalkArrays:
+    """The (memoized) lowered wrong-path walks of *stream* at *line_size*."""
+    return _memo_get(
+        _walk_memo,
+        stream,
+        (id(stream), line_size),
+        "walk",
+        lambda: WalkArrays(stream.wp_pc, stream.wp_n, stream.wp_off, line_size),
+    )
+
+
+def probe_split(
+    trace: Trace, line_size: int, set_mask: int, set_shift: int
+) -> ProbeSplit:
+    """The (memoized) set/tag split of *trace*'s probe stream for one
+    cache geometry."""
+    pa = probe_arrays(trace, line_size)
+    return _memo_get(
+        _probe_split_memo,
+        trace,
+        (id(trace), line_size, set_mask, set_shift),
+        "probe_split",
+        lambda: ProbeSplit(pa, set_mask, set_shift),
+    )
+
+
+def walk_split(
+    stream, line_size: int, set_mask: int, set_shift: int
+) -> WalkSplit:
+    """The (memoized) set/tag split of *stream*'s walk probes for one
+    cache geometry."""
+    wa = walk_arrays(stream, line_size)
+    return _memo_get(
+        _walk_split_memo,
+        stream,
+        (id(stream), line_size, set_mask, set_shift),
+        "walk_split",
+        lambda: WalkSplit(wa, set_mask, set_shift),
+    )

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
 from repro.branch.unit import BranchUnit
 from repro.isa import INSTRUCTION_SIZE, InstrKind
 from repro.program.image import CodeImage
@@ -124,6 +126,35 @@ def iter_lines_from_runs(
             yield (line, chunk)
             pos += chunk
             left -= chunk
+
+
+def lines_from_runs_arrays(run_pc, run_n, line_size: int):
+    """Vectorized twin of :func:`iter_lines_from_runs`.
+
+    Splits ``(start_addr, n)`` run arrays into flat ``(line, chunk)``
+    probe arrays in one pass — the same address arithmetic as the
+    iterator, batch form (the vector backend lowers a stream's recorded
+    walks once per line size instead of re-splitting per redirect).
+    Returns ``(line, chunk, run_off)`` where ``run_off[i] :
+    run_off[i + 1]`` indexes run *i*'s probes.
+    """
+    run_pc = np.asarray(run_pc, dtype=np.int64)
+    run_n = np.asarray(run_n, dtype=np.int64)
+    shift = line_size.bit_length() - 1
+    per_line = line_size // INSTRUCTION_SIZE
+    first = run_pc >> shift
+    last = (run_pc + (run_n - 1) * INSTRUCTION_SIZE) >> shift
+    count = last - first + 1
+    total = int(count.sum())
+    run_off = np.zeros(run_pc.size + 1, dtype=np.int64)
+    np.cumsum(count, out=run_off[1:])
+    probe_run = np.repeat(np.arange(run_pc.size, dtype=np.int64), count)
+    within = np.arange(total, dtype=np.int64) - run_off[probe_run]
+    line = first[probe_run] + within
+    idx0 = run_pc // INSTRUCTION_SIZE
+    lo = np.maximum(line * per_line, idx0[probe_run])
+    hi = np.minimum((line + 1) * per_line, idx0[probe_run] + run_n[probe_run])
+    return line, hi - lo, run_off
 
 
 def iter_wrong_path_lines(

@@ -7,8 +7,15 @@ constraints are all checked.  A ``FetchEngine(...)`` (or
 ``VectorEngine(...)``) constructed directly anywhere else silently
 bypasses that seam: the cell pins one backend regardless of the
 ``engine_backend`` knob, and the cross-backend differential guarantees
-quietly erode.  This rule flags direct constructions in the determinism
-modules outside the sanctioned factory (``build_engine``).
+quietly erode.  The same seam discipline covers the backend's lowered
+kernel state (``repro.core.vector_kernels``): ``TraceArrays`` /
+``ProbeArrays`` / ``WalkArrays`` and their geometry splits are memoized
+read-only data shared across engines and ``AdaptiveEngine`` forks, and
+a direct construction launders a private un-memoized copy past that
+sharing (and past the identity keying that makes it correct).  This
+rule flags direct constructions in the determinism modules outside the
+sanctioned factories (``build_engine`` and the ``*_arrays`` /
+``*_split`` lowering factories).
 """
 
 from __future__ import annotations
@@ -19,11 +26,32 @@ from collections.abc import Iterator
 from repro.lint.context import FileContext
 from repro.lint.registry import RawFinding, Rule, register
 
-#: Constructors that must go through the seam.
-_ENGINE_CLASSES = frozenset({"FetchEngine", "VectorEngine"})
+#: Constructors that must go through a seam: the engines themselves and
+#: the vector backend's lowered kernel state.
+_ENGINE_CLASSES = frozenset(
+    {
+        "FetchEngine",
+        "VectorEngine",
+        "TraceArrays",
+        "ProbeArrays",
+        "WalkArrays",
+        "ProbeSplit",
+        "WalkSplit",
+    }
+)
 
-#: Functions allowed to construct engines directly: the seam itself.
-_ALLOWED_FACTORIES = frozenset({"build_engine"})
+#: Functions allowed to construct seam-guarded classes directly: the
+#: engine seam and the memoized lowering factories.
+_ALLOWED_FACTORIES = frozenset(
+    {
+        "build_engine",
+        "trace_arrays",
+        "probe_arrays",
+        "walk_arrays",
+        "probe_split",
+        "walk_split",
+    }
+)
 
 
 def _constructed_class(call: ast.Call) -> str | None:

@@ -25,6 +25,8 @@ from repro.core.vector import vector_eligible
 from repro.experiments.cachesize import run_table6
 from repro.experiments.depth import run_table5
 from repro.obs.observer import Observer
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
 
 BENCHMARK = "li"
 TRACE_LENGTH = 4_000
@@ -172,6 +174,79 @@ def test_timing_schedule_falls_back(workload):
     program, _ = workload
     engine = build_engine(program, SimConfig(engine_backend="vector"))
     assert engine.backend == "event"
+
+
+# -- stress cells: each miss-path kernel where it dominates ------------------
+#
+# The li matrix above is hit-dominated, so the batched wrong-path
+# walker, the fill-station timeline, and the miss-run batcher barely
+# run.  These cells pin them where they carry the time: a crippled
+# predictor (constant redirects -> walks and short segments) and a tiny
+# cache (constant misses -> station traffic and miss runs).  Each cell
+# runs at three scalar thresholds — all-kernel (1), the tuned default,
+# and all-mirror (huge) — so the kernels and the mirrors are both
+# differentially pinned against the event loop, not just whichever side
+# the default picks.
+
+STRESS_THRESHOLDS = (1, None, 1 << 20)
+
+
+@pytest.fixture(scope="module")
+def redirect_dense():
+    """li under a crippled predictor: tiny bimodal PHT, 2-entry BTB."""
+    from repro.config import BranchConfig
+
+    program = build_workload(BENCHMARK)
+    trace = generate_trace(program, TRACE_LENGTH, seed=SEED)
+    branch = BranchConfig(
+        btb_entries=2, btb_assoc=1, pht_kind="bimodal", pht_entries=2
+    )
+    config = arch(branch=branch)
+    return program, trace, config, build_stream(program, trace, config)
+
+
+@pytest.fixture
+def scalar_threshold_knob():
+    from repro.core.vector import scalar_threshold, set_scalar_threshold
+
+    default = scalar_threshold()
+
+    def set_knob(value):
+        set_scalar_threshold(default if value is None else value)
+
+    yield set_knob
+    set_scalar_threshold(default)
+
+
+@pytest.mark.parametrize("threshold", STRESS_THRESHOLDS)
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_redirect_dense_cell(redirect_dense, scalar_threshold_knob,
+                             policy, threshold):
+    program, trace, base, stream = redirect_dense
+    config = replace(base, policy=policy)
+    scalar_threshold_knob(threshold)
+    event, vector, metrics_event, metrics_vector = _run_both(
+        program, trace, config, stream, warmup=0
+    )
+    assert event == replace(vector, config=event.config)
+    assert metrics_event == metrics_vector
+
+
+@pytest.mark.parametrize("threshold", STRESS_THRESHOLDS)
+@pytest.mark.parametrize("assoc", (1, 2))
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_miss_dense_cell(workload, stream, scalar_threshold_knob,
+                         policy, assoc, threshold):
+    program, trace = workload
+    config = arch(
+        policy=policy, cache=CacheConfig(size_bytes=1_024, assoc=assoc)
+    )
+    scalar_threshold_knob(threshold)
+    event, vector, metrics_event, metrics_vector = _run_both(
+        program, trace, config, stream, warmup=0
+    )
+    assert event == replace(vector, config=event.config)
+    assert metrics_event == metrics_vector
 
 
 # -- rendered experiment tables ---------------------------------------------

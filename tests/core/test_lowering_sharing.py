@@ -1,0 +1,116 @@
+"""Lowered-state sharing: one lowering per object, across engines and forks.
+
+Replay and vector state lowering (stream record lists, trace/probe/walk
+arrays) is pure read-only data, so a policy sweep over one trace and the
+``AdaptiveEngine`` shadow/oracle forks of one engine must pay for each
+lowering exactly once.  These tests pin that with the module test hooks
+(:func:`repro.branch.stream.stream_lowerings`,
+:data:`repro.core.vector_kernels.LOWERING_COUNTS`) — a regression here
+silently multiplies sweep setup cost by the fork/engine count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.branch.stream import build_stream, stream_lowerings
+from repro.config import FetchPolicy, SimConfig
+from repro.core import vector_kernels
+from repro.core.engine import build_engine, simulate
+from repro.program.workloads import build_workload
+from repro.trace.generator import generate_trace
+
+TRACE_LENGTH = 4_000
+INTERVAL = 1_000
+
+
+def arch(**kwargs) -> SimConfig:
+    return SimConfig(branch_schedule="architectural", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = build_workload("li")
+    trace = generate_trace(program, TRACE_LENGTH, seed=21)
+    return program, trace
+
+
+@pytest.fixture(scope="module")
+def stream(workload):
+    program, trace = workload
+    return build_stream(program, trace, arch())
+
+
+def test_replay_unit_lowering_shared_across_engines(workload, stream):
+    program, trace = workload
+    before = stream_lowerings()
+    for policy in (FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC):
+        simulate(
+            program,
+            trace,
+            arch(policy=policy, engine_backend="event"),
+            stream=stream,
+        )
+    after = stream_lowerings()
+    # The fixture stream may already be in the memo from an earlier test;
+    # two more engines over the same stream object add at most one lowering.
+    assert after - before <= 1
+    simulate(program, trace, arch(engine_backend="event"), stream=stream)
+    assert stream_lowerings() == after
+
+
+def test_adaptive_forks_share_stream_lowering(workload, stream):
+    program, trace = workload
+    config = arch(
+        policy_schedule="oracle",
+        adaptive_interval=INTERVAL,
+        adaptive_policies=(FetchPolicy.RESUME, FetchPolicy.PESSIMISTIC),
+    )
+    simulate(program, trace, config, stream=stream)  # memo warm for stream
+    before = stream_lowerings()
+    result = simulate(program, trace, config, stream=stream)
+    assert result.metadata["shadow_runs"] > 0
+    # Every shadow/oracle fork re-lowered the stream before PR 10.
+    assert stream_lowerings() == before
+
+
+def test_fork_shares_lowered_lists_copies_stats(workload, stream):
+    program, _ = workload
+    engine = build_engine(program, arch(engine_backend="event"), stream=stream)
+    fork = engine.fork()
+    assert fork.unit is not engine.unit
+    assert fork.unit.stats is not engine.unit.stats
+    assert fork.unit.stream is engine.unit.stream
+    for name in ("_outcome", "_penalty", "_wp_pc", "_wp_off"):
+        assert getattr(fork.unit, name) is getattr(engine.unit, name)
+
+
+def test_vector_lowerings_shared_across_policy_sweep(workload, stream):
+    program, trace = workload
+    config = arch(engine_backend="vector")
+    simulate(program, trace, config, stream=stream)  # memos warm
+    before = dict(vector_kernels.LOWERING_COUNTS)
+    for policy in (
+        FetchPolicy.OPTIMISTIC,
+        FetchPolicy.RESUME,
+        FetchPolicy.PESSIMISTIC,
+    ):
+        simulate(
+            program, trace, replace(config, policy=policy), stream=stream
+        )
+    # Same trace object, same line size, same geometry: zero re-lowering.
+    assert vector_kernels.LOWERING_COUNTS == before
+
+
+def test_distinct_trace_objects_are_not_conflated(workload):
+    """Identity keying must never serve one trace's lowering for another,
+    even when name/seed/shape collide (the memo-poisoning regression)."""
+    program, _ = workload
+    a = generate_trace(program, 2_000, seed=5)
+    b = generate_trace(program, 2_000, seed=5)
+    pa = vector_kernels.probe_arrays(a, 32)
+    pb = vector_kernels.probe_arrays(b, 32)
+    assert pa is not pb
+    assert vector_kernels.probe_arrays(a, 32) is pa

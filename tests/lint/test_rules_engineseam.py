@@ -34,6 +34,32 @@ POSITIVE = [
         "        self.engine = FetchEngine(self.program, self.config)\n",
         id="method",
     ),
+    pytest.param(
+        "def lower(trace, line_size):\n"
+        "    return ProbeArrays(trace_arrays(trace), line_size)\n",
+        id="kernel-state-probe-arrays",
+    ),
+    pytest.param(
+        "from repro.core import vector_kernels as vk\n"
+        "def lower(stream, line_size):\n"
+        "    return vk.WalkArrays(stream.wp_pc, stream.wp_n,\n"
+        "                         stream.wp_off, line_size)\n",
+        id="kernel-state-attribute",
+    ),
+    pytest.param(
+        "def split(pa, mask, shift):\n"
+        "    return ProbeSplit(pa, mask, shift)\n",
+        id="kernel-state-probe-split",
+    ),
+    pytest.param(
+        "def split(wa, mask, shift):\n"
+        "    return WalkSplit(wa, mask, shift)\n",
+        id="kernel-state-walk-split",
+    ),
+    pytest.param(
+        "arrays = TraceArrays(trace)\n",
+        id="kernel-state-module-level",
+    ),
 ]
 
 NEGATIVE = [
@@ -55,6 +81,24 @@ NEGATIVE = [
         "        return FetchEngine(program, config)\n"
         "    return inner()\n",
         id="nested-inside-factory",
+    ),
+    pytest.param(
+        "def probe_arrays(trace, line_size):\n"
+        "    ta = trace_arrays(trace)\n"
+        "    return _memo_get(_probe_memo, trace, (id(trace), line_size),\n"
+        "                     'probe', lambda: ProbeArrays(ta, line_size))\n",
+        id="lowering-factory-itself",
+    ),
+    pytest.param(
+        "def run(trace, config):\n"
+        "    return probe_split(trace, 32, 0xFF, 8)\n",
+        id="calls-through-lowering-factory",
+    ),
+    pytest.param(
+        "def walk_split(stream, line_size, set_mask, set_shift):\n"
+        "    wa = walk_arrays(stream, line_size)\n"
+        "    return WalkSplit(wa, set_mask, set_shift)\n",
+        id="split-factory-itself",
     ),
 ]
 

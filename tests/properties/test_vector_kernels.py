@@ -21,7 +21,9 @@ from repro.core.vector import (
     lru_update_spans,
     match_tags,
     split_sets,
+    walk_cutoff,
 )
+from repro.core.wrongpath import iter_lines_from_runs, lines_from_runs_arrays
 from repro.isa import INSTRUCTION_SIZE
 
 lines_arrays = st.lists(st.integers(0, 2**20), min_size=0, max_size=64)
@@ -212,3 +214,39 @@ def test_accumulate_positions_matches_running_sum(lengths, extras):
         expected.append(pos)
         pos += length + e
     assert starts.tolist() == expected
+
+
+@given(
+    chunks=st.lists(st.integers(1, 16), min_size=0, max_size=32),
+    budget=st.integers(-4, 200),
+)
+def test_walk_cutoff_matches_window_break(chunks, budget):
+    # Reference: the event loop's wrong-path loop over an all-hit
+    # prefix — a probe issues iff the walk clock is still inside the
+    # redirect window when it is reached.
+    cur, issued, consumed = 0, 0, 0
+    for chunk in chunks:
+        if cur >= budget:
+            break
+        issued += 1
+        consumed += chunk
+        cur += chunk
+    k, instr = walk_cutoff(chunks, budget)
+    assert (k, instr) == (issued, consumed)
+
+
+@given(runs=run_lists(), line_size=st.sampled_from([16, 32, 64]))
+def test_lines_from_runs_arrays_matches_iterator(runs, line_size):
+    run_pc, run_n = runs
+    line, chunk, run_off = lines_from_runs_arrays(run_pc, run_n, line_size)
+    expected = list(iter_lines_from_runs(zip(run_pc, run_n), line_size))
+    assert list(zip(line.tolist(), chunk.tolist())) == expected
+    # run_off partitions the flat probes back into their source runs.
+    assert run_off[0] == 0 and run_off[-1] == line.size
+    for i, (pc, n) in enumerate(zip(run_pc, run_n)):
+        span = slice(int(run_off[i]), int(run_off[i + 1]))
+        assert int(np.sum(chunk[span])) == n
+        per_run = list(
+            iter_lines_from_runs([(pc, n)], line_size)
+        )
+        assert list(zip(line[span].tolist(), chunk[span].tolist())) == per_run
